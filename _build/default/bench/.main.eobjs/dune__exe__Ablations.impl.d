@@ -1,0 +1,1 @@
+bench/ablations.ml: Common Fmt List Net Sim Unistore Workload

@@ -1,0 +1,1 @@
+bench/common.ml: Fmt Sim String Unistore Unix Workload

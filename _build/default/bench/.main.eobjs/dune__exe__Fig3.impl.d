@@ -1,0 +1,1 @@
+bench/fig3.ml: Array Common Fmt Hashtbl List Net Unistore

@@ -1,0 +1,1 @@
+bench/fig4.ml: Array Common Fmt Hashtbl Net Unistore Workload

@@ -1,0 +1,1 @@
+bench/fig5.ml: Common Fmt List Net Unistore Workload

@@ -1,0 +1,1 @@
+bench/fig6.ml: Common Fmt List Net Sim Unistore Workload

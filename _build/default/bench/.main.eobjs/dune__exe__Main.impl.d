@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Common Fig3 Fig4 Fig5 Fig6 Fmt List Microbench Scenarios String Sys Tab_latency Unix

@@ -1,0 +1,1 @@
+bench/microbench.ml: Analyze Array Bechamel Benchmark Common Crdt Fmt Hashtbl Instance List Measure Sim Staged Store Test Time Toolkit Unistore Vclock

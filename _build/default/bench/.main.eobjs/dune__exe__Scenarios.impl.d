@@ -1,0 +1,1 @@
+bench/scenarios.ml: Common Crdt List Net Sim Unistore

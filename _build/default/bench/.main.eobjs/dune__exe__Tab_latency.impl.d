@@ -1,0 +1,1 @@
+bench/tab_latency.ml: Common Fmt List Net Sim Unistore

@@ -1,0 +1,127 @@
+(* Shared machinery for the experiment harness: deploy a configuration,
+   drive a workload with closed-loop clients, measure over a warmup-free
+   window, and print paper-style rows.
+
+   Scale note (see EXPERIMENTS.md): the simulator executes every message
+   of every replica in one OCaml process, so experiments run shorter
+   windows (1 s of simulated time instead of the paper's 5+ minutes) and
+   RUBiS think times are scaled down from 500 ms so that saturation is
+   reachable with a simulatable number of clients. Both rescalings leave
+   the protocol behaviour (latencies, ratios, crossovers) unchanged. *)
+
+module U = Unistore
+
+type result = {
+  r_mode : U.Config.mode;
+  r_clients : int;
+  r_throughput : float;  (* committed transactions per simulated second *)
+  r_lat_all_ms : float;
+  r_lat_causal_ms : float;
+  r_lat_strong_ms : float;
+  r_abort_pct : float;
+  r_committed : int;
+  r_history : U.History.t;
+  r_sys : U.System.t;
+}
+
+let mean_ms samples =
+  if Sim.Stats.count samples = 0 then 0.0
+  else Sim.Stats.mean samples /. 1000.0
+
+let collect sys ~mode ~clients =
+  let h = U.System.history sys in
+  {
+    r_mode = mode;
+    r_clients = clients;
+    r_throughput =
+      (match U.History.throughput h with Some t -> t | None -> 0.0);
+    r_lat_all_ms = mean_ms (U.History.latency_all h);
+    r_lat_causal_ms = mean_ms (U.History.latency_causal h);
+    r_lat_strong_ms = mean_ms (U.History.latency_strong h);
+    r_abort_pct = 100.0 *. U.History.abort_rate h;
+    r_committed = U.History.committed_total h;
+    r_history = h;
+    r_sys = sys;
+  }
+
+(* Deploy [cfg], spawn [clients] closed-loop clients round-robin across
+   DCs running [body], measure for [window_us] after [warmup_us]. *)
+let run_experiment ~cfg ~clients ~warmup_us ~window_us ~body =
+  let sys = U.System.create cfg in
+  U.System.set_window sys ~start:warmup_us ~stop:(warmup_us + window_us);
+  let stop_at = warmup_us + window_us in
+  let stop () = U.System.now sys >= stop_at in
+  let dcs = U.Config.dcs cfg in
+  for i = 0 to clients - 1 do
+    ignore (U.System.spawn_client sys ~dc:(i mod dcs) (body ~stop))
+  done;
+  U.System.run sys ~until:(stop_at + 50_000);
+  sys
+
+let run_micro ~mode ?(conflict = U.Config.Serializable) ~topo ~partitions
+    ~clients ~spec ?(warmup_us = 400_000) ?(window_us = 1_000_000)
+    ?(seed = 42) ?(measure_visibility = false) ?(f = 1) () =
+  let cfg =
+    U.Config.default ~topo ~partitions ~f ~mode ~conflict ~seed
+      ~measure_visibility ()
+  in
+  let body ~stop client = Workload.Micro.client_body spec ~stop client in
+  let sys = run_experiment ~cfg ~clients ~warmup_us ~window_us ~body in
+  collect sys ~mode ~clients
+
+let run_rubis ~mode ?(think_time_us = 20_000) ~topo ~partitions ~clients
+    ?(warmup_us = 400_000) ?(window_us = 1_000_000) ?(seed = 42) () =
+  (* STRONG treats every operation pair as conflicting (serializability);
+     REDBLUE routes all strong transactions through one central service —
+     they are totally ordered there, so like the original system it only
+     aborts on data conflicts, while the service itself is the
+     bottleneck. *)
+  let conflict =
+    match mode with
+    | U.Config.Strong -> U.Config.Serializable
+    | _ -> Workload.Rubis.conflict_spec
+  in
+  let cfg =
+    U.Config.default ~topo ~partitions ~f:1 ~mode ~conflict ~seed ()
+  in
+  let sys = U.System.create cfg in
+  let spec = { Workload.Rubis.default_spec with think_time_us } in
+  Workload.Rubis.populate sys spec;
+  U.System.set_window sys ~start:warmup_us ~stop:(warmup_us + window_us);
+  let stop_at = warmup_us + window_us in
+  let stop () = U.System.now sys >= stop_at in
+  let dcs = U.Config.dcs cfg in
+  for i = 0 to clients - 1 do
+    ignore
+      (U.System.spawn_client sys ~dc:(i mod dcs) (fun client ->
+           Workload.Rubis.client_body spec ~stop client))
+  done;
+  U.System.run sys ~until:(stop_at + 50_000);
+  collect sys ~mode ~clients
+
+(* ------------------------------------------------------------------ *)
+(* Printing.                                                             *)
+
+let hr () = Fmt.pr "%s@." (String.make 78 '-')
+
+let section title =
+  Fmt.pr "@.%s@." (String.make 78 '=');
+  Fmt.pr "%s@." title;
+  Fmt.pr "%s@." (String.make 78 '=')
+
+let note fmt = Fmt.pr ("  " ^^ fmt ^^ "@.")
+
+let pp_result r =
+  Fmt.pr
+    "  %-9s clients=%5d  thr=%9.0f tx/s  lat=%7.2f ms  causal=%6.2f ms  strong=%7.2f ms  aborts=%5.3f%%@."
+    (U.Config.mode_name r.r_mode)
+    r.r_clients r.r_throughput r.r_lat_all_ms r.r_lat_causal_ms
+    r.r_lat_strong_ms r.r_abort_pct
+
+let wall_clock = Unix.gettimeofday
+
+let timed name f =
+  let t0 = wall_clock () in
+  let v = f () in
+  Fmt.pr "  [%s: %.1fs wall]@." name (wall_clock () -. t0);
+  v

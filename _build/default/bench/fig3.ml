@@ -1,0 +1,65 @@
+(* Figure 3 (§8.1): RUBiS bidding mix, throughput vs average latency for
+   UNISTORE, REDBLUE, STRONG and CAUSAL.
+
+   Deployment: 3 DCs (Virginia, California, Frankfurt); the paper uses
+   4 machines × 8 partitions per DC and 500 ms think time — we scale to
+   16 partitions per DC and 20 ms think time so saturation is reachable
+   with a simulatable number of clients (see EXPERIMENTS.md; think time
+   only shifts the client-count axis, not the curves). *)
+
+module U = Unistore
+
+let partitions = 16
+let client_counts = [| 400; 1200; 2400; 4800 |]
+
+let modes =
+  [
+    U.Config.Unistore;
+    U.Config.Red_blue;
+    U.Config.Strong;
+    U.Config.Causal_only;
+  ]
+
+let run () =
+  Common.section
+    "Figure 3 — RUBiS: throughput vs average latency (bidding mix, 3 DCs)";
+  Common.note
+    "paper shape: UNISTORE peaks ~72%% above REDBLUE and ~183%% above STRONG;";
+  Common.note
+    "CAUSAL is the upper bound; latencies: UNISTORE ~16.5 ms vs STRONG ~80.4 ms";
+  Common.hr ();
+  let peaks = Hashtbl.create 4 in
+  List.iter
+    (fun mode ->
+      Fmt.pr "@.  [%s]@." (U.Config.mode_name mode);
+      Array.iter
+        (fun clients ->
+          let r =
+            Common.run_rubis ~mode ~topo:(Net.Topology.three_dcs ())
+              ~partitions ~clients ~warmup_us:300_000 ~window_us:800_000 ()
+          in
+          Common.pp_result r;
+          let best =
+            match Hashtbl.find_opt peaks mode with
+            | Some p -> max p r.Common.r_throughput
+            | None -> r.Common.r_throughput
+          in
+          Hashtbl.replace peaks mode best)
+        client_counts)
+    modes;
+  Common.hr ();
+  let peak m = try Hashtbl.find peaks m with Not_found -> 0.0 in
+  let pct a b = if b > 0.0 then 100.0 *. ((a /. b) -. 1.0) else 0.0 in
+  Fmt.pr "  peak throughput (tx/s):@.";
+  List.iter
+    (fun m -> Fmt.pr "    %-9s %9.0f@." (U.Config.mode_name m) (peak m))
+    modes;
+  Fmt.pr
+    "  UNISTORE vs REDBLUE: %+.0f%%  (paper: +72%%)@."
+    (pct (peak U.Config.Unistore) (peak U.Config.Red_blue));
+  Fmt.pr
+    "  UNISTORE vs STRONG:  %+.0f%%  (paper: +183%%)@."
+    (pct (peak U.Config.Unistore) (peak U.Config.Strong));
+  Fmt.pr
+    "  CAUSAL vs UNISTORE:  %+.0f%%  (paper: UNISTORE pays ~45%% vs CAUSAL)@."
+    (pct (peak U.Config.Causal_only) (peak U.Config.Unistore))

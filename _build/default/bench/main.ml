@@ -1,0 +1,56 @@
+(* Benchmark harness entry point.
+
+   `dune exec bench/main.exe` regenerates every table and figure of the
+   paper's evaluation (§8) and runs the Bechamel microbenchmarks;
+   individual artefacts can be selected by name:
+
+     main.exe [fig3|tab-latency|fig4a|fig4b|fig5|fig6|scenarios|micro]... *)
+
+let artefacts =
+  [
+    ("fig3", fun () -> Common.timed "fig3" Fig3.run);
+    ("tab-latency", fun () -> Common.timed "tab-latency" Tab_latency.run);
+    ( "fig4a",
+      fun () ->
+        Common.timed "fig4a" (fun () ->
+            ignore
+              (Fig4.run_variant ~contended:false
+                 "Figure 4 (top) — scalability, uniform access (peak tx/s)"))
+    );
+    ( "fig4b",
+      fun () ->
+        Common.timed "fig4b" (fun () ->
+            ignore
+              (Fig4.run_variant ~contended:true
+                 "Figure 4 (bottom) — scalability under contention")) );
+    ("fig4", fun () -> Common.timed "fig4" Fig4.run);
+    ("fig5", fun () -> Common.timed "fig5" Fig5.run);
+    ("fig6", fun () -> Common.timed "fig6" Fig6.run);
+    ("scenarios", fun () -> Common.timed "scenarios" Scenarios.run);
+    ("ablations", fun () -> Common.timed "ablations" Ablations.run);
+    ("micro", fun () -> Common.timed "micro" Microbench.run);
+  ]
+
+let default_sequence =
+  [ "scenarios"; "tab-latency"; "fig6"; "fig5"; "ablations"; "micro"; "fig3"; "fig4" ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | [] | [ _ ] -> default_sequence
+    | _ :: args -> args
+  in
+  Fmt.pr
+    "UniStore evaluation harness (simulated EC2 deployment; see \
+     EXPERIMENTS.md for scale notes)@.";
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name artefacts with
+      | Some run -> run ()
+      | None ->
+          Fmt.epr "unknown artefact %S; available: %s@." name
+            (String.concat ", " (List.map fst artefacts));
+          exit 1)
+    requested;
+  Fmt.pr "@.total wall time: %.1fs@." (Unix.gettimeofday () -. t0)

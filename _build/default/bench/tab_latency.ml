@@ -1,0 +1,71 @@
+(* §8.1 latency table: per-transaction-type latencies on RUBiS below
+   saturation, strong latency per client site, average latency of
+   UNISTORE vs STRONG, abort rates of UNISTORE vs REDBLUE.
+
+   Paper numbers: causal avg 1.2 ms; strong avg 73.9 ms (65.4 ms at the
+   leader site Virginia, 93.2 ms at Frankfurt); UNISTORE avg 16.5 ms vs
+   STRONG 80.4 ms (3.7x); abort rates 0.027% (UNISTORE) vs 0.12%
+   (REDBLUE). *)
+
+module U = Unistore
+
+let partitions = 16
+let clients = 600
+let think_time_us = 100_000  (* moderate load, well below saturation *)
+
+let pct_or_zero s p =
+  if Sim.Stats.count s = 0 then 0.0 else Sim.Stats.percentile s p /. 1000.0
+
+let mean_ms s = if Sim.Stats.count s = 0 then 0.0 else Sim.Stats.mean s /. 1000.0
+
+let run () =
+  Common.section "Table (§8.1) — RUBiS latency by transaction type";
+  let topo = Net.Topology.three_dcs () in
+  let uni =
+    Common.run_rubis ~mode:U.Config.Unistore ~think_time_us ~topo ~partitions
+      ~clients ~warmup_us:500_000 ~window_us:2_000_000 ()
+  in
+  let h = uni.Common.r_history in
+  Fmt.pr "  UNISTORE, per transaction type (ms):@.";
+  Fmt.pr "    %-24s %8s %8s %8s %8s@." "type" "mean" "p50" "p90" "p99";
+  List.iter
+    (fun label ->
+      match U.History.latency_by_label h label with
+      | Some s when Sim.Stats.count s > 0 ->
+          Fmt.pr "    %-24s %8.2f %8.2f %8.2f %8.2f@." label (mean_ms s)
+            (pct_or_zero s 50.0) (pct_or_zero s 90.0) (pct_or_zero s 99.0)
+      | _ -> ())
+    (U.History.labels h);
+  Common.hr ();
+  Fmt.pr "  causal transactions: mean %.2f ms   (paper: 1.2 ms)@."
+    (mean_ms (U.History.latency_causal h));
+  Fmt.pr "  strong transactions: mean %.2f ms   (paper: 73.9 ms)@."
+    (mean_ms (U.History.latency_strong h));
+  let site dc name paper =
+    match U.History.latency_strong_by_dc h dc with
+    | Some s when Sim.Stats.count s > 0 ->
+        Fmt.pr "    strong at %-10s %7.1f ms   (paper: %s)@." name
+          (mean_ms s) paper
+    | _ -> ()
+  in
+  site 0 "virginia" "65.4 ms (leader site)";
+  site 1 "california" "—";
+  site 2 "frankfurt" "93.2 ms (furthest from leader)";
+  Common.hr ();
+  let strong_sys =
+    Common.run_rubis ~mode:U.Config.Strong ~think_time_us ~topo ~partitions
+      ~clients ~warmup_us:500_000 ~window_us:2_000_000 ()
+  in
+  let redblue =
+    Common.run_rubis ~mode:U.Config.Red_blue ~think_time_us ~topo ~partitions
+      ~clients ~warmup_us:500_000 ~window_us:2_000_000 ()
+  in
+  let uni_avg = uni.Common.r_lat_all_ms
+  and strong_avg = strong_sys.Common.r_lat_all_ms in
+  Fmt.pr "  overall average latency: UNISTORE %.1f ms, STRONG %.1f ms — %.1fx \
+          (paper: 16.5 vs 80.4 ms, 3.7x)@."
+    uni_avg strong_avg
+    (if uni_avg > 0.0 then strong_avg /. uni_avg else 0.0);
+  Fmt.pr "  abort rates: UNISTORE %.3f%%, REDBLUE %.3f%% (paper: 0.027%% vs \
+          0.12%%)@."
+    uni.Common.r_abort_pct redblue.Common.r_abort_pct

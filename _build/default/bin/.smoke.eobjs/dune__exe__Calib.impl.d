@@ -1,0 +1,1 @@
+bin/calib.ml: Fmt Net Sim Unistore Unix Workload

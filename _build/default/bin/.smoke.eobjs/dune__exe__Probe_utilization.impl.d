@@ -1,0 +1,1 @@
+bin/probe_utilization.ml: Fmt Net Unistore Workload

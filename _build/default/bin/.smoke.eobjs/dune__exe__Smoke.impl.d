@@ -1,0 +1,1 @@
+bin/smoke.ml: Crdt Fmt List Sim Unistore Vclock

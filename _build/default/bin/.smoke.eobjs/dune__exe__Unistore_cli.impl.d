@@ -1,0 +1,1 @@
+bin/unistore_cli.ml: Arg Cmd Cmdliner Crdt Fmt List Net Sim Term Unistore Workload

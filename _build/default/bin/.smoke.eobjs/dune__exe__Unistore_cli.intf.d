@@ -1,0 +1,1 @@
+bin/unistore_cli.mli:

@@ -1,0 +1,51 @@
+(* Calibration driver: small sweeps used while developing the bench
+   harness; prints throughput and latency for a given mode. *)
+
+module U = Unistore
+
+let run ~mode ~clients ~partitions ~strong_ratio ~dur_us =
+  let topo = Net.Topology.three_dcs () in
+  let cfg = U.Config.default ~topo ~partitions ~mode () in
+  let sys = U.System.create cfg in
+  let spec =
+    { (Workload.Micro.default_spec ~partitions) with strong_ratio }
+  in
+  let warmup = 500_000 in
+  U.System.set_window sys ~start:warmup ~stop:(warmup + dur_us);
+  let stop () = U.System.now sys >= warmup + dur_us in
+  let dcs = Net.Topology.dcs topo in
+  for i = 0 to clients - 1 do
+    ignore
+      (U.System.spawn_client sys ~dc:(i mod dcs) (fun c ->
+           Workload.Micro.client_body spec ~stop c))
+  done;
+  U.System.run sys ~until:(warmup + dur_us + 100_000);
+  let h = U.System.history sys in
+  let thr = match U.History.throughput h with Some x -> x | None -> 0.0 in
+  let lat s =
+    if Sim.Stats.count s = 0 then 0.0 else Sim.Stats.mean s /. 1000.0
+  in
+  Fmt.pr
+    "%-10s clients=%4d parts=%2d strong=%.2f  thr=%8.0f tx/s  lat(all)=%6.2fms  lat(causal)=%6.2fms lat(strong)=%7.2fms aborts=%.4f%% events=%d@."
+    (U.Config.mode_name mode) clients partitions strong_ratio thr
+    (lat (U.History.latency_all h))
+    (lat (U.History.latency_causal h))
+    (lat (U.History.latency_strong h))
+    (100.0 *. U.History.abort_rate h)
+    (Sim.Engine.executed_events (U.System.engine sys))
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  run ~mode:U.Config.Unistore ~clients:200 ~partitions:8 ~strong_ratio:0.1
+    ~dur_us:1_000_000;
+  Fmt.pr "wall: %.1fs@." (Unix.gettimeofday () -. t0);
+  run ~mode:U.Config.Unistore ~clients:800 ~partitions:8 ~strong_ratio:0.1
+    ~dur_us:1_000_000;
+  Fmt.pr "wall: %.1fs@." (Unix.gettimeofday () -. t0);
+  run ~mode:U.Config.Causal_only ~clients:800 ~partitions:8 ~strong_ratio:0.0
+    ~dur_us:1_000_000;
+  run ~mode:U.Config.Strong ~clients:800 ~partitions:8 ~strong_ratio:1.0
+    ~dur_us:1_000_000;
+  run ~mode:U.Config.Red_blue ~clients:800 ~partitions:8 ~strong_ratio:0.1
+    ~dur_us:1_000_000;
+  Fmt.pr "wall: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,30 @@
+(* Utilization probe: run a saturating STRONG-mode RUBiS load and print
+   per-replica CPU utilization — the tool that exposed the partition-0
+   placement hotspot (see Keyspace). Kept as a diagnosis aid. *)
+
+module U = Unistore
+let () =
+  let topo = Net.Topology.three_dcs () in
+  let cfg = U.Config.default ~topo ~partitions:16 ~mode:U.Config.Strong ~conflict:U.Config.Serializable () in
+  let sys = U.System.create cfg in
+  let spec = { Workload.Rubis.default_spec with think_time_us = 20_000 } in
+  Workload.Rubis.populate sys spec;
+  U.System.set_window sys ~start:400_000 ~stop:1_400_000;
+  let stop () = U.System.now sys >= 1_400_000 in
+  for i = 0 to 799 do
+    ignore (U.System.spawn_client sys ~dc:(i mod 3) (fun c -> Workload.Rubis.client_body spec ~stop c))
+  done;
+  U.System.run sys ~until:1_450_000;
+  let net = U.System.network sys in
+  let h = U.System.history sys in
+  Fmt.pr "thr=%.0f aborts=%.2f%%@."
+    (match U.History.throughput h with Some t -> t | None -> 0.)
+    (100. *. U.History.abort_rate h);
+  for dc = 0 to 2 do
+    Fmt.pr "dc%d utilization:" dc;
+    for p = 0 to 15 do
+      let r = U.System.replica sys ~dc ~part:p in
+      Fmt.pr " %.2f" (Net.Network.node_utilization net (U.Replica.addr r))
+    done;
+    Fmt.pr "@."
+  done

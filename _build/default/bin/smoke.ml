@@ -1,0 +1,50 @@
+(* Quick end-to-end smoke check used during development; superseded by the
+   test suite but kept as a minimal driver example. *)
+
+module U = Unistore
+
+let () =
+  let cfg = U.Config.default ~partitions:4 ~mode:U.Config.Unistore () in
+  let sys = U.System.create cfg in
+  let done_count = ref 0 in
+  (* Client 0 in Virginia: write then read back (read your writes). *)
+  let _ =
+    U.System.spawn_client sys ~dc:0 (fun c ->
+        U.Client.start c ~label:"writer";
+        U.Client.update c 100 (Crdt.Reg_write 42);
+        (match U.Client.commit c with
+        | `Committed vec -> Fmt.pr "writer committed @ %a@." Vclock.Vc.pp vec
+        | `Aborted -> Fmt.pr "writer aborted?!@.");
+        U.Client.start c;
+        let v = U.Client.read_int c 100 in
+        Fmt.pr "writer reads back %d@." v;
+        ignore (U.Client.commit c);
+        assert (v = 42);
+        (* strong transaction *)
+        U.Client.start c ~strong:true ~label:"strong";
+        let v = U.Client.read_int c 100 in
+        U.Client.update c 100 (Crdt.Reg_write (v + 1));
+        (match U.Client.commit c with
+        | `Committed vec -> Fmt.pr "strong committed @ %a@." Vclock.Vc.pp vec
+        | `Aborted -> Fmt.pr "strong aborted@.");
+        incr done_count)
+  in
+  (* Client in Frankfurt: eventually sees the writes. *)
+  let _ =
+    U.System.spawn_client sys ~dc:2 (fun c ->
+        Sim.Fiber.sleep 2_000_000;
+        U.Client.start c;
+        let v = U.Client.read_int c 100 in
+        Fmt.pr "frankfurt reads %d at t=%dus@." v (U.System.now sys);
+        ignore (U.Client.commit c);
+        assert (v = 43);
+        incr done_count)
+  in
+  U.System.run sys ~until:4_000_000;
+  Fmt.pr "done: %d/2 clients finished; events=%d@." !done_count
+    (Sim.Engine.executed_events (U.System.engine sys));
+  let errs = U.System.check_convergence sys in
+  List.iter (Fmt.pr "convergence error: %s@.") errs;
+  assert (errs = []);
+  assert (!done_count = 2);
+  Fmt.pr "smoke OK@."

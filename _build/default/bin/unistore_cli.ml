@@ -1,0 +1,214 @@
+(* Command-line driver: run a configurable workload against a simulated
+   UniStore deployment and report throughput, latency and consistency.
+
+     dune exec bin/unistore_cli.exe -- run --mode unistore --dcs 3 \
+       --partitions 8 --clients 200 --duration 2 --strong-ratio 0.1
+     dune exec bin/unistore_cli.exe -- check --seed 7
+     dune exec bin/unistore_cli.exe -- failover *)
+
+module U = Unistore
+
+let mode_conv =
+  let parse = function
+    | "unistore" -> Ok U.Config.Unistore
+    | "causal" -> Ok U.Config.Causal_only
+    | "strong" -> Ok U.Config.Strong
+    | "redblue" -> Ok U.Config.Red_blue
+    | "cureft" -> Ok U.Config.Cure_ft
+    | "uniform" -> Ok U.Config.Uniform_only
+    | s -> Error (`Msg (Fmt.str "unknown mode %S" s))
+  in
+  let print ppf m = Fmt.string ppf (U.Config.mode_name m) in
+  Cmdliner.Arg.conv (parse, print)
+
+open Cmdliner
+
+let mode_t =
+  Arg.(value & opt mode_conv U.Config.Unistore & info [ "mode" ] ~doc:"System: unistore, causal, strong, redblue, cureft or uniform.")
+
+let dcs_t =
+  Arg.(value & opt int 3 & info [ "dcs" ] ~doc:"Data centers (3-5; paper regions in growth order).")
+
+let partitions_t =
+  Arg.(value & opt int 8 & info [ "partitions" ] ~doc:"Logical partitions per data center.")
+
+let clients_t =
+  Arg.(value & opt int 200 & info [ "clients" ] ~doc:"Closed-loop clients, spread round-robin across DCs.")
+
+let duration_t =
+  Arg.(value & opt float 2.0 & info [ "duration" ] ~doc:"Simulated seconds of measured load.")
+
+let strong_t =
+  Arg.(value & opt float 0.1 & info [ "strong-ratio" ] ~doc:"Fraction of strong transactions in the microbenchmark.")
+
+let update_t =
+  Arg.(value & opt float 1.0 & info [ "update-ratio" ] ~doc:"Fraction of update transactions.")
+
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.")
+
+let rubis_t =
+  Arg.(value & flag & info [ "rubis" ] ~doc:"Run the RUBiS bidding mix instead of the microbenchmark.")
+
+let report sys =
+  let h = U.System.history sys in
+  let thr = match U.History.throughput h with Some t -> t | None -> 0.0 in
+  let ms s = if Sim.Stats.count s = 0 then 0.0 else Sim.Stats.mean s /. 1000.0 in
+  Fmt.pr "committed:  %d causal, %d strong (%d aborted, %.3f%%)@."
+    (U.History.committed_causal h)
+    (U.History.committed_strong h)
+    (U.History.aborted_strong h)
+    (100.0 *. U.History.abort_rate h);
+  Fmt.pr "throughput: %.0f tx/s@." thr;
+  Fmt.pr "latency:    all %.2f ms | causal %.2f ms | strong %.2f ms@."
+    (ms (U.History.latency_all h))
+    (ms (U.History.latency_causal h))
+    (ms (U.History.latency_strong h));
+  Fmt.pr "events:     %d simulated@."
+    (Sim.Engine.executed_events (U.System.engine sys))
+
+let run_cmd mode dcs partitions clients duration strong_ratio update_ratio
+    seed rubis =
+  let topo = Net.Topology.n_dcs dcs in
+  let warmup = 400_000 in
+  let window = int_of_float (duration *. 1_000_000.0) in
+  let conflict =
+    if rubis then
+      match mode with
+      | U.Config.Strong -> U.Config.Serializable
+      | _ -> Workload.Rubis.conflict_spec
+    else U.Config.Serializable
+  in
+  let cfg = U.Config.default ~topo ~partitions ~mode ~conflict ~seed () in
+  let sys = U.System.create cfg in
+  U.System.set_window sys ~start:warmup ~stop:(warmup + window);
+  let stop () = U.System.now sys >= warmup + window in
+  if rubis then begin
+    let spec = { Workload.Rubis.default_spec with think_time_us = 20_000 } in
+    Workload.Rubis.populate sys spec;
+    for i = 0 to clients - 1 do
+      ignore
+        (U.System.spawn_client sys ~dc:(i mod dcs) (fun c ->
+             Workload.Rubis.client_body spec ~stop c))
+    done
+  end
+  else begin
+    let spec =
+      {
+        (Workload.Micro.default_spec ~partitions) with
+        strong_ratio;
+        update_ratio;
+      }
+    in
+    for i = 0 to clients - 1 do
+      ignore
+        (U.System.spawn_client sys ~dc:(i mod dcs) (fun c ->
+             Workload.Micro.client_body spec ~stop c))
+    done
+  end;
+  Fmt.pr "running %s: %d DCs x %d partitions, %d clients, %.1fs simulated@."
+    (U.Config.mode_name mode) dcs partitions clients duration;
+  U.System.run sys ~until:(warmup + window + 100_000);
+  report sys
+
+let check_cmd seed =
+  (* a verified run: record the full history and check PoR consistency *)
+  let topo = Net.Topology.three_dcs () in
+  let cfg =
+    U.Config.default ~topo ~partitions:4 ~seed ~record_history:true ()
+  in
+  let sys = U.System.create cfg in
+  for k = 0 to 19 do
+    U.System.preload sys k (Crdt.Reg_write 0)
+  done;
+  for i = 0 to 8 do
+    ignore
+      (U.System.spawn_client sys ~dc:(i mod 3) (fun c ->
+           let rng = Sim.Rng.create (seed + i) in
+           for _ = 1 to 30 do
+             let strong = Sim.Rng.int rng 10 = 0 in
+             let rec attempt n =
+               U.Client.start c ~strong;
+               for _ = 1 to 1 + Sim.Rng.int rng 3 do
+                 let key = Sim.Rng.int rng 20 in
+                 if Sim.Rng.bool rng then ignore (U.Client.read c key)
+                 else U.Client.update c key (Crdt.Reg_write (Sim.Rng.int rng 100))
+               done;
+               match U.Client.commit c with
+               | `Committed _ -> ()
+               | `Aborted -> if n < 5 then attempt (n + 1)
+             in
+             attempt 0
+           done))
+  done;
+  U.System.run sys ~until:20_000_000;
+  let h = U.System.history sys in
+  let result =
+    U.Checker.check ~preloads:(U.History.preloads h) cfg (U.History.txns h)
+  in
+  Fmt.pr "%a@." U.Checker.pp_result result;
+  (match U.System.check_convergence sys with
+  | [] -> Fmt.pr "all data centers converged.@."
+  | errs ->
+      List.iter (Fmt.pr "divergence: %s@.") errs;
+      exit 1);
+  if not (U.Checker.ok result) then exit 1
+
+let failover_cmd () =
+  (* demonstrate liveness across a leader-DC failure *)
+  let cfg =
+    U.Config.default ~topo:(Net.Topology.three_dcs ()) ~partitions:4 ()
+  in
+  let sys = U.System.create cfg in
+  U.System.preload sys 1 (Crdt.Reg_write 0);
+  ignore
+    (U.System.spawn_client sys ~dc:1 (fun c ->
+         for i = 1 to 10 do
+           let rec attempt n =
+             U.Client.start c ~strong:true;
+             let v = U.Client.read_int c 1 in
+             U.Client.update c 1 (Crdt.Reg_write (v + 1));
+             match U.Client.commit c with
+             | `Committed _ ->
+                 Fmt.pr "[%7d us] strong increment %d committed (value %d)@."
+                   (U.System.now sys) i (v + 1)
+             | `Aborted ->
+                 if n < 20 then begin
+                   Sim.Fiber.sleep 100_000;
+                   attempt (n + 1)
+                 end
+           in
+           attempt 0;
+           Sim.Fiber.sleep 400_000
+         done));
+  Sim.Engine.schedule (U.System.engine sys) ~delay:1_700_000 (fun () ->
+      Fmt.pr "[%7d us] *** leader data center (virginia) fails ***@."
+        (U.System.now sys);
+      U.System.fail_dc sys 0);
+  U.System.run sys ~until:20_000_000;
+  match U.System.check_convergence sys with
+  | [] -> Fmt.pr "surviving data centers converged.@."
+  | errs -> List.iter (Fmt.pr "divergence: %s@.") errs
+
+let run_term =
+  Term.(
+    const run_cmd $ mode_t $ dcs_t $ partitions_t $ clients_t $ duration_t
+    $ strong_t $ update_t $ seed_t $ rubis_t)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "run" ~doc:"Run a workload and report performance.")
+      run_term;
+    Cmd.v
+      (Cmd.info "check" ~doc:"Run a recorded workload and verify PoR consistency.")
+      Term.(const check_cmd $ seed_t);
+    Cmd.v
+      (Cmd.info "failover" ~doc:"Demonstrate strong-transaction liveness across a leader DC failure.")
+      Term.(const failover_cmd $ const ());
+  ]
+
+let () =
+  let info =
+    Cmd.info "unistore" ~version:"1.0"
+      ~doc:"UniStore: fault-tolerant causal + strong consistency (simulated)"
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

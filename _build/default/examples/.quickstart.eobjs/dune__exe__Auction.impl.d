@@ -1,0 +1,1 @@
+examples/auction.ml: Crdt Fmt Net Sim Unistore Workload

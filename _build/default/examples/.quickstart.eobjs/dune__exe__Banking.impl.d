@@ -1,0 +1,1 @@
+examples/banking.ml: Crdt Fmt List Net Sim Unistore

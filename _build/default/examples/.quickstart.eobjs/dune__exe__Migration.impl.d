@@ -1,0 +1,1 @@
+examples/migration.ml: Crdt Fmt List Net Sim Unistore

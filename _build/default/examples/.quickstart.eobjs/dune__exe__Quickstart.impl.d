@@ -1,0 +1,1 @@
+examples/quickstart.ml: Crdt Fmt List Net Sim Unistore Vclock

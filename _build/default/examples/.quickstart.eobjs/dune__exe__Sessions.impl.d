@@ -1,0 +1,1 @@
+examples/sessions.ml: Crdt Fmt List Net Sim Unistore

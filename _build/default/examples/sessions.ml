@@ -1,0 +1,139 @@
+(* Session guarantees under causal consistency (§3: the causal order
+   includes the session order, giving read-your-writes and friends
+   [Terry et al. 63]).
+
+   Four vignettes, one per classic session guarantee, each shaped so the
+   guarantee would break on an eventually-consistent store:
+
+   - read your writes:      a write is visible to the writer immediately;
+   - monotonic reads:       once seen, never unseen;
+   - writes follow reads:   a reply is never visible without the post it
+                            answers;
+   - monotonic writes:      a session's writes apply in session order.
+
+       dune exec examples/sessions.exe *)
+
+module U = Unistore
+module Client = U.Client
+module Fiber = Sim.Fiber
+
+let post = 1
+let reply = 2
+let profile = 3
+
+let () =
+  let cfg =
+    U.Config.default ~topo:(Net.Topology.three_dcs ()) ~partitions:8
+      ~trace_enabled:true ()
+  in
+  let sys = U.System.create cfg in
+  U.System.preload sys post (Crdt.Reg_write 0);
+  U.System.preload sys reply (Crdt.Reg_write 0);
+  U.System.preload sys profile (Crdt.Reg_write 0);
+
+  (* 1. read your writes *)
+  ignore
+    (U.System.spawn_client sys ~dc:0 (fun c ->
+         Client.start c;
+         Client.update c profile (Crdt.Reg_write 7);
+         ignore (Client.commit c);
+         Client.start c;
+         let v = Client.read_int c profile in
+         ignore (Client.commit c);
+         assert (v = 7);
+         Fmt.pr "read-your-writes: immediately read back %d@." v));
+
+  (* 2. monotonic reads: a reader that saw version 2 never sees 1 again,
+     even after migrating to another data center *)
+  ignore
+    (U.System.spawn_client sys ~dc:0 (fun alice ->
+         Fiber.sleep 100_000;
+         Client.start alice;
+         Client.update alice post (Crdt.Reg_write 1);
+         ignore (Client.commit alice);
+         Fiber.sleep 400_000;
+         Client.start alice;
+         Client.update alice post (Crdt.Reg_write 2);
+         ignore (Client.commit alice)));
+  ignore
+    (U.System.spawn_client sys ~dc:1 (fun reader ->
+         (* wait until version 2 is visible in California *)
+         let rec poll () =
+           Client.start reader;
+           let v = Client.read_int reader post in
+           ignore (Client.commit reader);
+           if v < 2 then begin
+             Fiber.sleep 20_000;
+             poll ()
+           end
+         in
+         poll ();
+         (* hop to Frankfurt; the snapshot there must still contain v2 *)
+         Client.migrate reader ~dc:2;
+         Client.start reader;
+         let v = Client.read_int reader post in
+         ignore (Client.commit reader);
+         assert (v >= 2);
+         Fmt.pr "monotonic-reads: still sees version %d after migrating@." v));
+
+  (* 3. writes follow reads: Bob replies only after reading the post;
+     anyone who sees the reply must see the post *)
+  ignore
+    (U.System.spawn_client sys ~dc:1 (fun bob ->
+         let rec poll () =
+           Client.start bob;
+           let v = Client.read_int bob post in
+           ignore (Client.commit bob);
+           if v = 0 then begin
+             Fiber.sleep 20_000;
+             poll ()
+           end
+         in
+         poll ();
+         Client.start bob;
+         Client.update bob reply (Crdt.Reg_write 99);
+         ignore (Client.commit bob)));
+  ignore
+    (U.System.spawn_client sys ~dc:2 (fun observer ->
+         let violations = ref 0 and seen_reply = ref false in
+         for _ = 1 to 300 do
+           Client.start observer;
+           let r = Client.read_int observer reply in
+           let p = Client.read_int observer post in
+           ignore (Client.commit observer);
+           if r = 99 then begin
+             seen_reply := true;
+             if p = 0 then incr violations
+           end;
+           Fiber.sleep 10_000
+         done;
+         assert !seen_reply;
+         assert (!violations = 0);
+         Fmt.pr
+           "writes-follow-reads: the reply never appeared without its post@."));
+
+  (* 4. monotonic writes: a session writes v1 then v2; remotely, v1 can
+     never overwrite v2 *)
+  ignore
+    (U.System.spawn_client sys ~dc:2 (fun watcher ->
+         let last = ref 0 and violations = ref 0 in
+         for _ = 1 to 300 do
+           Client.start watcher;
+           let v = Client.read_int watcher post in
+           ignore (Client.commit watcher);
+           if v < !last then incr violations;
+           last := max !last v;
+           Fiber.sleep 10_000
+         done;
+         assert (!violations = 0);
+         Fmt.pr "monotonic-writes: versions only ever advanced remotely@."));
+
+  U.System.run sys ~until:6_000_000;
+  (match U.System.check_convergence sys with
+  | [] -> Fmt.pr "all data centers converged.@."
+  | errs -> List.iter (Fmt.pr "divergence: %s@.") errs);
+  Fmt.pr "trace summary:@.";
+  List.iter
+    (fun (kind, n) -> Fmt.pr "  %-16s %d@." kind n)
+    (Sim.Trace.summary (U.System.trace sys));
+  Fmt.pr "session-guarantees example done.@."

@@ -1,0 +1,146 @@
+(* Message transport between simulated nodes.
+
+   Models exactly what the paper's system model assumes (§2) plus the
+   resources its evaluation exercises (§8):
+
+   - reliable FIFO channels between any two nodes: per-(src, dst) delivery
+     times are monotone, messages between correct data centers are always
+     delivered;
+   - WAN latency from the deployment topology, plus bounded uniform jitter;
+   - per-node CPU: a node processes one message at a time; each message
+     has a service cost (microseconds) charged to the node, so nodes
+     saturate and queueing delay emerges, which is what shapes the
+     throughput/latency curves of §8;
+   - whole-data-center crash failures: a failed DC neither sends nor
+     receives from the moment of the crash (§2 considers only whole-DC
+     failures).
+
+   The module is parametric in the message type: the protocol layer
+   instantiates it with its own message variant. *)
+
+type addr = int
+
+type 'm node = {
+  addr : addr;
+  dc : int;
+  cost : 'm -> int;
+  handler : 'm -> unit;
+  mutable busy_until : int;
+  mutable processed : int;
+  mutable busy_us : int;
+}
+
+type 'm t = {
+  eng : Sim.Engine.t;
+  topo : Topology.t;
+  rng : Sim.Rng.t;
+  mutable nodes : 'm node array;
+  mutable node_count : int;
+  mutable failed : bool array;
+  fifo : (int * int, int) Hashtbl.t;  (* (src, dst) -> last arrival time *)
+  mutable sent : int;
+  mutable dropped : int;
+}
+
+let create eng topo =
+  {
+    eng;
+    topo;
+    rng = Sim.Rng.split (Sim.Engine.rng eng) ~id:0x4e45;
+    nodes = [||];
+    node_count = 0;
+    failed = Array.make (Topology.dcs topo) false;
+    fifo = Hashtbl.create 1024;
+    sent = 0;
+    dropped = 0;
+  }
+
+let topology t = t.topo
+let engine t = t.eng
+
+let register t ~dc ~cost handler =
+  if dc < 0 || dc >= Topology.dcs t.topo then
+    invalid_arg "Network.register: no such data center";
+  let addr = t.node_count in
+  let node =
+    { addr; dc; cost; handler; busy_until = 0; processed = 0; busy_us = 0 }
+  in
+  if t.node_count = Array.length t.nodes then begin
+    let nodes = Array.make (max 64 (2 * t.node_count)) node in
+    Array.blit t.nodes 0 nodes 0 t.node_count;
+    t.nodes <- nodes
+  end;
+  t.nodes.(t.node_count) <- node;
+  t.node_count <- t.node_count + 1;
+  addr
+
+let node t addr =
+  if addr < 0 || addr >= t.node_count then
+    invalid_arg "Network.node: unknown address";
+  t.nodes.(addr)
+
+let dc_of t addr = (node t addr).dc
+let dc_failed t dc = t.failed.(dc)
+
+let fail_dc t dc =
+  if dc < 0 || dc >= Topology.dcs t.topo then
+    invalid_arg "Network.fail_dc: no such data center";
+  t.failed.(dc) <- true
+
+(* Process a message at its destination node: serialize on the node's CPU
+   and run the handler once the service time has been paid. *)
+let process t dst_node msg =
+  let now = Sim.Engine.now t.eng in
+  let start = max now dst_node.busy_until in
+  let cost = dst_node.cost msg in
+  let finish = start + cost in
+  dst_node.busy_until <- finish;
+  dst_node.busy_us <- dst_node.busy_us + cost;
+  Sim.Engine.schedule_at t.eng ~time:finish (fun () ->
+      if not t.failed.(dst_node.dc) then begin
+        dst_node.processed <- dst_node.processed + 1;
+        dst_node.handler msg
+      end)
+
+let send t ~src ~dst msg =
+  let src_node = node t src and dst_node = node t dst in
+  if t.failed.(src_node.dc) || t.failed.(dst_node.dc) then
+    t.dropped <- t.dropped + 1
+  else begin
+    t.sent <- t.sent + 1;
+    let now = Sim.Engine.now t.eng in
+    let base = Topology.one_way t.topo ~src:src_node.dc ~dst:dst_node.dc in
+    let jitter =
+      let j = Topology.jitter_us t.topo in
+      if j = 0 then 0 else Sim.Rng.int t.rng (j + 1)
+    in
+    let arrival = now + base + jitter in
+    (* FIFO per channel: never deliver before an earlier send's arrival. *)
+    let key = (src, dst) in
+    let arrival =
+      match Hashtbl.find_opt t.fifo key with
+      | Some last when arrival <= last -> last + 1
+      | _ -> arrival
+    in
+    Hashtbl.replace t.fifo key arrival;
+    Sim.Engine.schedule_at t.eng ~time:arrival (fun () ->
+        if t.failed.(dst_node.dc) then t.dropped <- t.dropped + 1
+        else process t dst_node msg)
+  end
+
+(* Deliver a message a node sends to itself: no network hop, but the
+   service cost is still charged (the CPU does the work). *)
+let send_self t ~node:addr msg =
+  let n = node t addr in
+  if not t.failed.(n.dc) then process t n msg
+
+let messages_sent t = t.sent
+let messages_dropped t = t.dropped
+let node_processed t addr = (node t addr).processed
+let node_busy_us t addr = (node t addr).busy_us
+
+(* Fraction of the interval [0, now] the node's CPU spent processing. *)
+let node_utilization t addr =
+  let now = Sim.Engine.now t.eng in
+  if now = 0 then 0.0
+  else float_of_int (node t addr).busy_us /. float_of_int now

@@ -1,0 +1,42 @@
+(** Message transport between simulated nodes: reliable FIFO channels with
+    WAN latency and jitter, per-node CPU (service-time) modelling, and
+    whole-data-center crash failures — the system model of UniStore §2.
+
+    Parametric in the message type. *)
+
+type addr = int
+
+type 'm t
+
+val create : Sim.Engine.t -> Topology.t -> 'm t
+val topology : 'm t -> Topology.t
+val engine : 'm t -> Sim.Engine.t
+
+(** [register t ~dc ~cost handler] adds a node in data center [dc].
+    [cost msg] is the CPU microseconds charged to the node per message;
+    [handler] runs after the service time has been paid, unless the DC has
+    failed by then. *)
+val register : 'm t -> dc:int -> cost:('m -> int) -> ('m -> unit) -> addr
+
+val dc_of : 'm t -> addr -> int
+val dc_failed : 'm t -> int -> bool
+
+(** Crash a whole data center: from now on its nodes neither send nor
+    receive, and in-flight messages to it are dropped. *)
+val fail_dc : 'm t -> int -> unit
+
+(** Send a message. Per-(src,dst) delivery order is FIFO; latency is the
+    topology's one-way delay plus jitter; processing at the destination is
+    serialized on its CPU. Silently dropped if either end's DC failed. *)
+val send : 'm t -> src:addr -> dst:addr -> 'm -> unit
+
+(** Local delivery to self: no network hop, service cost still charged. *)
+val send_self : 'm t -> node:addr -> 'm -> unit
+
+val messages_sent : 'm t -> int
+val messages_dropped : 'm t -> int
+val node_processed : 'm t -> addr -> int
+val node_busy_us : 'm t -> addr -> int
+
+(** Fraction of elapsed simulated time the node's CPU was busy. *)
+val node_utilization : 'm t -> addr -> float

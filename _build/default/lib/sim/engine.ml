@@ -1,0 +1,72 @@
+(* Discrete-event simulation engine.
+
+   Simulated time is [int] microseconds. The run loop pops the earliest
+   event and executes its thunk; thunks schedule further events. Ties on
+   time break on scheduling order, so runs are fully deterministic. *)
+
+type t = {
+  queue : (unit -> unit) Heap.t;
+  mutable now : int;
+  mutable seq : int;
+  mutable stopped : bool;
+  rng : Rng.t;
+  mutable executed : int;
+}
+
+let create ?(seed = 42) () =
+  {
+    queue = Heap.create (fun () -> ());
+    now = 0;
+    seq = 0;
+    stopped = false;
+    rng = Rng.create seed;
+    executed = 0;
+  }
+
+let now t = t.now
+let rng t = t.rng
+let executed_events t = t.executed
+let pending_events t = Heap.size t.queue
+
+let schedule_at t ~time f =
+  let time = if time < t.now then t.now else time in
+  t.seq <- t.seq + 1;
+  Heap.push t.queue ~time ~seq:t.seq f
+
+let schedule t ~delay f =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.now + delay) f
+
+let stop t = t.stopped <- true
+
+let run ?until t =
+  t.stopped <- false;
+  let limit = match until with None -> max_int | Some u -> u in
+  let rec loop () =
+    if t.stopped then ()
+    else
+      match Heap.pop t.queue with
+      | None -> ()
+      | Some { time; value = f; _ } ->
+          if time > limit then begin
+            (* Leave the clock at the limit; the event is lost, which is
+               fine because [run ~until] is only used to end experiments. *)
+            t.now <- limit
+          end
+          else begin
+            t.now <- time;
+            t.executed <- t.executed + 1;
+            f ();
+            loop ()
+          end
+  in
+  loop ()
+
+(* Periodic task: reschedules itself every [period] while [f] returns
+   [true]. [phase] offsets the first firing, which the network layer uses
+   to avoid lock-step broadcasts across replicas. *)
+let every t ~period ?phase f =
+  if period <= 0 then invalid_arg "Engine.every: period must be positive";
+  let phase = match phase with Some p -> p | None -> period in
+  let rec tick () = if f () then schedule t ~delay:period tick in
+  schedule t ~delay:phase tick

@@ -1,0 +1,35 @@
+(** Deterministic discrete-event simulation engine.
+
+    Simulated time is [int] microseconds starting at 0. Events scheduled
+    for the same instant fire in scheduling order. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+
+(** Current simulated time in microseconds. *)
+val now : t -> int
+
+(** The engine's root RNG; derive per-component streams with
+    {!Rng.split}. *)
+val rng : t -> Rng.t
+
+val executed_events : t -> int
+val pending_events : t -> int
+
+(** Schedule a thunk [delay] microseconds from now. *)
+val schedule : t -> delay:int -> (unit -> unit) -> unit
+
+(** Schedule a thunk at an absolute time (clamped to now if in the past). *)
+val schedule_at : t -> time:int -> (unit -> unit) -> unit
+
+(** Stop the run loop after the current event. *)
+val stop : t -> unit
+
+(** Execute events until the queue drains, [stop] is called, or the next
+    event is past [until]. *)
+val run : ?until:int -> t -> unit
+
+(** [every t ~period ?phase f] runs [f] every [period] microseconds
+    (first run after [phase]) for as long as [f] returns [true]. *)
+val every : t -> period:int -> ?phase:int -> (unit -> bool) -> unit

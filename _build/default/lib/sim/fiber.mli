@@ -1,0 +1,37 @@
+(** Cooperative fibers over the simulation engine (OCaml 5 effects).
+
+    Fibers let workload code block in direct style on simulated events:
+    a fiber performing {!await} or {!sleep} suspends, the engine keeps
+    running other events, and the fiber resumes when the ivar is filled
+    or the delay elapses. *)
+
+module Ivar : sig
+  (** Single-assignment cell. *)
+  type 'a t
+
+  val create : unit -> 'a t
+
+  (** Fill the cell and wake all waiters (as fresh engine events at the
+      current simulated instant). Raises if already filled. *)
+  val fill : Engine.t -> 'a t -> 'a -> unit
+
+  val is_filled : 'a t -> bool
+  val peek : 'a t -> 'a option
+
+  (** [upon eng iv k] runs [k v] once [iv] holds [v] (immediately, as an
+      event, if already filled). *)
+  val upon : Engine.t -> 'a t -> ('a -> unit) -> unit
+end
+
+(** Block the current fiber until the ivar is filled. Must be called from
+    inside a fiber. *)
+val await : 'a Ivar.t -> 'a
+
+(** Suspend the current fiber for the given simulated microseconds. *)
+val sleep : int -> unit
+
+(** Start a fiber. The body may use {!await} and {!sleep}. *)
+val spawn : Engine.t -> (unit -> unit) -> unit
+
+(** Await every ivar in the list, returning values in list order. *)
+val await_all : 'a Ivar.t list -> 'a list

@@ -1,0 +1,76 @@
+(* Binary min-heap specialised for the event queue: entries are keyed by
+   (time, seq) so that events scheduled for the same instant fire in
+   insertion order, which keeps simulations deterministic. *)
+
+type 'a entry = { time : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  dummy : 'a entry;
+}
+
+let create dummy_value =
+  let dummy = { time = 0; seq = 0; value = dummy_value } in
+  { data = Array.make 64 dummy; size = 0; dummy }
+
+let size h = h.size
+let is_empty h = h.size = 0
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h =
+  let data = Array.make (2 * Array.length h.data) h.dummy in
+  Array.blit h.data 0 data 0 h.size;
+  h.data <- data
+
+let push h ~time ~seq value =
+  if h.size = Array.length h.data then grow h;
+  let e = { time; seq; value } in
+  h.data.(h.size) <- e;
+  h.size <- h.size + 1;
+  (* sift up *)
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if less h.data.(i) h.data.(parent) then begin
+        let tmp = h.data.(i) in
+        h.data.(i) <- h.data.(parent);
+        h.data.(parent) <- tmp;
+        up parent
+      end
+    end
+  in
+  up (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some h.data.(0)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    h.data.(h.size) <- h.dummy;
+    (* sift down *)
+    let rec down i =
+      let l = (2 * i) + 1 and r = (2 * i) + 2 in
+      let smallest = ref i in
+      if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
+      if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
+      if !smallest <> i then begin
+        let tmp = h.data.(i) in
+        h.data.(i) <- h.data.(!smallest);
+        h.data.(!smallest) <- tmp;
+        down !smallest
+      end
+    in
+    down 0;
+    Some top
+  end
+
+let clear h =
+  for i = 0 to h.size - 1 do
+    h.data.(i) <- h.dummy
+  done;
+  h.size <- 0

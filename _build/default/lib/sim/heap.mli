@@ -1,0 +1,26 @@
+(** Binary min-heap keyed by [(time, seq)].
+
+    Used as the simulator event queue. Ties on [time] break on [seq]
+    (insertion order), which makes runs deterministic. *)
+
+type 'a entry = { time : int; seq : int; value : 'a }
+
+type 'a t
+
+(** [create dummy] makes an empty heap. [dummy] is only used to fill unused
+    array slots and is never returned. *)
+val create : 'a -> 'a t
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push h ~time ~seq v] inserts [v] with key [(time, seq)]. *)
+val push : 'a t -> time:int -> seq:int -> 'a -> unit
+
+(** Smallest entry, without removing it. *)
+val peek : 'a t -> 'a entry option
+
+(** Remove and return the smallest entry. *)
+val pop : 'a t -> 'a entry option
+
+val clear : 'a t -> unit

@@ -1,0 +1,33 @@
+(** Deterministic splittable PRNG (splitmix64).
+
+    All randomness in the simulator flows through this module so that a
+    given seed reproduces an identical run, event for event. *)
+
+type t
+
+val create : int -> t
+
+(** [split t ~id] derives an independent stream; streams with distinct
+    [id]s drawn from the same parent are independent. *)
+val split : t -> id:int -> t
+
+val next_int64 : t -> int64
+
+(** Uniform in [\[0, bound)]. Raises [Invalid_argument] if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform in [\[0, bound)]. *)
+val float : t -> float -> float
+
+val bool : t -> bool
+
+(** Exponentially distributed sample with the given mean (for Poisson
+    arrival processes). *)
+val exponential : t -> mean:float -> float
+
+val pick : t -> 'a array -> 'a
+
+(** Index sampled proportionally to the given non-negative weights. *)
+val weighted : t -> float array -> int
+
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,109 @@
+(* Measurement helpers for the experiment harness: latency samples with
+   percentiles, CDFs, and windowed throughput counters.
+
+   Samples are stored raw (int microseconds); evaluation runs are short
+   enough that memory is not a concern and raw storage gives exact
+   percentiles, unlike bucketed histograms. *)
+
+type sample_set = {
+  mutable data : int array;
+  mutable len : int;
+  mutable sorted : bool;
+}
+
+let create_samples () = { data = Array.make 1024 0; len = 0; sorted = true }
+
+let add s v =
+  if s.len = Array.length s.data then begin
+    let data = Array.make (2 * s.len) 0 in
+    Array.blit s.data 0 data 0 s.len;
+    s.data <- data
+  end;
+  s.data.(s.len) <- v;
+  s.len <- s.len + 1;
+  s.sorted <- false
+
+let count s = s.len
+
+let ensure_sorted s =
+  if not s.sorted then begin
+    let sub = Array.sub s.data 0 s.len in
+    Array.sort compare sub;
+    Array.blit sub 0 s.data 0 s.len;
+    s.sorted <- true
+  end
+
+let percentile s p =
+  if s.len = 0 then invalid_arg "Stats.percentile: empty sample set";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  ensure_sorted s;
+  let rank = p /. 100.0 *. float_of_int (s.len - 1) in
+  let lo = int_of_float rank in
+  let hi = if lo + 1 < s.len then lo + 1 else lo in
+  let frac = rank -. float_of_int lo in
+  let a = float_of_int s.data.(lo) and b = float_of_int s.data.(hi) in
+  a +. (frac *. (b -. a))
+
+let median s = percentile s 50.0
+
+let mean s =
+  if s.len = 0 then invalid_arg "Stats.mean: empty sample set";
+  let sum = ref 0.0 in
+  for i = 0 to s.len - 1 do
+    sum := !sum +. float_of_int s.data.(i)
+  done;
+  !sum /. float_of_int s.len
+
+let min_value s =
+  if s.len = 0 then invalid_arg "Stats.min_value: empty sample set";
+  ensure_sorted s;
+  s.data.(0)
+
+let max_value s =
+  if s.len = 0 then invalid_arg "Stats.max_value: empty sample set";
+  ensure_sorted s;
+  s.data.(s.len - 1)
+
+(* Points of the empirical CDF at the given number of steps, as
+   (value, cumulative fraction) pairs. *)
+let cdf s ~points =
+  if s.len = 0 then []
+  else begin
+    ensure_sorted s;
+    let pts = max points 2 in
+    List.init pts (fun i ->
+        let frac = float_of_int i /. float_of_int (pts - 1) in
+        let idx =
+          int_of_float (frac *. float_of_int (s.len - 1) +. 0.5)
+        in
+        (s.data.(idx), frac))
+  end
+
+let to_list s =
+  ensure_sorted s;
+  Array.to_list (Array.sub s.data 0 s.len)
+
+(* A plain event counter restricted to a measurement window; used for
+   throughput (committed transactions per second of simulated time). *)
+type counter = {
+  mutable events : int;
+  mutable window_start : int;
+  mutable window_end : int;
+}
+
+let create_counter ~window_start ~window_end =
+  if window_end <= window_start then
+    invalid_arg "Stats.create_counter: empty window";
+  { events = 0; window_start; window_end }
+
+let in_window c ~now = now >= c.window_start && now < c.window_end
+
+let incr_counter c ~now =
+  if in_window c ~now then c.events <- c.events + 1
+
+let counter_events c = c.events
+
+(* Events per second of simulated time. *)
+let throughput c =
+  let span_us = c.window_end - c.window_start in
+  float_of_int c.events /. (float_of_int span_us /. 1_000_000.0)

@@ -1,0 +1,35 @@
+(** Measurement helpers: raw latency sample sets with exact percentiles and
+    CDFs, plus windowed throughput counters. *)
+
+type sample_set
+
+val create_samples : unit -> sample_set
+val add : sample_set -> int -> unit
+val count : sample_set -> int
+
+(** Exact percentile by linear interpolation; [p] in [\[0, 100\]].
+    Raises on an empty set. *)
+val percentile : sample_set -> float -> float
+
+val median : sample_set -> float
+val mean : sample_set -> float
+val min_value : sample_set -> int
+val max_value : sample_set -> int
+
+(** [(value, fraction)] points of the empirical CDF. *)
+val cdf : sample_set -> points:int -> (int * float) list
+
+val to_list : sample_set -> int list
+
+type counter
+
+(** Counter that only counts events falling inside
+    [\[window_start, window_end)] (simulated microseconds). *)
+val create_counter : window_start:int -> window_end:int -> counter
+
+val in_window : counter -> now:int -> bool
+val incr_counter : counter -> now:int -> unit
+val counter_events : counter -> int
+
+(** Events per simulated second over the window. *)
+val throughput : counter -> float

@@ -1,0 +1,10 @@
+(** Zipfian distribution over [{0, ..., n-1}] (YCSB-style inversion).
+
+    [theta = 0] is uniform; larger [theta] (< 1) skews towards low
+    indices. Used by the microbenchmark workloads to create contention. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+val sample : t -> Rng.t -> int
+val size : t -> int

@@ -1,0 +1,1 @@
+lib/store/keyspace.ml: Fmt

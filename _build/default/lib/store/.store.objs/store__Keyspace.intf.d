@@ -1,0 +1,1 @@
+lib/store/keyspace.mli: Fmt

@@ -1,0 +1,1 @@
+lib/store/oplog.ml: Crdt Hashtbl Keyspace List Vclock

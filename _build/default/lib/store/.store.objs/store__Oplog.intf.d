@@ -1,0 +1,1 @@
+lib/store/oplog.mli: Crdt Keyspace Vclock

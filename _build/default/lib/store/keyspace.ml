@@ -1,0 +1,42 @@
+(* Partitioned key space (§2): keys are integers, split into N logical
+   partitions; each data center replicates all partitions across its
+   machines. The modulo placement matches what the workloads need — the
+   contention experiment of §8.2 must be able to aim transactions at one
+   designated partition. *)
+
+type key = int
+
+let partition ~partitions key =
+  if partitions <= 0 then invalid_arg "Keyspace.partition: no partitions";
+  let p = key mod partitions in
+  if p < 0 then p + partitions else p
+
+(* A key placed on the given partition: the k-th key of partition [p]. *)
+let key_on ~partitions ~p k =
+  if p < 0 || p >= partitions then invalid_arg "Keyspace.key_on: bad partition";
+  (k * partitions) + p
+
+(* Namespaced keys for multi-table applications (RUBiS): a table id and a
+   row id packed into one integer key, with room for a per-row field.
+   The row occupies the LOW bits: partitioning is modulo the key, so row
+   identity must drive placement — packing table/field low would send
+   every field-0 key of every table to the same partition. *)
+let row_bits = 40
+let table_bits = 4
+let field_bits = 4
+let max_tables = 1 lsl table_bits
+let max_fields = 1 lsl field_bits
+let max_row = 1 lsl row_bits
+
+let make ~table ~field ~row =
+  if table < 0 || table >= max_tables then invalid_arg "Keyspace.make: table";
+  if field < 0 || field >= max_fields then invalid_arg "Keyspace.make: field";
+  if row < 0 || row >= max_row then invalid_arg "Keyspace.make: row";
+  row lor (field lsl row_bits) lor (table lsl (row_bits + field_bits))
+
+let row_of key = key land (max_row - 1)
+let field_of key = (key lsr row_bits) land (max_fields - 1)
+let table_of key = (key lsr (row_bits + field_bits)) land (max_tables - 1)
+
+let pp ppf key =
+  Fmt.pf ppf "k%d(t%d.f%d.r%d)" key (table_of key) (field_of key) (row_of key)

@@ -1,0 +1,24 @@
+(** Partitioned key space (§2): integer keys split into logical
+    partitions, plus packed (table, field, row) keys for multi-table
+    applications such as RUBiS. *)
+
+type key = int
+
+(** Partition hosting [key] (modulo placement). *)
+val partition : partitions:int -> key -> int
+
+(** The [k]-th key guaranteed to live on partition [p]. *)
+val key_on : partitions:int -> p:int -> int -> key
+
+val max_tables : int
+val max_fields : int
+val max_row : int
+
+(** Pack a (table, field, row) triple into a key. The row occupies the
+    low bits so modulo partitioning spreads rows, not fields. *)
+val make : table:int -> field:int -> row:int -> key
+
+val table_of : key -> int
+val field_of : key -> int
+val row_of : key -> int
+val pp : key Fmt.t

@@ -1,0 +1,86 @@
+(* Per-key operation logs (opLog in the pseudocode, §5.1).
+
+   Each replica keeps, for every key it stores, the log of update
+   operations performed on the key, tagged with the commit vector of the
+   transaction that performed each one. Reads materialise the version of
+   a key within a causally consistent snapshot: the state obtained by
+   applying exactly the logged operations whose commit vector is below
+   the snapshot vector.
+
+   Entries are kept sorted by descending CRDT tag (Lamport clock order).
+   For LWW registers — the type the paper's proof specialises to (§A) —
+   this makes a snapshot read O(distance from the newest version), since
+   the first in-snapshot entry is the last writer. *)
+
+type entry = { op : Crdt.op; vec : Vclock.Vc.t; tag : Crdt.tag }
+
+type t = {
+  table : (Keyspace.key, entry list ref) Hashtbl.t;
+  mutable appended : int;
+}
+
+let create () = { table = Hashtbl.create 1024; appended = 0 }
+
+let append t key ~op ~vec ~tag =
+  t.appended <- t.appended + 1;
+  let e = { op; vec; tag } in
+  match Hashtbl.find_opt t.table key with
+  | None -> Hashtbl.replace t.table key (ref [ e ])
+  | Some entries ->
+      (* Common case: the new entry has the highest tag and goes first. *)
+      let rec insert = function
+        | [] -> [ e ]
+        | e0 :: _ as rest when Crdt.tag_compare e.tag e0.tag >= 0 -> e :: rest
+        | e0 :: rest -> e0 :: insert rest
+      in
+      entries := insert !entries
+
+let entries t key =
+  match Hashtbl.find_opt t.table key with None -> [] | Some l -> !l
+
+let version_count t key = List.length (entries t key)
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.table []
+let appended t = t.appended
+
+(* Materialise [key] within [snap]: value plus the highest Lamport clock
+   among contributing operations (returned to the client to advance its
+   Lamport clock, Algorithm A3 line 5). *)
+let read t key ~snap =
+  let rec scan state max_lc = function
+    | [] -> (state, max_lc)
+    | e :: rest ->
+        if Vclock.Vc.leq e.vec snap then begin
+          let max_lc = max max_lc e.tag.Crdt.lc in
+          match e.op with
+          | Crdt.Reg_write _ when state == Crdt.empty ->
+              (* Entries are in descending tag order, so for a register
+                 the first in-snapshot entry is the last writer. *)
+              (Crdt.apply state e.op ~tag:e.tag ~vec:e.vec, max_lc)
+          | _ ->
+              scan (Crdt.apply state e.op ~tag:e.tag ~vec:e.vec) max_lc rest
+        end
+        else scan state max_lc rest
+  in
+  let state, max_lc = scan Crdt.empty (-1) (entries t key) in
+  let lc = if max_lc < 0 then None else Some max_lc in
+  (Crdt.read state, lc)
+
+(* Drop entries dominated by [horizon] for keys whose newest entry already
+   lies below it, folding them into nothing for registers (the newest one
+   is kept as the base). Only sound when no future snapshot can exclude
+   [horizon]; the replica passes a sufficiently old uniform vector. *)
+let compact t ~horizon =
+  let compact_key _ entries =
+    match !entries with
+    | [] -> ()
+    | newest :: _ ->
+        if Vclock.Vc.leq newest.vec horizon then
+          (* Everything below the horizon collapses; keep the full list
+             only for non-register types whose value is a fold. *)
+          match newest.op with
+          | Crdt.Reg_write _ -> entries := [ newest ]
+          | Crdt.Ctr_add _ | Crdt.Set_add _ | Crdt.Set_remove _
+          | Crdt.Mv_write _ ->
+              ()
+  in
+  Hashtbl.iter compact_key t.table

@@ -1,0 +1,30 @@
+(** Per-key operation logs with snapshot reads (opLog of §5.1).
+
+    Each entry records an update operation together with the commit
+    vector of its transaction and its CRDT tag; a read materialises the
+    key's state within a snapshot vector. *)
+
+type entry = { op : Crdt.op; vec : Vclock.Vc.t; tag : Crdt.tag }
+
+type t
+
+val create : unit -> t
+val append : t -> Keyspace.key -> op:Crdt.op -> vec:Vclock.Vc.t -> tag:Crdt.tag -> unit
+
+(** Entries for a key, newest (highest tag) first. *)
+val entries : t -> Keyspace.key -> entry list
+
+val version_count : t -> Keyspace.key -> int
+val keys : t -> Keyspace.key list
+
+(** Total number of appends over the log's lifetime. *)
+val appended : t -> int
+
+(** [read t key ~snap] returns the key's value within the snapshot and
+    the highest Lamport clock among contributing operations (None when
+    the key has no visible version). *)
+val read : t -> Keyspace.key -> snap:Vclock.Vc.t -> Crdt.value * int option
+
+(** Collapse history below a horizon vector that every future snapshot is
+    guaranteed to include (register keys keep only their last writer). *)
+val compact : t -> horizon:Vclock.Vc.t -> unit

@@ -1,0 +1,1 @@
+lib/unistore/abstract_exec.ml: Array Config Crdt Fmt Fun Hashtbl History List Types Vclock

@@ -1,0 +1,1 @@
+lib/unistore/abstract_exec.mli: Config Fmt History Types

@@ -1,0 +1,1 @@
+lib/unistore/cert.ml: Hashtbl List Msg Store Types Vclock

@@ -1,0 +1,1 @@
+lib/unistore/cert.mli: Msg Types Vclock

@@ -1,0 +1,1 @@
+lib/unistore/checker.ml: Array Config Crdt Fmt Hashtbl History List Types Vclock

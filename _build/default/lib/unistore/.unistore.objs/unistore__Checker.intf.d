@@ -1,0 +1,1 @@
+lib/unistore/checker.mli: Config Crdt Fmt History Types Vclock

@@ -1,0 +1,1 @@
+lib/unistore/client.ml: Array Config Crdt Hashtbl History List Msg Net Sim Store Types Vclock

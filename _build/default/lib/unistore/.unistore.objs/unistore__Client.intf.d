@@ -1,0 +1,1 @@
+lib/unistore/client.mli: Config Crdt History Msg Net Sim Store Vclock

@@ -1,0 +1,1 @@
+lib/unistore/config.ml: List Net Types

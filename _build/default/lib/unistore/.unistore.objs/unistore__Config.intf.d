@@ -1,0 +1,1 @@
+lib/unistore/config.mli: Net Types

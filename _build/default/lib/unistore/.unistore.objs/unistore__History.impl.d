@@ -1,0 +1,1 @@
+lib/unistore/history.ml: Crdt Hashtbl List Sim Store Types Vclock

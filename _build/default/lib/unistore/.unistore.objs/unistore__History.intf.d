@@ -1,0 +1,1 @@
+lib/unistore/history.mli: Crdt Sim Store Types Vclock

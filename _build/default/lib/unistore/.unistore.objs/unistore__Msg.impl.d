@@ -1,0 +1,1 @@
+lib/unistore/msg.ml: Config Crdt List Store Types Vclock

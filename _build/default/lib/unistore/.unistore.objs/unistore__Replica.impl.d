@@ -1,0 +1,1 @@
+lib/unistore/replica.ml: Array Cert Config Crdt Fmt Hashtbl History List Logs Msg Net Sim Store Types Vclock

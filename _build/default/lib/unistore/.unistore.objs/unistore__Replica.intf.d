@@ -1,0 +1,1 @@
+lib/unistore/replica.mli: Cert Config History Msg Net Sim Store Types Vclock

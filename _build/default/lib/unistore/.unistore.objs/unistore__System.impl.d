@@ -1,0 +1,1 @@
+lib/unistore/system.ml: Array Cert Client Config Crdt Fmt Fun History List Msg Net Replica Sim Store Types Vclock

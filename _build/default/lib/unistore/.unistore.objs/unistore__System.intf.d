@@ -1,0 +1,1 @@
+lib/unistore/system.mli: Cert Client Config Crdt History Msg Net Replica Sim Store Types Vclock

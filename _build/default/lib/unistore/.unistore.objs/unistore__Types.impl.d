@@ -1,0 +1,1 @@
+lib/unistore/types.ml: Crdt Fmt List Store Vclock

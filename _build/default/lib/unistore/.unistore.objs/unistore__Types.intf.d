@@ -1,0 +1,1 @@
+lib/unistore/types.mli: Crdt Fmt Store Vclock

@@ -1,0 +1,253 @@
+(* Abstract executions and the declarative PoR specification (§B).
+
+   The paper specifies PoR consistency over *abstract executions*: a
+   history of committed transactions extended with a visibility relation
+   (a partial order) and an arbitration relation (a total order) that
+   must satisfy four axioms — RVal, CausalConsistency, ConflictOrdering
+   and (as a liveness property) EventualVisibility.
+
+   [Checker] verifies concrete runs through the implementation's vector
+   metadata. This module instead *constructs* the abstract execution the
+   paper's proof builds (§D.8, §D.10): visibility from timestamps
+   (Definition 57: t1 → t2 iff ts(t1) ≤ ts(st(t2)) and t1 precedes t2 in
+   the Lamport-clock order) and arbitration as the Lamport-clock order
+   (Definition 66) — and then checks the §B axioms against those
+   relations directly. Agreement between the two checkers is itself a
+   property test.
+
+   Relations are materialised as boolean matrices over the (small)
+   recorded history, so this checker is meant for test-sized runs. *)
+
+module Vc = Vclock.Vc
+
+type txn = History.txn_record
+
+type t = {
+  txns : txn array;
+  (* vis.(i).(j) = transaction i is visible to transaction j *)
+  vis : bool array array;
+  (* total order position in the arbitration relation *)
+  ar_rank : int array;
+  preloads : Types.write list;
+}
+
+(* Lamport-clock order: (lc, client id) lexicographically (Definition
+   54; client ids break ties). *)
+let lc_order (a : txn) (b : txn) =
+  match compare a.History.h_lc b.History.h_lc with
+  | 0 -> compare a.History.h_client b.History.h_client
+  | c -> c
+
+(* Build the abstract execution of §D from a recorded history. *)
+let build ?(preloads = []) txns =
+  let txns = Array.of_list txns in
+  let n = Array.length txns in
+  let vis = Array.make_matrix n n false in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let ti = txns.(i) and tj = txns.(j) in
+        (* Definition 57: ts(ti) <= ts(st(tj)) ∧ ti -lc-> tj.
+           ts(ti) is the commit vector; ts(st(tj)) the snapshot vector. *)
+        vis.(i).(j) <-
+          Vc.leq ti.History.h_vec tj.History.h_snap && lc_order ti tj < 0
+      end
+    done
+  done;
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> lc_order txns.(a) txns.(b)) order;
+  let ar_rank = Array.make n 0 in
+  Array.iteri (fun pos idx -> ar_rank.(idx) <- pos) order;
+  { txns; vis; ar_rank; preloads }
+
+let size t = Array.length t.txns
+let visible t ~from ~to_ = t.vis.(from).(to_)
+let arbitration_rank t i = t.ar_rank.(i)
+
+(* ------------------------------------------------------------------ *)
+(* Axiom checks (§B.5).                                                 *)
+
+(* CausalVisibility: (so ∪ vis)+ ⊆ vis — with vis built from vector
+   comparisons this amounts to: vis is transitive and contains the
+   session order. *)
+let check_causal_visibility t errors =
+  let n = size t in
+  (* session order ⊆ vis *)
+  let last_of_client = Hashtbl.create 16 in
+  for j = 0 to n - 1 do
+    let c = t.txns.(j).History.h_client in
+    (match Hashtbl.find_opt last_of_client c with
+    | Some i ->
+        if not t.vis.(i).(j) then
+          errors :=
+            Fmt.str "session order not in visibility: %a before %a"
+              Types.tid_pp t.txns.(i).History.h_tid Types.tid_pp
+              t.txns.(j).History.h_tid
+            :: !errors
+    | None -> ());
+    Hashtbl.replace last_of_client c j
+  done;
+  (* transitivity *)
+  (try
+     for i = 0 to n - 1 do
+       for j = 0 to n - 1 do
+         if t.vis.(i).(j) then
+           for k = 0 to n - 1 do
+             if t.vis.(j).(k) && not t.vis.(i).(k) then begin
+               errors :=
+                 Fmt.str "visibility not transitive: %a -> %a -> %a"
+                   Types.tid_pp t.txns.(i).History.h_tid Types.tid_pp
+                   t.txns.(j).History.h_tid Types.tid_pp
+                   t.txns.(k).History.h_tid
+                 :: !errors;
+               raise Exit
+             end
+           done
+       done
+     done
+   with Exit -> ())
+
+(* CausalArbitration: vis ⊆ ar. *)
+let check_causal_arbitration t errors =
+  let n = size t in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if t.vis.(i).(j) && t.ar_rank.(i) >= t.ar_rank.(j) then
+        errors :=
+          Fmt.str "visibility disagrees with arbitration: %a vs %a"
+            Types.tid_pp t.txns.(i).History.h_tid Types.tid_pp
+            t.txns.(j).History.h_tid
+          :: !errors
+    done
+  done
+
+(* ConflictOrdering (Definition 7): conflicting committed strong
+   transactions are related by visibility one way or the other. *)
+let check_conflict_ordering cfg t errors =
+  let n = size t in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let ti = t.txns.(i) and tj = t.txns.(j) in
+      if
+        ti.History.h_strong && tj.History.h_strong
+        && Config.txs_conflict cfg.Config.conflict ti.History.h_ops
+             tj.History.h_ops
+        && (not t.vis.(i).(j))
+        && not t.vis.(j).(i)
+      then
+        errors :=
+          Fmt.str "conflict ordering: %a and %a unrelated by visibility"
+            Types.tid_pp ti.History.h_tid Types.tid_pp tj.History.h_tid
+          :: !errors
+    done
+  done
+
+(* EXTRVAL (Definition 4) for LWW registers and counters: an external
+   read in t returns the fold, in arbitration order, of the visible
+   transactions' last writes to the key (CRDT apply makes the fold
+   order-insensitive given tags, so we fold over the visible set). *)
+let check_rval t errors =
+  let n = size t in
+  let reads_checked = ref 0 in
+  for j = 0 to n - 1 do
+    let tj = t.txns.(j) in
+    (* own earlier writes, replayed in program order *)
+    let own = Hashtbl.create 4 in
+    let reads = ref tj.History.h_reads and writes = ref tj.History.h_writes in
+    List.iter
+      (fun (o : Types.opdesc) ->
+        if o.write then (
+          match !writes with
+          | w :: rest ->
+              writes := rest;
+              let cur =
+                match Hashtbl.find_opt own w.Types.wkey with
+                | Some l -> l
+                | None -> []
+              in
+              Hashtbl.replace own w.Types.wkey (w.Types.wop :: cur)
+          | [] -> ())
+        else
+          match !reads with
+          | (key, value) :: rest -> (
+              reads := rest;
+              incr reads_checked;
+              (* fold the visible transactions' writes to [key] *)
+              let state = ref Crdt.empty in
+              List.iter
+                (fun (w : Types.write) ->
+                  if w.wkey = key then
+                    state :=
+                      Crdt.apply !state w.wop
+                        ~tag:{ Crdt.lc = 0; origin = -1 }
+                        ~vec:(Vc.create ~dcs:(Vc.dcs tj.History.h_snap)))
+                t.preloads;
+              for i = 0 to n - 1 do
+                if t.vis.(i).(j) then begin
+                  let ti = t.txns.(i) in
+                  let tag =
+                    { Crdt.lc = ti.History.h_lc; origin = ti.History.h_client }
+                  in
+                  List.iter
+                    (fun (w : Types.write) ->
+                      if w.wkey = key then
+                        state :=
+                          Crdt.apply !state w.wop ~tag ~vec:ti.History.h_vec)
+                    ti.History.h_writes
+                end
+              done;
+              let base = Crdt.read !state in
+              let expected =
+                List.fold_left Crdt.apply_to_value base
+                  (List.rev
+                     (match Hashtbl.find_opt own key with
+                     | Some l -> l
+                     | None -> []))
+              in
+              match (value, expected) with
+              | v, e when v = e -> ()
+              | _ ->
+                  errors :=
+                    Fmt.str
+                      "RVal: %a read key %d as %a but its visible set \
+                       determines %a"
+                      Types.tid_pp tj.History.h_tid key Crdt.value_pp value
+                      Crdt.value_pp expected
+                    :: !errors)
+          | [] -> ())
+      tj.History.h_ops
+  done;
+  !reads_checked
+
+type result = {
+  violations : string list;
+  transactions : int;
+  reads_checked : int;
+}
+
+let ok r = r.violations = []
+
+(* Check the §B axioms over the abstract execution constructed from the
+   history. *)
+let check ?preloads cfg txns =
+  let t = build ?preloads txns in
+  let errors = ref [] in
+  check_causal_visibility t errors;
+  check_causal_arbitration t errors;
+  check_conflict_ordering cfg t errors;
+  let reads_checked = check_rval t errors in
+  {
+    violations = List.rev !errors;
+    transactions = size t;
+    reads_checked;
+  }
+
+let pp_result ppf r =
+  if ok r then
+    Fmt.pf ppf
+      "abstract execution satisfies PoR: %d transactions, %d reads"
+      r.transactions r.reads_checked
+  else
+    Fmt.pf ppf "abstract execution violates PoR:@,%a"
+      Fmt.(list ~sep:cut string)
+      r.violations

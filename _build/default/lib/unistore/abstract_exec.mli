@@ -1,0 +1,40 @@
+(** Abstract executions and the declarative PoR specification (§B).
+
+    Builds, from a recorded history, the abstract execution of the
+    paper's correctness proof — visibility from timestamp comparison
+    (§D Definition 57) and arbitration as the Lamport-clock order
+    (Definition 66) — and checks the §B axioms (CausalVisibility,
+    CausalArbitration, ConflictOrdering, RVal) against those relations
+    directly. Complements {!Checker}, which verifies the same history
+    through the implementation's invariants; agreement between the two
+    is itself tested.
+
+    Relations are materialised as matrices: intended for test-sized
+    histories. *)
+
+type t
+
+(** Construct the abstract execution (visibility + arbitration). *)
+val build : ?preloads:Types.write list -> History.txn_record list -> t
+
+val size : t -> int
+
+(** Visibility between transactions, by index into the history list. *)
+val visible : t -> from:int -> to_:int -> bool
+
+(** Position in the arbitration total order. *)
+val arbitration_rank : t -> int -> int
+
+type result = {
+  violations : string list;
+  transactions : int;
+  reads_checked : int;
+}
+
+val ok : result -> bool
+
+(** Build the abstract execution and check the §B axioms. *)
+val check :
+  ?preloads:Types.write list -> Config.t -> History.txn_record list -> result
+
+val pp_result : result Fmt.t

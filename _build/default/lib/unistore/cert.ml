@@ -1,0 +1,719 @@
+(* Transaction certification service: group-member side
+   (Algorithms A9–A10 of the paper, after Chockler & Gotsman [18]).
+
+   Each logical partition has one certification group formed by its
+   sibling replicas across data centers; one member is the Paxos leader.
+   REDBLUE instead runs a single group of per-DC service nodes. Members
+   hold [prepared] (accepted but undecided) and [decided] transactions;
+   the leader certifies new transactions against both, the coordinator
+   (replica.ml) collects quorums of ACCEPT_ACKs, and committed updates
+   are delivered to replicas in strong-timestamp order with no gaps.
+
+   Certification state is indexed so that the check of Algorithm A8 runs
+   in time proportional to the transaction's own footprint, not to the
+   history: conflicts against committed transactions go through a per-key
+   index (or, for the all-conflict relation of REDBLUE, through a running
+   join of commit vectors), and the set of prepared transactions is
+   small — it only holds in-flight certifications.
+
+   The module is written against a [ctx] of closures so it stays free of
+   a dependency on the replica module that embeds it. *)
+
+module Vc = Vclock.Vc
+
+type cert_result = Decided of bool * Vc.t * int | Unknown
+
+type ctx = {
+  x_dc : int;
+  x_group : int;  (* partition id, or the REDBLUE pseudo-group id *)
+  x_dcs : int;
+  x_quorum : int;
+  (* conflict between two operation descriptors on the same key *)
+  x_conflict_ops : Types.opdesc -> Types.opdesc -> bool;
+  (* REDBLUE: every pair of (non-empty) strong transactions conflicts *)
+  x_all_conflict : bool;
+  (* a transaction's operations relevant to this group *)
+  x_ops_slice : Types.opsmap -> Types.opdesc list;
+  x_clock : unit -> int;  (* local physical clock *)
+  x_now : unit -> int;  (* simulated wall time *)
+  x_send : Msg.addr -> Msg.t -> unit;  (* self-sends short-circuit *)
+  x_self : unit -> Msg.addr;
+  x_member : int -> Msg.addr;  (* dc -> address of this group's member *)
+  x_dc_of : Msg.addr -> int;
+  (* upcall: committed transactions with this strong timestamp, in order *)
+  x_deliver : Types.tx_rec list -> strong_ts:int -> unit;
+  x_at_clock : int -> (unit -> unit) -> unit;  (* run when clock >= ts *)
+  (* re-run coordinator certification (RETRY / recovery); the coordinator
+     logic itself sends the DECISION messages on completion *)
+  x_certify :
+    caller:Msg.cert_caller ->
+    tid:Types.tid ->
+    origin:int ->
+    wbuff:Types.wbuff ->
+    ops:Types.opsmap ->
+    snap:Vc.t ->
+    lc:int ->
+    k:(cert_result -> unit) ->
+    unit;
+  x_alive : unit -> bool;
+}
+
+type status = Leader | Follower | Recovering | Restoring
+
+let status_name = function
+  | Leader -> "leader"
+  | Follower -> "follower"
+  | Recovering -> "recovering"
+  | Restoring -> "restoring"
+
+type t = {
+  ctx : ctx;
+  mutable status : status;
+  mutable ballot : int;
+  mutable cballot : int;
+  mutable trusted : int;  (* Ω: the data center currently trusted *)
+  prepared : (Types.tid, Msg.prepared_strong) Hashtbl.t;
+  prepared_at : (Types.tid, int) Hashtbl.t;  (* for RETRY *)
+  decided : (Types.tid, Msg.decided_strong) Hashtbl.t;
+  (* committed transactions indexed by the keys they touched at this
+     group, for the per-key conflict check *)
+  decided_by_key : (Store.Keyspace.key, Msg.decided_strong list ref) Hashtbl.t;
+  (* running join over committed vectors (all-conflict fast path) *)
+  mutable decided_join : Vc.t option;
+  mutable decided_max_lc : int;
+  (* committed but not yet delivered, sorted by ascending strong ts *)
+  mutable undelivered : Msg.decided_strong list;
+  mutable last_delivered : int;
+  mutable last_sent : int;  (* leader: highest DELIVER timestamp issued *)
+  mutable last_ts : int;  (* leader: last proposed strong timestamp *)
+  mutable do_not_wait : Types.tid list;
+  mutable recovery_acks :
+    (int * (int * Msg.prepared_strong list * Msg.decided_strong list)) list;
+  mutable state_acks : int list;
+  mutable last_activity : int;  (* time of last delivery (heartbeating) *)
+}
+
+(* Ballot [b] is led by data center [b mod dcs]; the initial ballot makes
+   the configured leader DC lead every group. *)
+let leader_of_ballot ~dcs b = b mod dcs
+
+let create ctx ~leader_dc =
+  {
+    ctx;
+    status = (if ctx.x_dc = leader_dc then Leader else Follower);
+    ballot = leader_dc;
+    cballot = leader_dc;
+    trusted = leader_dc;
+    prepared = Hashtbl.create 32;
+    prepared_at = Hashtbl.create 32;
+    decided = Hashtbl.create 256;
+    decided_by_key = Hashtbl.create 256;
+    decided_join = None;
+    decided_max_lc = 0;
+    undelivered = [];
+    last_delivered = 0;
+    last_sent = 0;
+    last_ts = 0;
+    do_not_wait = [];
+    recovery_acks = [];
+    state_acks = [];
+    last_activity = 0;
+  }
+
+let is_leader t = t.status = Leader
+let status t = t.status
+let trusted t = t.trusted
+let prepared_count t = Hashtbl.length t.prepared
+let decided_count t = Hashtbl.length t.decided
+let last_delivered t = t.last_delivered
+let idle_since t = t.last_activity
+
+let remove_prepared t tid =
+  Hashtbl.remove t.prepared tid;
+  Hashtbl.remove t.prepared_at tid
+
+let broadcast t msg =
+  for dc = 0 to t.ctx.x_dcs - 1 do
+    t.ctx.x_send (t.ctx.x_member dc) msg
+  done
+
+(* Register a newly decided transaction in all indexes. *)
+let add_decided t (d : Msg.decided_strong) =
+  if not (Hashtbl.mem t.decided d.Msg.ds_tid) then begin
+    Hashtbl.replace t.decided d.Msg.ds_tid d;
+    if d.Msg.ds_dec then begin
+      (* conflict indexes *)
+      List.iter
+        (fun (o : Types.opdesc) ->
+          let cell =
+            match Hashtbl.find_opt t.decided_by_key o.key with
+            | Some cell -> cell
+            | None ->
+                let cell = ref [] in
+                Hashtbl.replace t.decided_by_key o.key cell;
+                cell
+          in
+          if not (List.memq d !cell) then cell := d :: !cell)
+        (t.ctx.x_ops_slice d.Msg.ds_ops);
+      if t.ctx.x_ops_slice d.Msg.ds_ops <> [] then begin
+        (match t.decided_join with
+        | None -> t.decided_join <- Some (Vc.copy d.Msg.ds_vec)
+        | Some j -> Vc.merge_into j d.Msg.ds_vec);
+        t.decided_max_lc <- max t.decided_max_lc d.Msg.ds_lc
+      end;
+      (* delivery queue, ascending strong timestamp *)
+      let ts = Vc.strong d.Msg.ds_vec in
+      let rec insert = function
+        | [] -> [ d ]
+        | d0 :: _ as rest when Vc.strong d0.Msg.ds_vec >= ts -> d :: rest
+        | d0 :: rest -> d0 :: insert rest
+      in
+      if ts > t.last_delivered then t.undelivered <- insert t.undelivered
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Certification check (Algorithm A8): a transaction commits only if its
+   snapshot includes every conflicting committed transaction, and no
+   conflicting transaction is concurrently prepared to commit.           *)
+
+let ops_lists_conflict t ops1 ops2 =
+  if t.ctx.x_all_conflict then ops1 <> [] && ops2 <> []
+  else
+    List.exists
+      (fun o1 -> List.exists (fun o2 -> t.ctx.x_conflict_ops o1 o2) ops2)
+      ops1
+
+let certification_check t ~tid ~ops ~snap ~lc =
+  let my_ops = t.ctx.x_ops_slice ops in
+  let conflicts_prepared =
+    Hashtbl.fold
+      (fun ptid (p : Msg.prepared_strong) acc ->
+        acc
+        || p.Msg.ps_vote
+           && (not (Types.tid_equal ptid tid))
+           && ops_lists_conflict t my_ops (t.ctx.x_ops_slice p.Msg.ps_ops))
+      t.prepared false
+  in
+  if conflicts_prepared then (false, lc)
+  else if t.ctx.x_all_conflict then begin
+    if my_ops = [] then (true, lc)
+    else
+      match t.decided_join with
+      | None -> (true, lc)
+      | Some j ->
+          let vote = Vc.leq j snap in
+          let lc = if lc <= t.decided_max_lc then t.decided_max_lc + 1 else lc in
+          (vote, lc)
+  end
+  else begin
+    let vote = ref true and lc' = ref lc in
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (o : Types.opdesc) ->
+        match Hashtbl.find_opt t.decided_by_key o.key with
+        | None -> ()
+        | Some cell ->
+            List.iter
+              (fun (d : Msg.decided_strong) ->
+                if not (Hashtbl.mem seen d.Msg.ds_tid) then begin
+                  let d_ops =
+                    List.filter
+                      (fun (o' : Types.opdesc) -> o'.key = o.key)
+                      (t.ctx.x_ops_slice d.Msg.ds_ops)
+                  in
+                  if
+                    List.exists (fun o' -> t.ctx.x_conflict_ops o o') d_ops
+                  then begin
+                    Hashtbl.replace seen d.Msg.ds_tid ();
+                    if not (Vc.leq d.Msg.ds_vec snap) then vote := false;
+                    if !lc' <= d.Msg.ds_lc then lc' := d.Msg.ds_lc + 1
+                  end
+                end)
+              !cell)
+      my_ops;
+    (!vote, !lc')
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Delivery (Algorithm A9, upon-clause at line 26): the leader issues
+   DELIVER for the next committed strong timestamp once nothing earlier
+   can still commit.                                                     *)
+
+let rec try_deliver t =
+  if t.status = Leader then begin
+    (* entries at or below last_sent have a DELIVER in flight (the queue
+       is popped when the leader's own DELIVER loops back); look at the
+       first entry beyond them *)
+    let rec first_unsent = function
+      | [] -> None
+      | d :: rest when Vc.strong d.Msg.ds_vec <= t.last_sent ->
+          first_unsent rest
+      | d :: _ -> Some d
+    in
+    match first_unsent t.undelivered with
+    | None -> ()
+    | Some d ->
+        let next_ts = Vc.strong d.Msg.ds_vec in
+        let blocked =
+          Hashtbl.fold
+            (fun _ (p : Msg.prepared_strong) acc ->
+              acc || (p.Msg.ps_vote && p.Msg.ps_ts <= next_ts))
+            t.prepared false
+        in
+        if not blocked then begin
+          t.last_sent <- next_ts;
+          broadcast t (Msg.Deliver { b = t.ballot; ts = next_ts });
+          try_deliver t
+        end
+  end
+
+let handle_deliver t ~b ~ts =
+  if
+    (t.status = Leader || t.status = Follower)
+    && t.ballot = b && t.last_delivered < ts
+  then begin
+    t.last_delivered <- ts;
+    t.last_activity <- t.ctx.x_now ();
+    let deliverable, rest =
+      List.partition (fun d -> Vc.strong d.Msg.ds_vec <= ts) t.undelivered
+    in
+    t.undelivered <- rest;
+    let txs =
+      List.map
+        (fun (d : Msg.decided_strong) ->
+          {
+            Types.tx_tid = d.Msg.ds_tid;
+            tx_writes = List.concat_map snd d.Msg.ds_wbuff;
+            tx_vec = d.Msg.ds_vec;
+            tx_lc = d.Msg.ds_lc;
+            tx_origin = d.Msg.ds_origin;
+          })
+        deliverable
+    in
+    t.ctx.x_deliver txs ~strong_ts:ts;
+    if t.status = Leader then try_deliver t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* PREPARE_STRONG and ACCEPT (Algorithm A9 lines 1–17).                  *)
+
+let handle_accept_local t ~b ~tid ~coord ~rid ~origin ~wbuff ~ops ~snap ~vote ~ts
+    ~lc =
+  if
+    t.ballot = b
+    && (t.status = Leader || t.status = Follower || t.status = Restoring)
+  then begin
+    if not (Hashtbl.mem t.decided tid) then begin
+      Hashtbl.replace t.prepared tid
+        {
+          Msg.ps_tid = tid;
+          ps_coord = coord;
+          ps_origin = origin;
+          ps_wbuff = wbuff;
+          ps_ops = ops;
+          ps_snap = snap;
+          ps_vote = vote;
+          ps_ts = ts;
+          ps_lc = lc;
+        };
+      Hashtbl.replace t.prepared_at tid (t.ctx.x_now ())
+    end;
+    t.ctx.x_send coord
+      (Msg.Accept_ack
+         {
+           part = t.ctx.x_group;
+           b;
+           rid;
+           tid;
+           vote;
+           ts;
+           lc;
+           from_dc = t.ctx.x_dc;
+         })
+  end
+
+let handle_prepare_strong t ~rid ~caller ~coord ~tid ~origin ~wbuff ~ops
+    ~snap ~lc =
+  if t.status = Leader || t.status = Restoring then begin
+    match Hashtbl.find_opt t.decided tid with
+    | Some d ->
+        t.ctx.x_send coord
+          (Msg.Already_decided
+             {
+               rid;
+               tid;
+               dec = d.Msg.ds_dec;
+               vec = d.Msg.ds_vec;
+               lc = d.Msg.ds_lc;
+             })
+    | None -> (
+        match Hashtbl.find_opt t.prepared tid with
+        | Some p ->
+            broadcast t
+              (Msg.Accept
+                 {
+                   b = t.ballot;
+                   tid;
+                   coord;
+                   rid;
+                   origin;
+                   wbuff = p.Msg.ps_wbuff;
+                   ops = p.Msg.ps_ops;
+                   snap = p.Msg.ps_snap;
+                   vote = p.Msg.ps_vote;
+                   ts = p.Msg.ps_ts;
+                   lc = p.Msg.ps_lc;
+                 })
+        | None ->
+            if caller = Msg.Restoring then
+              broadcast t (Msg.Unknown_tx { b = t.ballot; rid; tid; coord })
+            else if t.status = Leader then begin
+              (* wait until clock > snap[strong], then certify *)
+              let b0 = t.ballot in
+              t.ctx.x_at_clock
+                (Vc.strong snap + 1)
+                (fun () ->
+                  if t.status = Leader && t.ballot = b0 && t.ctx.x_alive ()
+                  then begin
+                    let ts = max (t.ctx.x_clock ()) (t.last_ts + 1) in
+                    t.last_ts <- ts;
+                    let vote, lc =
+                      certification_check t ~tid ~ops ~snap ~lc
+                    in
+                    (* The check and the leader's own accept must be one
+                       atomic step: a self-addressed ACCEPT is delivered
+                       asynchronously, and a second conflicting
+                       certification slipping in between would miss this
+                       transaction and also vote commit — a Conflict
+                       Ordering violation. Record locally now; the other
+                       members learn by message. *)
+                    handle_accept_local t ~b:t.ballot ~tid ~coord ~rid
+                      ~origin ~wbuff ~ops ~snap ~vote ~ts ~lc;
+                    for dc = 0 to t.ctx.x_dcs - 1 do
+                      if dc <> t.ctx.x_dc then
+                        t.ctx.x_send (t.ctx.x_member dc)
+                          (Msg.Accept
+                             {
+                               b = t.ballot;
+                               tid;
+                               coord;
+                               rid;
+                               origin;
+                               wbuff;
+                               ops;
+                               snap;
+                               vote;
+                               ts;
+                               lc;
+                             })
+                    done
+                  end)
+            end)
+  end
+
+let handle_accept = handle_accept_local
+
+(* ------------------------------------------------------------------ *)
+(* DECISION and LEARN_DECISION (Algorithm A9 lines 18–25).               *)
+
+let handle_decision t ~b ~tid ~dec ~vec ~lc =
+  if (t.status = Leader || t.status = Restoring) && t.ballot = b then
+    t.ctx.x_at_clock (Vc.strong vec) (fun () ->
+        if t.ballot = b && t.ctx.x_alive () then
+          broadcast t (Msg.Learn_decision { b; tid; dec; vec; lc }))
+
+let restoring_done t =
+  if
+    t.status = Restoring
+    && Hashtbl.fold
+         (fun tid _ acc ->
+           acc && List.exists (Types.tid_equal tid) t.do_not_wait)
+         t.prepared true
+  then begin
+    t.status <- Leader;
+    t.do_not_wait <- [];
+    t.last_sent <- t.last_delivered;
+    try_deliver t
+  end
+
+let handle_learn_decision t ~b ~tid ~dec ~vec ~lc =
+  if
+    (t.status = Leader || t.status = Follower || t.status = Restoring)
+    && t.ballot = b
+  then begin
+    match Hashtbl.find_opt t.prepared tid with
+    | None -> ()  (* already decided or never accepted here *)
+    | Some p ->
+        remove_prepared t tid;
+        add_decided t
+          {
+            Msg.ds_tid = tid;
+            ds_origin = p.Msg.ps_origin;
+            ds_wbuff = p.Msg.ps_wbuff;
+            ds_ops = p.Msg.ps_ops;
+            ds_dec = dec;
+            ds_vec = vec;
+            ds_lc = lc;
+          };
+        restoring_done t;
+        try_deliver t
+  end
+
+let handle_unknown_tx t ~b ~rid ~tid ~coord =
+  if
+    (t.status = Leader || t.status = Follower || t.status = Restoring)
+    && t.ballot = b
+  then
+    t.ctx.x_send coord
+      (Msg.Unknown_tx_ack
+         { part = t.ctx.x_group; rid; tid; from_dc = t.ctx.x_dc })
+
+(* ------------------------------------------------------------------ *)
+(* Leader recovery (Algorithm A10).                                      *)
+
+let prepared_list t = Hashtbl.fold (fun _ p acc -> p :: acc) t.prepared []
+let decided_list t = Hashtbl.fold (fun _ d acc -> d :: acc) t.decided []
+
+let recover t =
+  let dcs = t.ctx.x_dcs in
+  let rec next b =
+    if leader_of_ballot ~dcs b = t.ctx.x_dc then b else next (b + 1)
+  in
+  let b = next (t.ballot + 1) in
+  t.recovery_acks <- [];
+  t.state_acks <- [];
+  broadcast t (Msg.New_leader { b; from = t.ctx.x_self () })
+
+(* Ω notification: the failure detector now trusts [dc] for this group. *)
+let set_trusted t dc =
+  if t.trusted <> dc then begin
+    t.trusted <- dc;
+    if dc = t.ctx.x_dc then recover t
+    else
+      t.ctx.x_send (t.ctx.x_member dc)
+        (Msg.Nack { b = t.ballot; from = t.ctx.x_self () })
+  end
+
+let handle_nack t ~b =
+  if t.trusted = t.ctx.x_dc && b > t.ballot then begin
+    t.ballot <- b;
+    recover t
+  end
+
+let handle_new_leader t ~b ~from ~from_dc =
+  if t.trusted = from_dc && t.ballot < b then begin
+    t.status <- Recovering;
+    t.ballot <- b;
+    t.do_not_wait <- [];
+    t.ctx.x_send from
+      (Msg.New_leader_ack
+         {
+           b;
+           cballot = t.cballot;
+           prepared = prepared_list t;
+           decided = decided_list t;
+           from = t.ctx.x_self ();
+         })
+  end
+  else t.ctx.x_send from (Msg.Nack { b = t.ballot; from = t.ctx.x_self () })
+
+(* Replace this member's certification state (recovery). *)
+let install_state t ~prepared ~decided =
+  Hashtbl.reset t.prepared;
+  Hashtbl.reset t.prepared_at;
+  Hashtbl.reset t.decided;
+  Hashtbl.reset t.decided_by_key;
+  t.decided_join <- None;
+  t.decided_max_lc <- 0;
+  t.undelivered <- [];
+  List.iter (add_decided t) decided;
+  List.iter
+    (fun (p : Msg.prepared_strong) ->
+      if not (Hashtbl.mem t.decided p.Msg.ps_tid) then begin
+        Hashtbl.replace t.prepared p.Msg.ps_tid p;
+        Hashtbl.replace t.prepared_at p.Msg.ps_tid (t.ctx.x_now ())
+      end)
+    prepared
+
+let handle_new_leader_ack t ~b ~cballot ~prepared ~decided ~from_dc =
+  if t.status = Recovering && t.ballot = b then begin
+    if not (List.mem_assoc from_dc t.recovery_acks) then
+      t.recovery_acks <-
+        (from_dc, (cballot, prepared, decided)) :: t.recovery_acks;
+    if List.length t.recovery_acks >= t.ctx.x_quorum then begin
+      let acks = List.map snd t.recovery_acks in
+      t.recovery_acks <- [];
+      let max_cb =
+        List.fold_left (fun acc (cb, _, _) -> max acc cb) (-1) acks
+      in
+      let from_max = List.filter (fun (cb, _, _) -> cb = max_cb) acks in
+      let decided = List.concat_map (fun (_, _, d) -> d) from_max in
+      let prepared = List.concat_map (fun (_, p, _) -> p) from_max in
+      install_state t ~prepared ~decided;
+      let max_prep =
+        Hashtbl.fold (fun _ p acc -> max acc p.Msg.ps_ts) t.prepared 0
+      in
+      let max_dec =
+        Hashtbl.fold
+          (fun _ (d : Msg.decided_strong) acc ->
+            if d.Msg.ds_dec then max acc (Vc.strong d.Msg.ds_vec) else acc)
+          t.decided 0
+      in
+      t.ctx.x_at_clock
+        (max max_prep max_dec)
+        (fun () ->
+          if t.status = Recovering && t.ballot = b && t.ctx.x_alive () then begin
+            t.cballot <- b;
+            t.last_ts <- max t.last_ts (max max_prep max_dec);
+            t.state_acks <- [ t.ctx.x_dc ];
+            for dc = 0 to t.ctx.x_dcs - 1 do
+              if dc <> t.ctx.x_dc then
+                t.ctx.x_send (t.ctx.x_member dc)
+                  (Msg.New_state
+                     {
+                       b;
+                       prepared = prepared_list t;
+                       decided = decided_list t;
+                       from = t.ctx.x_self ();
+                     })
+            done
+          end)
+    end
+  end
+
+let handle_new_state t ~b ~prepared ~decided ~from =
+  if t.status = Recovering && b >= t.ballot then begin
+    t.cballot <- b;
+    t.ballot <- b;
+    install_state t ~prepared ~decided;
+    t.status <- Follower;
+    t.ctx.x_send from (Msg.New_state_ack { b; from = t.ctx.x_self () })
+  end
+
+let start_restoring t =
+  t.status <- Restoring;
+  let to_certify = prepared_list t in
+  if to_certify = [] then restoring_done t
+  else
+    List.iter
+      (fun (p : Msg.prepared_strong) ->
+        let tid = p.Msg.ps_tid in
+        t.ctx.x_certify ~caller:Msg.Restoring ~tid ~origin:p.Msg.ps_origin
+          ~wbuff:p.Msg.ps_wbuff ~ops:p.Msg.ps_ops ~snap:p.Msg.ps_snap
+          ~lc:p.Msg.ps_lc ~k:(fun result ->
+            match result with
+            | Unknown ->
+                if not (List.exists (Types.tid_equal tid) t.do_not_wait)
+                then t.do_not_wait <- tid :: t.do_not_wait;
+                restoring_done t
+            | Decided _ ->
+                (* the DECISION flows through LEARN_DECISION, which
+                   removes the transaction from [prepared] *)
+                restoring_done t))
+      to_certify
+
+let handle_new_state_ack t ~b ~from_dc =
+  if t.status = Recovering && t.ballot = b then begin
+    if not (List.mem from_dc t.state_acks) then
+      t.state_acks <- from_dc :: t.state_acks;
+    if List.length t.state_acks >= t.ctx.x_quorum then begin
+      t.state_acks <- [];
+      start_restoring t
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* RETRY (Algorithm A9 line 37): the leader re-certifies prepared
+   transactions whose coordinator went silent.                          *)
+
+let retry_stale t ~older_than_us =
+  if t.status = Leader then begin
+    let now = t.ctx.x_now () in
+    Hashtbl.iter
+      (fun tid (p : Msg.prepared_strong) ->
+        let age =
+          match Hashtbl.find_opt t.prepared_at tid with
+          | Some since -> now - since
+          | None -> max_int
+        in
+        if age >= older_than_us then begin
+          Hashtbl.replace t.prepared_at tid now;
+          t.ctx.x_certify ~caller:Msg.Normal ~tid ~origin:p.Msg.ps_origin
+            ~wbuff:p.Msg.ps_wbuff ~ops:p.Msg.ps_ops ~snap:p.Msg.ps_snap
+            ~lc:p.Msg.ps_lc
+            ~k:(fun _ -> ())
+        end)
+      t.prepared
+  end
+
+(* Garbage-collect committed transactions whose strong timestamp is so
+   far below the delivery frontier that every live snapshot contains
+   them (they can no longer cause an abort or a Lamport bump; snapshots
+   lag the frontier by at most the WAN round trip plus a few broadcast
+   periods, which [keep_after] must dominate). *)
+let prune_decided t ~keep_after =
+  if keep_after > 0 then begin
+    let stale =
+      Hashtbl.fold
+        (fun tid (d : Msg.decided_strong) acc ->
+          if Vc.strong d.Msg.ds_vec <= keep_after then (tid, d) :: acc
+          else acc)
+        t.decided []
+    in
+    List.iter
+      (fun (tid, (d : Msg.decided_strong)) ->
+        Hashtbl.remove t.decided tid;
+        List.iter
+          (fun (o : Types.opdesc) ->
+            match Hashtbl.find_opt t.decided_by_key o.key with
+            | None -> ()
+            | Some cell ->
+                cell := List.filter (fun d' -> not (d' == d)) !cell;
+                if !cell = [] then Hashtbl.remove t.decided_by_key o.key)
+          (t.ctx.x_ops_slice d.Msg.ds_ops))
+      stale
+  end
+
+(* Dispatch group-member messages; returns [true] when handled. *)
+let handle t msg =
+  match msg with
+  | Msg.Prepare_strong { rid; caller; coord; tid; origin; wbuff; ops; snap; lc }
+    ->
+      handle_prepare_strong t ~rid ~caller ~coord ~tid ~origin ~wbuff ~ops
+        ~snap ~lc;
+      true
+  | Msg.Accept { b; tid; coord; rid; origin; wbuff; ops; snap; vote; ts; lc }
+    ->
+      handle_accept t ~b ~tid ~coord ~rid ~origin ~wbuff ~ops ~snap ~vote ~ts
+        ~lc;
+      true
+  | Msg.Decision { b; tid; dec; vec; lc } ->
+      handle_decision t ~b ~tid ~dec ~vec ~lc;
+      true
+  | Msg.Learn_decision { b; tid; dec; vec; lc } ->
+      handle_learn_decision t ~b ~tid ~dec ~vec ~lc;
+      true
+  | Msg.Deliver { b; ts } ->
+      handle_deliver t ~b ~ts;
+      true
+  | Msg.Unknown_tx { b; rid; tid; coord } ->
+      handle_unknown_tx t ~b ~rid ~tid ~coord;
+      true
+  | Msg.Nack { b; _ } ->
+      handle_nack t ~b;
+      true
+  | Msg.New_leader { b; from } ->
+      handle_new_leader t ~b ~from ~from_dc:(t.ctx.x_dc_of from);
+      true
+  | Msg.New_leader_ack { b; cballot; prepared; decided; from } ->
+      handle_new_leader_ack t ~b ~cballot ~prepared ~decided
+        ~from_dc:(t.ctx.x_dc_of from);
+      true
+  | Msg.New_state { b; prepared; decided; from } ->
+      handle_new_state t ~b ~prepared ~decided ~from;
+      true
+  | Msg.New_state_ack { b; from } ->
+      handle_new_state_ack t ~b ~from_dc:(t.ctx.x_dc_of from);
+      true
+  | _ -> false

@@ -1,0 +1,89 @@
+(** Transaction certification service, group-member side (Algorithms
+    A9–A10; the fault-tolerant commit of Chockler & Gotsman integrated
+    with the causal protocol, §6.3).
+
+    Each partition's certification group is formed by its sibling
+    replicas across data centers (REDBLUE instead runs one group of
+    per-DC service nodes). One member leads; the leader certifies
+    transactions against prepared and decided state, members accept under
+    a ballot, committed updates are delivered in strong-timestamp order
+    with no gaps, and leadership recovers across data-center failures.
+
+    The module is parameterised by a [ctx] of closures so it has no
+    dependency on the replica that embeds it. The coordinator side of
+    certification (CERTIFY, Algorithm A7) lives in [Replica]. *)
+
+type cert_result =
+  | Decided of bool * Vclock.Vc.t * int
+      (** decision, commit vector, Lamport clock *)
+  | Unknown  (** a quorum does not know the transaction (recovery only) *)
+
+type ctx = {
+  x_dc : int;
+  x_group : int;  (** partition id, or the REDBLUE pseudo-group id *)
+  x_dcs : int;
+  x_quorum : int;
+  x_conflict_ops : Types.opdesc -> Types.opdesc -> bool;
+  x_all_conflict : bool;  (** every non-empty pair conflicts (REDBLUE) *)
+  x_ops_slice : Types.opsmap -> Types.opdesc list;
+      (** a transaction's operations relevant to this group *)
+  x_clock : unit -> int;
+  x_now : unit -> int;
+  x_send : Msg.addr -> Msg.t -> unit;
+  x_self : unit -> Msg.addr;
+  x_member : int -> Msg.addr;  (** dc -> this group's member *)
+  x_dc_of : Msg.addr -> int;
+  x_deliver : Types.tx_rec list -> strong_ts:int -> unit;
+      (** DELIVER_UPDATES upcall, in strong-timestamp order *)
+  x_at_clock : int -> (unit -> unit) -> unit;
+  x_certify :
+    caller:Msg.cert_caller ->
+    tid:Types.tid ->
+    origin:int ->
+    wbuff:Types.wbuff ->
+    ops:Types.opsmap ->
+    snap:Vclock.Vc.t ->
+    lc:int ->
+    k:(cert_result -> unit) ->
+    unit;
+      (** re-run coordinator certification (RETRY / recovery) *)
+  x_alive : unit -> bool;
+}
+
+type status = Leader | Follower | Recovering | Restoring
+
+val status_name : status -> string
+
+type t
+
+val create : ctx -> leader_dc:int -> t
+val is_leader : t -> bool
+val status : t -> status
+
+(** The data center this member's Ω failure detector currently trusts. *)
+val trusted : t -> int
+
+val prepared_count : t -> int
+val decided_count : t -> int
+
+(** Highest strong timestamp delivered at this member. *)
+val last_delivered : t -> int
+
+(** Time of the last delivery (drives dummy strong heartbeats). *)
+val idle_since : t -> int
+
+(** Ω notification: trust [dc]; if it is this member's own DC, start
+    leader recovery (Algorithm A10). *)
+val set_trusted : t -> int -> unit
+
+(** RETRY (Algorithm A9 line 37): re-certify prepared transactions whose
+    coordinator went silent. *)
+val retry_stale : t -> older_than_us:int -> unit
+
+(** Garbage-collect decided transactions below the delivery frontier
+    that every live snapshot already contains. *)
+val prune_decided : t -> keep_after:int -> unit
+
+(** Dispatch a group message; [false] if the message is not for the
+    certification service. *)
+val handle : t -> Msg.t -> bool

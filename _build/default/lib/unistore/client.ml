@@ -1,0 +1,277 @@
+(* Client sessions (Algorithm A1).
+
+   A client runs as a simulation fiber: its calls block in direct style
+   on replies from its coordinator while the rest of the simulation
+   proceeds. The client maintains its causal past [pastVec] and a Lamport
+   clock, provides read-your-writes across transactions through the
+   snapshot computation, and supports on-demand durability
+   (uniform_barrier) and migration (attach). *)
+
+module Vc = Vclock.Vc
+module Network = Net.Network
+module Engine = Sim.Engine
+module Fiber = Sim.Fiber
+module Ivar = Sim.Fiber.Ivar
+
+type t = {
+  id : int;
+  eng : Engine.t;
+  net : Msg.t Network.t;
+  cfg : Config.t;
+  history : History.t;
+  rng : Sim.Rng.t;
+  mutable dc : int;
+  mutable addr : Msg.addr;
+  mutable replicas_of_dc : int -> Msg.addr array;
+  mutable past : Vc.t;
+  mutable lc : int;
+  mutable req : int;
+  mutable sq : int;
+  pending : (int, Msg.t Ivar.t) Hashtbl.t;
+  (* current transaction *)
+  mutable cur : cur option;
+}
+
+and cur = {
+  c_tid : Types.tid;
+  c_coord : Msg.addr;
+  c_snap : Vc.t;
+  c_label : string;
+  c_strong : bool;
+  c_start_us : int;
+  mutable c_reads : (Store.Keyspace.key * Crdt.value) list;
+  mutable c_writes : Types.write list;
+  mutable c_ops : Types.opdesc list;
+}
+
+exception Aborted
+
+let create ~id ~eng ~net ~cfg ~history ~dc ~replicas_of_dc =
+  let t =
+    {
+      id;
+      eng;
+      net;
+      cfg;
+      history;
+      rng = Sim.Rng.split (Engine.rng eng) ~id:(id + 1_000_000);
+      dc;
+      addr = -1;
+      replicas_of_dc;
+      past = Vc.create ~dcs:(Config.dcs cfg);
+      lc = 0;
+      req = 0;
+      sq = 0;
+      pending = Hashtbl.create 8;
+      cur = None;
+    }
+  in
+  let handler msg =
+    let req =
+      match msg with
+      | Msg.R_started { req; _ }
+      | Msg.R_value { req; _ }
+      | Msg.R_committed { req; _ }
+      | Msg.R_strong { req; _ }
+      | Msg.R_ok { req } ->
+          Some req
+      | _ -> None
+    in
+    match req with
+    | None -> ()
+    | Some req -> (
+        match Hashtbl.find_opt t.pending req with
+        | None -> ()
+        | Some iv ->
+            Hashtbl.remove t.pending req;
+            Ivar.fill eng iv msg)
+  in
+  t.addr <-
+    Network.register net ~dc ~cost:(Msg.cost cfg.Config.costs) handler;
+  t
+
+let id t = t.id
+let dc t = t.dc
+let past t = t.past
+let lamport t = t.lc
+let addr t = t.addr
+
+(* Round-trip to a replica; blocks the calling fiber. *)
+let call t dst msg_of_req =
+  t.req <- t.req + 1;
+  let req = t.req in
+  let iv = Ivar.create () in
+  Hashtbl.replace t.pending req iv;
+  Network.send t.net ~src:t.addr ~dst (msg_of_req req);
+  Fiber.await iv
+
+let pick_coordinator t =
+  let replicas = t.replicas_of_dc t.dc in
+  replicas.(Sim.Rng.int t.rng (Array.length replicas))
+
+(* START (Algorithm A1 lines 1–4). *)
+let start ?(label = "txn") ?(strong = false) t =
+  if t.cur <> None then invalid_arg "Client.start: transaction in progress";
+  let strong = Config.effective_strong t.cfg ~requested:strong in
+  t.sq <- t.sq + 1;
+  let tid = { Types.cl = t.id; sq = t.sq } in
+  let coord = pick_coordinator t in
+  let start_us = Engine.now t.eng in
+  match
+    call t coord (fun req ->
+        Msg.C_start { client = t.addr; client_id = t.id; req; tid; past = t.past })
+  with
+  | Msg.R_started { snap; _ } ->
+      t.cur <-
+        Some
+          {
+            c_tid = tid;
+            c_coord = coord;
+            c_snap = snap;
+            c_label = label;
+            c_strong = strong;
+            c_start_us = start_us;
+            c_reads = [];
+            c_writes = [];
+            c_ops = [];
+          }
+  | m -> invalid_arg ("Client.start: unexpected reply " ^ Msg.kind m)
+
+let cur t =
+  match t.cur with
+  | Some c -> c
+  | None -> invalid_arg "Client: no transaction in progress"
+
+(* READ (Algorithm A1 lines 5–9). *)
+let read ?(cls = Types.cls_default) t key =
+  let c = cur t in
+  match
+    call t c.c_coord (fun req ->
+        Msg.C_read { client = t.addr; req; tid = c.c_tid; key; cls })
+  with
+  | Msg.R_value { value; lc; _ } ->
+      (match lc with Some lc -> t.lc <- max t.lc lc | None -> ());
+      c.c_reads <- (key, value) :: c.c_reads;
+      c.c_ops <- { Types.key; cls; write = false } :: c.c_ops;
+      value
+  | m -> invalid_arg ("Client.read: unexpected reply " ^ Msg.kind m)
+
+let read_int ?cls t key = Crdt.int_value (read ?cls t key)
+let read_set ?cls t key = Crdt.set_value (read ?cls t key)
+
+(* UPDATE (Algorithm A1 lines 10–12). *)
+let update ?(cls = Types.cls_default) t key op =
+  let c = cur t in
+  match
+    call t c.c_coord (fun req ->
+        Msg.C_update { client = t.addr; req; tid = c.c_tid; key; op; cls })
+  with
+  | Msg.R_ok _ ->
+      c.c_writes <- { Types.wkey = key; wop = op; wcls = cls } :: c.c_writes;
+      c.c_ops <- { Types.key; cls; write = true } :: c.c_ops
+  | m -> invalid_arg ("Client.update: unexpected reply " ^ Msg.kind m)
+
+let record t c ~vec ~lc =
+  let commit_us = Engine.now t.eng in
+  History.committed t.history
+    ~record:
+      {
+        History.h_tid = c.c_tid;
+        h_client = t.id;
+        h_dc = t.dc;
+        h_strong = c.c_strong;
+        h_label = c.c_label;
+        h_snap = c.c_snap;
+        h_vec = vec;
+        h_lc = lc;
+        h_reads = List.rev c.c_reads;
+        h_writes = List.rev c.c_writes;
+        h_ops = List.rev c.c_ops;
+        h_start_us = c.c_start_us;
+        h_commit_us = commit_us;
+      }
+    ~latency_us:(commit_us - c.c_start_us)
+
+(* COMMIT_CAUSAL_TX / COMMIT_STRONG_TX (Algorithm A1 lines 13–24). *)
+let commit t =
+  let c = cur t in
+  t.cur <- None;
+  if c.c_strong then begin
+    t.lc <- t.lc + 1;
+    match
+      call t c.c_coord (fun req ->
+          Msg.C_commit_strong { client = t.addr; req; tid = c.c_tid; lc = t.lc })
+    with
+    | Msg.R_strong { dec; vec; lc; _ } ->
+        if dec then begin
+          t.past <- vec;
+          t.lc <- max t.lc lc;
+          record t c ~vec ~lc;
+          `Committed vec
+        end
+        else begin
+          History.aborted t.history;
+          `Aborted
+        end
+    | m -> invalid_arg ("Client.commit: unexpected reply " ^ Msg.kind m)
+  end
+  else begin
+    t.lc <- t.lc + 1;
+    match
+      call t c.c_coord (fun req ->
+          Msg.C_commit_causal { client = t.addr; req; tid = c.c_tid; lc = t.lc })
+    with
+    | Msg.R_committed { vec; _ } ->
+        t.past <- vec;
+        record t c ~vec ~lc:t.lc;
+        `Committed vec
+    | m -> invalid_arg ("Client.commit: unexpected reply " ^ Msg.kind m)
+  end
+
+(* Commit, raising [Aborted] on a strong-transaction abort. *)
+let commit_exn t = match commit t with `Committed vec -> vec | `Aborted -> raise Aborted
+
+(* CL_UNIFORM_BARRIER (§5.6): returns once everything the client has
+   observed is durable. *)
+let uniform_barrier t =
+  if t.cur <> None then
+    invalid_arg "Client.uniform_barrier: transaction in progress";
+  let coord = pick_coordinator t in
+  match
+    call t coord (fun req ->
+        Msg.C_uniform_barrier { client = t.addr; req; past = t.past })
+  with
+  | Msg.R_ok _ -> t.lc <- t.lc + 1
+  | m -> invalid_arg ("Client.uniform_barrier: unexpected reply " ^ Msg.kind m)
+
+(* CL_ATTACH (§5.6): complete a migration started with uniform_barrier. *)
+let attach t ~dc =
+  if t.cur <> None then invalid_arg "Client.attach: transaction in progress";
+  let replicas = t.replicas_of_dc dc in
+  let dst = replicas.(Sim.Rng.int t.rng (Array.length replicas)) in
+  match
+    call t dst (fun req -> Msg.C_attach { client = t.addr; req; past = t.past })
+  with
+  | Msg.R_ok _ ->
+      t.lc <- t.lc + 1;
+      t.dc <- dc
+  | m -> invalid_arg ("Client.attach: unexpected reply " ^ Msg.kind m)
+
+(* Consistent migration (§4): barrier at the origin, attach at the
+   destination. *)
+let migrate t ~dc =
+  uniform_barrier t;
+  attach t ~dc
+
+(* Run a whole transaction, retrying strong aborts like the paper's
+   clients do (§6.2: "otherwise, it re-executes the transaction"). *)
+let run_txn ?label ?(strong = false) ?(max_retries = max_int) t body =
+  let rec go attempts =
+    start ?label ~strong t;
+    let v = body t in
+    match commit t with
+    | `Committed _ -> v
+    | `Aborted ->
+        if attempts >= max_retries then raise Aborted else go (attempts + 1)
+  in
+  go 0

@@ -1,0 +1,195 @@
+(* Deployment and protocol configuration.
+
+   One configuration drives the whole codebase; the evaluation's systems
+   (§8.1, §8.3) are modes of the same protocol, exactly as in the paper's
+   single 10.3K-SLOC codebase:
+
+   - [Unistore]       the full protocol (causal + strong, uniformity);
+   - [Causal_only]    transactional causal consistency only (CAUSAL);
+   - [Strong]         serializability: every transaction is strong and all
+                      operations on the same key conflict (STRONG);
+   - [Red_blue]       causal + strong with a single centralized replicated
+                      certification service and all strong pairs
+                      conflicting (REDBLUE);
+   - [Cure_ft]        Cure plus transaction forwarding: no uniformity
+                      tracking, remote transactions visible at stability
+                      (CUREFT);
+   - [Uniform_only]   UniStore minus strong transactions (UNIFORM). *)
+
+type mode =
+  | Unistore
+  | Causal_only
+  | Strong
+  | Red_blue
+  | Cure_ft
+  | Uniform_only
+
+let mode_name = function
+  | Unistore -> "unistore"
+  | Causal_only -> "causal"
+  | Strong -> "strong"
+  | Red_blue -> "redblue"
+  | Cure_ft -> "cureft"
+  | Uniform_only -> "uniform"
+
+(* The conflict relation ⋈ on operations (§3), lifted to transactions:
+   two strong transactions conflict if they perform conflicting
+   operations on the same data item (except [All_strong], which makes
+   every pair of strong transactions conflict, as REDBLUE does). *)
+type conflict_spec =
+  | Serializable  (* same key, at least one side writes *)
+  | Write_write  (* same key, both sides write *)
+  | All_strong
+  | Classes of (int * int) list  (* symmetric conflicting class pairs *)
+
+let ops_conflict spec (o1 : Types.opdesc) (o2 : Types.opdesc) =
+  match spec with
+  | All_strong -> true
+  | Serializable -> o1.key = o2.key && (o1.write || o2.write)
+  | Write_write -> o1.key = o2.key && o1.write && o2.write
+  | Classes pairs ->
+      o1.key = o2.key
+      && List.exists
+           (fun (a, b) ->
+             (a = o1.cls && b = o2.cls) || (a = o2.cls && b = o1.cls))
+           pairs
+
+(* Lift to transactions: [ops1] are the operations of the transaction
+   under certification, [ops2] those of a previously prepared/decided
+   one (both restricted to one partition by the caller). *)
+let txs_conflict spec ops1 ops2 =
+  match spec with
+  | All_strong ->
+      (* a transaction with no operations (dummy strong heartbeat)
+         conflicts with nothing *)
+      ops1 <> [] && ops2 <> []
+  | _ ->
+      List.exists
+        (fun o1 -> List.exists (fun o2 -> ops_conflict spec o1 o2) ops2)
+        ops1
+
+(* CPU service costs, microseconds per message, charged to the node that
+   processes the message. These model the m4.2xlarge cores of §8: they
+   determine where each system saturates, hence the shape of every
+   throughput curve. *)
+type costs = {
+  c_base : int;  (* any message not singled out below *)
+  c_get_version : int;  (* snapshot read at a partition *)
+  c_prepare : int;  (* 2PC prepare of a causal transaction *)
+  c_commit : int;  (* 2PC commit record *)
+  c_replicate_tx : int;  (* per transaction in a REPLICATE batch *)
+  c_vec : int;  (* metadata broadcast handling *)
+  c_stablevec : int;  (* sibling STABLEVEC: uniformVec recomputation *)
+  c_cert : int;  (* leader certification check (update transactions) *)
+  c_cert_ro : int;  (* certifying a read-only transaction: no write
+                       propagation, read-set check only *)
+  c_cert_centralized : int;  (* REDBLUE: the single service certifies all *)
+  c_accept : int;  (* Paxos accept processing *)
+  c_deliver_tx : int;  (* applying one delivered strong transaction *)
+  c_client : int;  (* client-side processing of a reply *)
+}
+
+(* Calibrated so that relative costs match the paper's measurements: a
+   strong transaction costs several times a causal one (Â§8.2 reports a
+   ~26% throughput drop at 10% strong transactions), uniformity tracking
+   costs a few percent of a replica's CPU (Â§8.3: ~8%), and the REDBLUE
+   centralized service saturates well before UniStore's distributed one
+   (Â§8.1: 72% throughput difference at saturation). *)
+let default_costs =
+  {
+    c_base = 10;
+    c_get_version = 25;
+    c_prepare = 20;
+    c_commit = 15;
+    c_replicate_tx = 12;
+    c_vec = 6;
+    c_stablevec = 100;
+    c_cert = 150;
+    c_cert_ro = 50;
+    c_cert_centralized = 100;
+    c_accept = 30;
+    c_deliver_tx = 12;
+    c_client = 5;
+  }
+
+type t = {
+  topo : Net.Topology.t;
+  partitions : int;  (* logical partitions, replicated at every DC *)
+  f : int;  (* tolerated data-center failures *)
+  mode : mode;
+  conflict : conflict_spec;
+  leader_dc : int;  (* initial Paxos leader DC (Virginia in §8) *)
+  propagate_period_us : int;  (* PROPAGATE_LOCAL_TXS period (5 ms in §8) *)
+  broadcast_period_us : int;  (* BROADCAST_VECS period (5 ms in §8) *)
+  strong_heartbeat_us : int;  (* dummy strong transaction period *)
+  clock_skew_us : int;  (* max absolute per-replica clock skew *)
+  detection_delay_us : int;  (* failure detector reaction time *)
+  costs : costs;
+  seed : int;
+  use_hlc : bool;  (* hybrid logical clocks instead of physical waits (§9) *)
+  trace_enabled : bool;  (* record a structured event trace (Sim.Trace) *)
+  record_history : bool;  (* keep full transaction records (checker) *)
+  measure_visibility : bool;  (* record remote-visibility delays (Fig 6) *)
+}
+
+let default ?(topo = Net.Topology.three_dcs ()) ?(partitions = 8) ?(f = 1)
+    ?(mode = Unistore) ?(conflict = Serializable) ?(leader_dc = 0)
+    ?(propagate_period_us = 5_000) ?(broadcast_period_us = 5_000)
+    ?(strong_heartbeat_us = 10_000) ?(clock_skew_us = 1_000)
+    ?(detection_delay_us = 500_000) ?(costs = default_costs) ?(seed = 42)
+    ?(use_hlc = false) ?(trace_enabled = false) ?(record_history = false)
+    ?(measure_visibility = false) () =
+  let dcs = Net.Topology.dcs topo in
+  if 2 * f + 1 > dcs && not (f + 1 <= dcs && f > 0) then
+    invalid_arg "Config.default: need at least f+1 data centers";
+  if f < 0 || f >= dcs then invalid_arg "Config.default: bad f";
+  if leader_dc < 0 || leader_dc >= dcs then
+    invalid_arg "Config.default: bad leader";
+  if partitions <= 0 then invalid_arg "Config.default: bad partitions";
+  {
+    topo;
+    partitions;
+    f;
+    mode;
+    conflict;
+    leader_dc;
+    propagate_period_us;
+    broadcast_period_us;
+    strong_heartbeat_us;
+    clock_skew_us;
+    detection_delay_us;
+    costs;
+    seed;
+    use_hlc;
+    trace_enabled;
+    record_history;
+    measure_visibility;
+  }
+
+let dcs t = Net.Topology.dcs t.topo
+let quorum t = t.f + 1
+
+(* Does this mode track uniformity (exchange STABLEVEC between siblings
+   and expose remote transactions only when uniform)? *)
+let tracks_uniformity t =
+  match t.mode with
+  | Unistore | Causal_only | Strong | Red_blue | Uniform_only -> true
+  | Cure_ft -> false
+
+(* Does this mode run the strong-transaction machinery at all? *)
+let has_strong t =
+  match t.mode with
+  | Unistore | Strong | Red_blue -> true
+  | Causal_only | Cure_ft | Uniform_only -> false
+
+(* Centralized certification (REDBLUE): one logical service for all
+   partitions instead of per-partition groups. *)
+let centralized_cert t = t.mode = Red_blue
+
+(* Under STRONG every transaction is strong; under pure-causal modes none
+   is. [requested] is what the workload asked for. *)
+let effective_strong t ~requested =
+  match t.mode with
+  | Strong -> true
+  | Causal_only | Cure_ft | Uniform_only -> false
+  | Unistore | Red_blue -> requested

@@ -1,0 +1,129 @@
+(** Deployment and protocol configuration.
+
+    One configuration drives the whole code base; the systems evaluated
+    in the paper (§8) are modes of the same protocol. *)
+
+(** The evaluated systems: [Unistore] (full protocol), [Causal_only]
+    (CAUSAL), [Strong] (serializability: all transactions strong, reads
+    conflict with writes), [Red_blue] (centralized certification with
+    every pair of strong transactions conflicting), [Cure_ft] (Cure plus
+    transaction forwarding, no uniformity tracking), [Uniform_only]
+    (UniStore minus strong transactions). *)
+type mode =
+  | Unistore
+  | Causal_only
+  | Strong
+  | Red_blue
+  | Cure_ft
+  | Uniform_only
+
+val mode_name : mode -> string
+
+(** The conflict relation ⋈ on operations (§3), lifted to transactions:
+    two strong transactions conflict iff they perform conflicting
+    operations on the same data item ([All_strong] ignores items and
+    makes every pair of non-empty strong transactions conflict). *)
+type conflict_spec =
+  | Serializable  (** same key, at least one side writes *)
+  | Write_write  (** same key, both sides write *)
+  | All_strong
+  | Classes of (int * int) list
+      (** symmetric pairs of conflicting operation classes *)
+
+(** Conflict between two operation descriptors. *)
+val ops_conflict : conflict_spec -> Types.opdesc -> Types.opdesc -> bool
+
+(** Conflict between two transactions' operation lists. *)
+val txs_conflict :
+  conflict_spec -> Types.opdesc list -> Types.opdesc list -> bool
+
+(** CPU service costs (microseconds per message) charged to the node
+    processing each message; they determine where each system saturates
+    and hence the shape of every throughput curve. *)
+type costs = {
+  c_base : int;
+  c_get_version : int;
+  c_prepare : int;
+  c_commit : int;
+  c_replicate_tx : int;
+  c_vec : int;
+  c_stablevec : int;
+  c_cert : int;
+  c_cert_ro : int;
+  c_cert_centralized : int;
+  c_accept : int;
+  c_deliver_tx : int;
+  c_client : int;
+}
+
+(** Calibrated against the paper's measured ratios; see DESIGN.md. *)
+val default_costs : costs
+
+type t = {
+  topo : Net.Topology.t;
+  partitions : int;  (** logical partitions, replicated at every DC *)
+  f : int;  (** tolerated data-center failures *)
+  mode : mode;
+  conflict : conflict_spec;
+  leader_dc : int;  (** initial Paxos leader DC (Virginia in §8) *)
+  propagate_period_us : int;  (** PROPAGATE_LOCAL_TXS period (5 ms in §8) *)
+  broadcast_period_us : int;  (** BROADCAST_VECS period (5 ms in §8) *)
+  strong_heartbeat_us : int;  (** dummy strong transaction period *)
+  clock_skew_us : int;  (** max absolute per-replica clock skew *)
+  detection_delay_us : int;  (** failure-detector reaction time *)
+  costs : costs;
+  seed : int;
+  use_hlc : bool;
+      (** use hybrid logical clocks: replicas merge received timestamps
+          into their clock instead of physically waiting for it to catch
+          up, removing the protocol's sensitivity to clock skew (the
+          integration §9 suggests) *)
+  trace_enabled : bool;
+      (** record a structured event trace ({!Sim.Trace}) of commits,
+          replication, deliveries and leadership changes *)
+  record_history : bool;  (** keep full transaction records (checker) *)
+  measure_visibility : bool;  (** record remote-visibility delays (Fig 6) *)
+}
+
+(** Build a configuration; every argument has a sensible default matching
+    the paper's setup (3 DCs, f = 1, 5 ms metadata periods, ±1 ms clock
+    skew). *)
+val default :
+  ?topo:Net.Topology.t ->
+  ?partitions:int ->
+  ?f:int ->
+  ?mode:mode ->
+  ?conflict:conflict_spec ->
+  ?leader_dc:int ->
+  ?propagate_period_us:int ->
+  ?broadcast_period_us:int ->
+  ?strong_heartbeat_us:int ->
+  ?clock_skew_us:int ->
+  ?detection_delay_us:int ->
+  ?costs:costs ->
+  ?seed:int ->
+  ?use_hlc:bool ->
+  ?trace_enabled:bool ->
+  ?record_history:bool ->
+  ?measure_visibility:bool ->
+  unit ->
+  t
+
+val dcs : t -> int
+
+(** [f + 1]: both the uniformity threshold and the Paxos quorum. *)
+val quorum : t -> int
+
+(** Whether the mode exchanges STABLEVEC between siblings and exposes
+    remote transactions only when uniform (all modes except [Cure_ft]). *)
+val tracks_uniformity : t -> bool
+
+(** Whether the strong-transaction machinery runs at all. *)
+val has_strong : t -> bool
+
+(** REDBLUE's single logical certification service. *)
+val centralized_cert : t -> bool
+
+(** What a transaction requested as [strong] resolves to under this mode
+    ([Strong] forces true; pure-causal modes force false). *)
+val effective_strong : t -> requested:bool -> bool

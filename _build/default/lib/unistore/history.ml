@@ -1,0 +1,179 @@
+(* Measurement and history recording.
+
+   Two independent concerns share this module:
+   - performance measurement (latency samples, throughput windows, abort
+     counts, visibility delays) for the experiment harness;
+   - full transaction records for the offline PoR consistency checker
+     (enabled by [Config.record_history]). *)
+
+module Vc = Vclock.Vc
+
+type txn_record = {
+  h_tid : Types.tid;
+  h_client : int;
+  h_dc : int;
+  h_strong : bool;
+  h_label : string;
+  h_snap : Vc.t;
+  h_vec : Vc.t;
+  h_lc : int;
+  h_reads : (Store.Keyspace.key * Crdt.value) list;  (* external reads, in order *)
+  h_writes : Types.write list;
+  h_ops : Types.opdesc list;
+  h_start_us : int;
+  h_commit_us : int;
+}
+
+(* see [system_commit] below *)
+and system_commit_cell = {
+  mutable sy_writes : Types.write list;
+  sy_vec : Vc.t;
+  sy_lc : int;
+  sy_origin : int;
+}
+
+type t = {
+  record_full : bool;
+  mutable txns : txn_record list;
+  mutable preloaded : Types.write list;  (* initial database state (t0) *)
+  mutable committed_causal : int;
+  mutable committed_strong : int;
+  mutable aborted_strong : int;
+  lat_causal : Sim.Stats.sample_set;
+  lat_strong : Sim.Stats.sample_set;
+  lat_all : Sim.Stats.sample_set;
+  lat_strong_by_dc : (int, Sim.Stats.sample_set) Hashtbl.t;
+  lat_by_label : (string, Sim.Stats.sample_set) Hashtbl.t;
+  mutable window : Sim.Stats.counter option;
+  (* (observer dc, origin dc) -> extra visibility delay samples *)
+  visibility : (int * int, Sim.Stats.sample_set) Hashtbl.t;
+  system_commits : (Types.tid, system_commit_cell) Hashtbl.t;
+  mutable now : unit -> int;
+}
+
+let create ?(record_full = false) () =
+  {
+    record_full;
+    txns = [];
+    preloaded = [];
+    committed_causal = 0;
+    committed_strong = 0;
+    aborted_strong = 0;
+    lat_causal = Sim.Stats.create_samples ();
+    lat_strong = Sim.Stats.create_samples ();
+    lat_all = Sim.Stats.create_samples ();
+    lat_strong_by_dc = Hashtbl.create 8;
+    lat_by_label = Hashtbl.create 16;
+    window = None;
+    visibility = Hashtbl.create 8;
+    system_commits = Hashtbl.create 64;
+    now = (fun () -> 0);
+  }
+
+let set_clock t now = t.now <- now
+
+(* Restrict throughput counting to [start, stop): the harness skips
+   warmup and cooldown, as the paper ignores first and last minute. *)
+let set_window t ~start ~stop =
+  t.window <- Some (Sim.Stats.create_counter ~window_start:start ~window_end:stop)
+
+let sample_for tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some s -> s
+  | None ->
+      let s = Sim.Stats.create_samples () in
+      Hashtbl.replace tbl key s;
+      s
+
+(* Record a committed transaction. [latency_us] is the client-observed
+   latency. Counters always run; latency samples honour the measurement
+   window when one is set (warmup/cooldown are excluded, as the paper
+   ignores the first and last minute of each run, §8). *)
+let committed t ~record ~latency_us =
+  let now = t.now () in
+  let inside =
+    match t.window with
+    | None -> true
+    | Some c ->
+        Sim.Stats.incr_counter c ~now;
+        Sim.Stats.in_window c ~now
+  in
+  if record.h_strong then t.committed_strong <- t.committed_strong + 1
+  else t.committed_causal <- t.committed_causal + 1;
+  if inside then begin
+    Sim.Stats.add t.lat_all latency_us;
+    if record.h_strong then begin
+      Sim.Stats.add t.lat_strong latency_us;
+      Sim.Stats.add (sample_for t.lat_strong_by_dc record.h_dc) latency_us
+    end
+    else Sim.Stats.add t.lat_causal latency_us;
+    Sim.Stats.add (sample_for t.lat_by_label record.h_label) latency_us
+  end;
+  if t.record_full then t.txns <- record :: t.txns
+
+let aborted t = t.aborted_strong <- t.aborted_strong + 1
+
+(* Commits observed system-side (at replicas / certification): covers
+   transactions whose client never received the acknowledgement (e.g. its
+   data center crashed after the commit applied). The checker uses these
+   as additional writers when a read observes a value no client-recorded
+   transaction explains. Keyed by tid; causal slices accumulate, strong
+   duplicates (origin + retries, multiple DCs) keep the first record. *)
+let system_commit t ~tid ~writes ~vec ~lc ~origin ~accumulate =
+  if t.record_full then
+    match Hashtbl.find_opt t.system_commits tid with
+    | Some sc -> if accumulate then sc.sy_writes <- writes @ sc.sy_writes
+    | None ->
+        Hashtbl.replace t.system_commits tid
+          { sy_writes = writes; sy_vec = vec; sy_lc = lc; sy_origin = origin }
+
+(* Writers known system-side but absent from the client-recorded history:
+   (writes, commit vector, tag). *)
+let unacked_writers t =
+  let acked = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace acked r.h_tid ()) t.txns;
+  Hashtbl.fold
+    (fun tid sc acc ->
+      if Hashtbl.mem acked tid then acc
+      else (sc.sy_writes, sc.sy_vec, { Crdt.lc = sc.sy_lc; origin = sc.sy_origin }) :: acc)
+    t.system_commits []
+
+let preloaded t ~key ~op =
+  if t.record_full then
+    t.preloaded <-
+      { Types.wkey = key; wop = op; wcls = Types.cls_default } :: t.preloaded
+
+let preloads t = t.preloaded
+
+let visibility_delay t ~observer ~origin ~delay_us =
+  Sim.Stats.add (sample_for t.visibility (observer, origin)) delay_us
+
+let visibility_samples t ~observer ~origin =
+  Hashtbl.find_opt t.visibility (observer, origin)
+
+let txns t = List.rev t.txns
+let committed_causal t = t.committed_causal
+let committed_strong t = t.committed_strong
+let committed_total t = t.committed_causal + t.committed_strong
+let aborted_strong t = t.aborted_strong
+
+let abort_rate t =
+  let attempts = t.committed_strong + t.aborted_strong in
+  if attempts = 0 then 0.0
+  else float_of_int t.aborted_strong /. float_of_int attempts
+
+let latency_causal t = t.lat_causal
+let latency_strong t = t.lat_strong
+let latency_all t = t.lat_all
+let latency_strong_by_dc t dc = Hashtbl.find_opt t.lat_strong_by_dc dc
+let latency_by_label t label = Hashtbl.find_opt t.lat_by_label label
+
+let labels t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.lat_by_label []
+  |> List.sort compare
+
+let throughput t =
+  match t.window with None -> None | Some c -> Some (Sim.Stats.throughput c)
+
+let window_commits t =
+  match t.window with None -> None | Some c -> Some (Sim.Stats.counter_events c)

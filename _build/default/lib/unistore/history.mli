@@ -1,0 +1,78 @@
+(** Measurement and history recording: latency samples, throughput
+    windows, abort counts, remote-visibility delays (Fig. 6), and —
+    when [Config.record_history] is set — full transaction records for
+    the offline PoR checker. *)
+
+type txn_record = {
+  h_tid : Types.tid;
+  h_client : int;
+  h_dc : int;
+  h_strong : bool;
+  h_label : string;
+  h_snap : Vclock.Vc.t;  (** snapshot vector the transaction ran on *)
+  h_vec : Vclock.Vc.t;  (** commit vector *)
+  h_lc : int;  (** Lamport clock of the commit *)
+  h_reads : (Store.Keyspace.key * Crdt.value) list;  (** in order *)
+  h_writes : Types.write list;  (** in order *)
+  h_ops : Types.opdesc list;  (** reads and writes interleaved, in order *)
+  h_start_us : int;
+  h_commit_us : int;
+}
+
+type t
+
+val create : ?record_full:bool -> unit -> t
+val set_clock : t -> (unit -> int) -> unit
+
+(** Restrict throughput counting and latency sampling to
+    [start, stop) (the paper ignores warmup and cooldown, §8). *)
+val set_window : t -> start:int -> stop:int -> unit
+
+val committed : t -> record:txn_record -> latency_us:int -> unit
+val aborted : t -> unit
+
+(** Record a commit observed system-side (replica commit application or
+    certification decision): explains reads of transactions whose client
+    never saw the acknowledgement (e.g. its DC crashed). [accumulate]
+    appends per-partition slices under one tid; otherwise the first
+    record wins. *)
+val system_commit :
+  t ->
+  tid:Types.tid ->
+  writes:Types.write list ->
+  vec:Vclock.Vc.t ->
+  lc:int ->
+  origin:int ->
+  accumulate:bool ->
+  unit
+
+(** Writers recorded system-side but missing from the client-recorded
+    history, as [(writes, commit vector, tag)]. *)
+val unacked_writers : t -> (Types.write list * Vclock.Vc.t * Crdt.tag) list
+val preloaded : t -> key:Store.Keyspace.key -> op:Crdt.op -> unit
+val preloads : t -> Types.write list
+val visibility_delay : t -> observer:int -> origin:int -> delay_us:int -> unit
+val visibility_samples : t -> observer:int -> origin:int -> Sim.Stats.sample_set option
+
+(** Full records in commit order (requires [record_full]). *)
+val txns : t -> txn_record list
+
+val committed_causal : t -> int
+val committed_strong : t -> int
+val committed_total : t -> int
+val aborted_strong : t -> int
+
+(** Aborts / (commits + aborts) over strong transactions. *)
+val abort_rate : t -> float
+
+val latency_causal : t -> Sim.Stats.sample_set
+val latency_strong : t -> Sim.Stats.sample_set
+val latency_all : t -> Sim.Stats.sample_set
+val latency_strong_by_dc : t -> int -> Sim.Stats.sample_set option
+val latency_by_label : t -> string -> Sim.Stats.sample_set option
+val labels : t -> string list
+
+(** Committed transactions per simulated second over the window. *)
+val throughput : t -> float option
+
+val window_commits : t -> int option

@@ -1,0 +1,219 @@
+(* Protocol messages. One variant covers the whole system: client/
+   coordinator RPCs, the causal protocol (Algorithms A1–A5), and the
+   transaction certification service (Algorithms A7–A10). *)
+
+module Vc = Vclock.Vc
+
+type addr = int (* Network.addr *)
+
+(* Prepared strong transaction at a partition replica (preparedStrong).
+   Carries the full write buffer and operation map so leader recovery can
+   re-certify the transaction across all its partitions. *)
+type prepared_strong = {
+  ps_tid : Types.tid;
+  ps_coord : addr;
+  ps_origin : int;  (* issuing client *)
+  ps_wbuff : Types.wbuff;
+  ps_ops : Types.opsmap;
+  ps_snap : Vc.t;
+  ps_vote : bool;  (* leader's certification vote: commit? *)
+  ps_ts : int;  (* proposed strong timestamp *)
+  ps_lc : int;
+}
+
+(* Decided strong transaction (decidedStrong). *)
+type decided_strong = {
+  ds_tid : Types.tid;
+  ds_origin : int;
+  ds_wbuff : Types.wbuff;
+  ds_ops : Types.opsmap;
+  ds_dec : bool;  (* committed? *)
+  ds_vec : Vc.t;  (* commit vector (meaningful when committed) *)
+  ds_lc : int;
+}
+
+type cert_caller = Normal | Restoring
+
+type t =
+  (* ---- client -> coordinator -------------------------------------- *)
+  | C_start of {
+      client : addr;
+      client_id : int;
+      req : int;
+      tid : Types.tid;  (* allocated by the client: (client id, seq) *)
+      past : Vc.t;
+    }
+  | C_read of { client : addr; req : int; tid : Types.tid; key : Store.Keyspace.key; cls : int }
+  | C_update of {
+      client : addr;
+      req : int;
+      tid : Types.tid;
+      key : Store.Keyspace.key;
+      op : Crdt.op;
+      cls : int;
+    }
+  | C_commit_causal of { client : addr; req : int; tid : Types.tid; lc : int }
+  | C_commit_strong of { client : addr; req : int; tid : Types.tid; lc : int }
+  | C_uniform_barrier of { client : addr; req : int; past : Vc.t }
+  | C_attach of { client : addr; req : int; past : Vc.t }
+  (* ---- coordinator -> client -------------------------------------- *)
+  | R_started of { req : int; tid : Types.tid; snap : Vc.t }
+  | R_value of { req : int; value : Crdt.value; lc : int option }
+  | R_committed of { req : int; vec : Vc.t }
+  | R_strong of { req : int; dec : bool; vec : Vc.t; lc : int }
+  | R_ok of { req : int }
+  (* ---- causal protocol, within a data center (Algorithms A2–A3) --- *)
+  | Get_version of { from : addr; tid : Types.tid; key : Store.Keyspace.key; snap : Vc.t }
+  | Version of { tid : Types.tid; key : Store.Keyspace.key; value : Crdt.value; lc : int option }
+  | Prepare of { from : addr; tid : Types.tid; writes : Types.write list; snap : Vc.t }
+  | Prepare_ack of { tid : Types.tid; part : int; ts : int }
+  | Commit of { tid : Types.tid; vec : Vc.t; lc : int; origin : int }
+  (* ---- replication and forwarding (Algorithm A4) ------------------- *)
+  | Replicate of { origin : int; txs : Types.tx_rec list }
+  | Heartbeat of { origin : int; ts : int }
+  (* ---- metadata exchange (Algorithm A5) ---------------------------- *)
+  (* In-DC dissemination tree for stableVec: minima flow up to partition
+     0, the computed stableVec flows back down. *)
+  | Kv_up of { part : int; vec : Vc.t }
+  | Stable_down of { vec : Vc.t }
+  | Stablevec of { dc : int; vec : Vc.t }
+  | Knownvec_global of { dc : int; vec : Vc.t }
+  (* ---- certification service (Algorithms A7–A10) ------------------- *)
+  | Prepare_strong of {
+      rid : int;
+      caller : cert_caller;
+      coord : addr;
+      tid : Types.tid;
+      origin : int;
+      wbuff : Types.wbuff;
+      ops : Types.opsmap;
+      snap : Vc.t;
+      lc : int;
+    }
+  | Already_decided of { rid : int; tid : Types.tid; dec : bool; vec : Vc.t; lc : int }
+  | Accept of {
+      b : int;
+      tid : Types.tid;
+      coord : addr;
+      rid : int;
+      origin : int;
+      wbuff : Types.wbuff;
+      ops : Types.opsmap;
+      snap : Vc.t;
+      vote : bool;
+      ts : int;
+      lc : int;
+    }
+  | Accept_ack of {
+      part : int;
+      b : int;
+      rid : int;
+      tid : Types.tid;
+      vote : bool;
+      ts : int;
+      lc : int;
+      from_dc : int;
+    }
+  | Unknown_tx of { b : int; rid : int; tid : Types.tid; coord : addr }
+  | Unknown_tx_ack of { part : int; rid : int; tid : Types.tid; from_dc : int }
+  | Decision of { b : int; tid : Types.tid; dec : bool; vec : Vc.t; lc : int }
+  | Learn_decision of { b : int; tid : Types.tid; dec : bool; vec : Vc.t; lc : int }
+  | Deliver of { b : int; ts : int }
+  (* Centralized certification (REDBLUE) pushes decided updates from the
+     per-DC certification replica to the data partitions of its DC. *)
+  | Push_updates of { txs : Types.tx_rec list; strong_ts : int }
+  (* ---- leader recovery (Algorithm A10) ------------------------------ *)
+  | Nack of { b : int; from : addr }
+  | New_leader of { b : int; from : addr }
+  | New_leader_ack of {
+      b : int;
+      cballot : int;
+      prepared : prepared_strong list;
+      decided : decided_strong list;
+      from : addr;
+    }
+  | New_state of {
+      b : int;
+      prepared : prepared_strong list;
+      decided : decided_strong list;
+      from : addr;
+    }
+  | New_state_ack of { b : int; from : addr }
+
+(* Service cost of a message (CPU microseconds at the processing node). *)
+let cost (c : Config.costs) = function
+  | C_start _ | C_read _ | C_update _ | C_commit_causal _ | C_commit_strong _
+  | C_uniform_barrier _ | C_attach _ ->
+      c.c_base
+  | R_started _ | R_value _ | R_committed _ | R_strong _ | R_ok _ ->
+      c.c_client
+  | Get_version _ -> c.c_get_version
+  | Version _ -> c.c_base
+  | Prepare _ -> c.c_prepare
+  | Prepare_ack _ -> c.c_base
+  | Commit _ -> c.c_commit
+  | Replicate { txs; _ } -> c.c_base + (c.c_replicate_tx * List.length txs)
+  | Heartbeat _ -> c.c_vec
+  | Kv_up _ | Stable_down _ | Knownvec_global _ -> c.c_vec
+  | Stablevec _ -> c.c_stablevec
+  | Prepare_strong { wbuff; _ } ->
+      if List.for_all (fun (_, ws) -> ws = []) wbuff then c.c_cert_ro
+      else c.c_cert
+  | Already_decided _ -> c.c_base
+  | Accept _ -> c.c_accept
+  | Accept_ack _ -> c.c_base
+  | Unknown_tx _ | Unknown_tx_ack _ -> c.c_base
+  | Decision _ -> c.c_base
+  | Learn_decision _ -> c.c_base
+  | Deliver _ -> c.c_base
+  | Push_updates { txs; _ } -> c.c_base + (c.c_deliver_tx * List.length txs)
+  | Nack _ | New_leader _ | New_leader_ack _ | New_state _ | New_state_ack _
+    ->
+      c.c_base
+
+(* Cost profile of the REDBLUE centralized service nodes: certification
+   there runs against every concurrent strong transaction in the system,
+   not one partition's slice. *)
+let cost_centralized (c : Config.costs) = function
+  | Prepare_strong _ -> c.c_cert_centralized
+  | m -> cost c m
+
+let kind = function
+  | C_start _ -> "c_start"
+  | C_read _ -> "c_read"
+  | C_update _ -> "c_update"
+  | C_commit_causal _ -> "c_commit_causal"
+  | C_commit_strong _ -> "c_commit_strong"
+  | C_uniform_barrier _ -> "c_uniform_barrier"
+  | C_attach _ -> "c_attach"
+  | R_started _ -> "r_started"
+  | R_value _ -> "r_value"
+  | R_committed _ -> "r_committed"
+  | R_strong _ -> "r_strong"
+  | R_ok _ -> "r_ok"
+  | Get_version _ -> "get_version"
+  | Version _ -> "version"
+  | Prepare _ -> "prepare"
+  | Prepare_ack _ -> "prepare_ack"
+  | Commit _ -> "commit"
+  | Replicate _ -> "replicate"
+  | Heartbeat _ -> "heartbeat"
+  | Kv_up _ -> "kv_up"
+  | Stable_down _ -> "stable_down"
+  | Stablevec _ -> "stablevec"
+  | Knownvec_global _ -> "knownvec_global"
+  | Prepare_strong _ -> "prepare_strong"
+  | Already_decided _ -> "already_decided"
+  | Accept _ -> "accept"
+  | Accept_ack _ -> "accept_ack"
+  | Unknown_tx _ -> "unknown_tx"
+  | Unknown_tx_ack _ -> "unknown_tx_ack"
+  | Decision _ -> "decision"
+  | Learn_decision _ -> "learn_decision"
+  | Deliver _ -> "deliver"
+  | Push_updates _ -> "push_updates"
+  | Nack _ -> "nack"
+  | New_leader _ -> "new_leader"
+  | New_leader_ack _ -> "new_leader_ack"
+  | New_state _ -> "new_state"
+  | New_state_ack _ -> "new_state_ack"

@@ -1,0 +1,1158 @@
+(* Partition replica p_d^m: the heart of UniStore.
+
+   This module implements:
+   - transaction coordination and the causal commit path (Algorithms
+     A1–A3): snapshot computation, version reads, the intra-DC 2PC for
+     causal transactions;
+   - replication, heartbeats and transaction forwarding (Algorithm A4);
+   - the metadata protocol computing stableVec and uniformVec
+     (Algorithm A5), with the in-DC dissemination tree the paper
+     mentions in §5.4;
+   - uniform barriers and client attachment (§5.6);
+   - the coordinator side of strong-transaction certification
+     (Algorithms A6–A7); the group-member side lives in [Cert].
+
+   Handlers execute atomically at a simulated timestamp, as the paper
+   assumes. The pseudocode's "wait until" statements become either
+   clock-waits (scheduled at the exact future instant) or state-waits
+   (predicates re-checked whenever replica state changes). *)
+
+module Vc = Vclock.Vc
+module Network = Net.Network
+module Engine = Sim.Engine
+
+let src = Logs.Src.create "unistore.replica"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Causal transaction prepared at this replica (preparedCausal). *)
+type prepared_causal = {
+  pc_tid : Types.tid;
+  pc_writes : Types.write list;
+  pc_ts : int;
+}
+
+(* State of a transaction this replica coordinates. *)
+type coord_tx = {
+  ct_tid : Types.tid;
+  ct_client : Msg.addr;
+  ct_client_id : int;
+  ct_snap : Vc.t;
+  ct_wbuff : (int, Types.write list ref) Hashtbl.t;  (* partition -> writes *)
+  mutable ct_ops : Types.opdesc list;  (* read set incl. written keys *)
+  mutable ct_read : (int * Store.Keyspace.key) option;  (* outstanding read: req, key *)
+  mutable ct_pending : int;  (* outstanding PREPARE_ACKs *)
+  mutable ct_max_ts : int;
+  mutable ct_commit_req : int;
+  mutable ct_lc : int;
+}
+
+(* Per-group progress of an outstanding certification request. *)
+type cert_group = {
+  mutable g_acks : int list;  (* member DCs that sent ACCEPT_ACK *)
+  mutable g_unknown : int list;  (* member DCs that sent UNKNOWN_TX_ACK *)
+  mutable g_ballot : int;
+  mutable g_vote : bool;
+  mutable g_ts : int;
+  mutable g_lc : int;
+  mutable g_done : bool;
+}
+
+type pending_cert = {
+  p_rid : int;
+  p_caller : Msg.cert_caller;
+  p_tid : Types.tid;
+  p_origin : int;
+  p_wbuff : Types.wbuff;
+  p_ops : Types.opsmap;
+  p_snap : Vc.t;
+  p_lc : int;
+  p_groups : (int * cert_group) list;
+  p_k : Cert.cert_result -> unit;
+  mutable p_done : bool;
+}
+
+type waiter = { w_pred : unit -> bool; w_action : unit -> unit }
+
+(* Addresses the replica needs but cannot know at construction time;
+   provided by [System] before the simulation starts. *)
+type env = {
+  e_lookup : int -> int -> Msg.addr;  (* dc, partition -> replica *)
+  e_rb_cert : (int -> Msg.addr) option;  (* dc -> REDBLUE service node *)
+}
+
+type t = {
+  cfg : Config.t;
+  eng : Engine.t;
+  net : Msg.t Network.t;
+  dc : int;
+  part : int;
+  uid : int;  (* globally unique replica number *)
+  skew : int;  (* clock skew, microseconds *)
+  mutable hlc : int;  (* hybrid logical clock (when Config.use_hlc) *)
+  mutable addr : Msg.addr;
+  mutable env : env;
+  history : History.t;
+  trace : Sim.Trace.t;
+  trace_src : string;
+  oplog : Store.Oplog.t;
+  (* --- §5.1 metadata ------------------------------------------------ *)
+  known_vec : Vc.t;
+  stable_vec : Vc.t;
+  uniform_vec : Vc.t;
+  local_agg : Vc.t array;  (* dissemination tree: child partition aggregates *)
+  stable_matrix : Vc.t array;  (* per DC *)
+  global_matrix : Vc.t array;  (* per DC *)
+  (* --- causal transactions ------------------------------------------ *)
+  mutable prepared_causal : prepared_causal list;
+  committed_causal : Types.tx_rec list ref array;  (* per origin DC, newest first *)
+  mutable last_prep_ts : int;
+  (* --- coordination -------------------------------------------------- *)
+  txns : (Types.tid, coord_tx) Hashtbl.t;
+  (* "wait until" queues, keyed by the threshold waited for, flushed when
+     the corresponding vector entry advances; a generic list remains for
+     the rare multi-entry waits (attach) *)
+  wait_known_local : (unit -> unit) Sim.Heap.t;
+  wait_known_strong : (unit -> unit) Sim.Heap.t;
+  wait_uniform_local : (unit -> unit) Sim.Heap.t;
+  mutable wait_seq : int;
+  mutable waiters : waiter list;
+  mutable checking : bool;
+  (* --- strong transactions ------------------------------------------- *)
+  mutable cert : Cert.t option;  (* per-partition group member (not REDBLUE) *)
+  trusted_view : int array;  (* group -> trusted leader DC (Ω view) *)
+  pending_cert : (int, pending_cert) Hashtbl.t;
+  mutable rid_ctr : int;
+  mutable hb_ctr : int;
+  (* --- failure handling ---------------------------------------------- *)
+  mutable suspected : int list;  (* DCs believed to have failed *)
+  (* Replication-frontier dedup: transactions of different partitions can
+     share a local timestamp (commit vectors take maxima over
+     per-partition prepare times), so the frontier timestamp alone cannot
+     distinguish "already applied" from "new"; we remember the tids
+     applied at the current frontier timestamp. *)
+  frontier_tids : Types.tid list array;  (* per origin DC *)
+  frontier_ts : int array;
+  (* --- Fig. 6 measurement --------------------------------------------- *)
+  pending_vis : (int * int) list ref array;  (* per origin: (local ts, arrival) *)
+}
+
+let dcs t = Config.dcs t.cfg
+let partitions t = t.cfg.Config.partitions
+
+(* The REDBLUE pseudo-group sits after all real partitions. *)
+let rb_group t = partitions t
+
+let alive t = not (Network.dc_failed t.net t.dc)
+
+(* Local clock: physical (NTP-style, skewed) or hybrid — the hybrid
+   clock is the physical clock merged with every timestamp the replica
+   has had to respect, so "wait until clock >= ts" becomes a merge
+   instead of a physical wait (Kulkarni et al. [35], suggested for
+   UniStore in §9). *)
+let clock t =
+  let physical = Engine.now t.eng + t.skew in
+  if t.cfg.Config.use_hlc then max physical t.hlc else physical
+
+let observe_clock t ts =
+  if t.cfg.Config.use_hlc && ts > t.hlc then t.hlc <- ts
+
+let now t = Engine.now t.eng
+
+let create cfg eng net ~dc ~part ~uid ~skew ~history ~trace =
+  let d = Config.dcs cfg in
+  {
+    cfg;
+    eng;
+    net;
+    dc;
+    part;
+    uid;
+    skew;
+    hlc = 0;
+    addr = -1;
+    env = { e_lookup = (fun _ _ -> -1); e_rb_cert = None };
+    history;
+    trace;
+    trace_src = Fmt.str "replica %d.%d" dc part;
+    oplog = Store.Oplog.create ();
+    known_vec = Vc.create ~dcs:d;
+    stable_vec = Vc.create ~dcs:d;
+    uniform_vec = Vc.create ~dcs:d;
+    local_agg = Array.init cfg.Config.partitions (fun _ -> Vc.create ~dcs:d);
+    stable_matrix = Array.init d (fun _ -> Vc.create ~dcs:d);
+    global_matrix = Array.init d (fun _ -> Vc.create ~dcs:d);
+    prepared_causal = [];
+    committed_causal = Array.init d (fun _ -> ref []);
+    last_prep_ts = 0;
+    txns = Hashtbl.create 64;
+    wait_known_local = Sim.Heap.create (fun () -> ());
+    wait_known_strong = Sim.Heap.create (fun () -> ());
+    wait_uniform_local = Sim.Heap.create (fun () -> ());
+    wait_seq = 0;
+    waiters = [];
+    checking = false;
+    cert = None;
+    trusted_view = Array.make (cfg.Config.partitions + 1) cfg.Config.leader_dc;
+    pending_cert = Hashtbl.create 16;
+    rid_ctr = 0;
+    hb_ctr = 0;
+    suspected = [];
+    frontier_tids = Array.make d [];
+    frontier_ts = Array.make d (-1);
+    pending_vis = Array.init d (fun _ -> ref []);
+  }
+
+let dc_of t = t.dc
+let part_of t = t.part
+let set_addr t addr = t.addr <- addr
+let set_env t env = t.env <- env
+let addr t = t.addr
+let oplog t = t.oplog
+let known_vec t = t.known_vec
+let stable_vec t = t.stable_vec
+let stable_matrix_dbg t = t.stable_matrix
+let uniform_vec t = t.uniform_vec
+
+let send t dst msg =
+  if dst = t.addr then Network.send_self t.net ~node:dst msg
+  else Network.send t.net ~src:t.addr ~dst msg
+
+let sibling t dc = t.env.e_lookup dc t.part
+let local_replica t part = t.env.e_lookup t.dc part
+
+(* ------------------------------------------------------------------ *)
+(* Waits. Threshold waits go into per-vector heaps popped when the
+   vector advances; predicate waits (attach) stay in a small list.       *)
+
+let check_waiters t =
+  if not t.checking then begin
+    t.checking <- true;
+    let progressed = ref true in
+    while !progressed do
+      let ready, rest = List.partition (fun w -> w.w_pred ()) t.waiters in
+      t.waiters <- rest;
+      progressed := ready <> [];
+      List.iter (fun w -> w.w_action ()) ready
+    done;
+    t.checking <- false
+  end
+
+let wait_until t pred action =
+  if pred () then action ()
+  else t.waiters <- { w_pred = pred; w_action = action } :: t.waiters
+
+let push_wait t heap ~threshold k =
+  t.wait_seq <- t.wait_seq + 1;
+  Sim.Heap.push heap ~time:threshold ~seq:t.wait_seq k
+
+let rec flush_wait heap ~frontier =
+  match Sim.Heap.peek heap with
+  | Some e when e.Sim.Heap.time <= frontier ->
+      ignore (Sim.Heap.pop heap);
+      e.Sim.Heap.value ();
+      flush_wait heap ~frontier
+  | _ -> ()
+
+(* Run [k] once knownVec[d] >= local and knownVec[strong] >= strong
+   (Algorithm A3 line 4). *)
+let wait_known t ~local ~strong k =
+  let rec stage_strong () =
+    if Vc.strong t.known_vec >= strong then k ()
+    else push_wait t t.wait_known_strong ~threshold:strong stage_strong
+  in
+  if Vc.get t.known_vec t.dc >= local then stage_strong ()
+  else push_wait t t.wait_known_local ~threshold:local stage_strong
+
+(* Run [k] once uniformVec[d] >= threshold (uniform barrier). *)
+let wait_uniform_local t ~threshold k =
+  if Vc.get t.uniform_vec t.dc >= threshold then k ()
+  else push_wait t t.wait_uniform_local ~threshold k
+
+let flush_known_local t =
+  flush_wait t.wait_known_local ~frontier:(Vc.get t.known_vec t.dc)
+
+let flush_known_strong t =
+  flush_wait t.wait_known_strong ~frontier:(Vc.strong t.known_vec)
+
+let flush_uniform_local t =
+  flush_wait t.wait_uniform_local ~frontier:(Vc.get t.uniform_vec t.dc);
+  check_waiters t
+
+(* Run [k] once the local clock reaches [ts]: a physical wait with real
+   clocks, an instantaneous merge with hybrid clocks. *)
+let at_clock t ts k =
+  if t.cfg.Config.use_hlc then begin
+    observe_clock t ts;
+    k ()
+  end
+  else if clock t >= ts then k ()
+  else
+    Engine.schedule_at t.eng ~time:(ts - t.skew) (fun () ->
+        if alive t then k ())
+
+(* ------------------------------------------------------------------ *)
+(* uniformVec / stableVec bookkeeping.                                  *)
+
+(* Visibility of a remote transaction for clients of this DC depends on
+   the mode: uniformity (UniStore) or stability (Cure). *)
+let remote_snapshot_vec t =
+  if Config.tracks_uniformity t.cfg then t.uniform_vec else t.stable_vec
+
+(* Record Fig. 6 samples: remote transactions become visible when the
+   mode's snapshot vector covers them. *)
+let flush_visibility t =
+  if t.cfg.Config.measure_visibility && t.part = 0 then begin
+    let vis = remote_snapshot_vec t in
+    for origin = 0 to dcs t - 1 do
+      if origin <> t.dc then begin
+        let pending = t.pending_vis.(origin) in
+        let visible, waiting =
+          List.partition (fun (ts, _) -> ts <= Vc.get vis origin) !pending
+        in
+        pending := waiting;
+        List.iter
+          (fun (_, arrival) ->
+            History.visibility_delay t.history ~observer:t.dc ~origin
+              ~delay_us:(now t - arrival))
+          visible
+      end
+    done
+  end
+
+(* uniformVec[j] := max over groups of f+1 DCs containing d of the
+   minimum stableVec[j] within the group (Algorithm A5 lines 10–15).
+   The best group keeps d and the f other DCs with the largest values. *)
+let recompute_uniform t =
+  let d = dcs t and f = t.cfg.Config.f in
+  for j = 0 to d - 1 do
+    let own = Vc.get t.stable_matrix.(t.dc) j in
+    let cand =
+      if f = 0 then own
+      else begin
+        let others = ref [] in
+        for h = 0 to d - 1 do
+          if h <> t.dc then others := Vc.get t.stable_matrix.(h) j :: !others
+        done;
+        let sorted = List.sort (fun a b -> compare b a) !others in
+        let fth = List.nth sorted (f - 1) in
+        min own fth
+      end
+    in
+    Vc.bump t.uniform_vec j cand
+  done;
+  flush_visibility t
+
+let bump_uniform_remote t vec =
+  for i = 0 to dcs t - 1 do
+    if i <> t.dc then Vc.bump t.uniform_vec i (Vc.get vec i)
+  done;
+  flush_visibility t;
+  check_waiters t
+
+(* In Cure mode client pasts reference stable rather than uniform remote
+   transactions; the analogous bump keeps snapshots monotone. *)
+let bump_snapshot_source t vec =
+  if Config.tracks_uniformity t.cfg then bump_uniform_remote t vec
+  else begin
+    for i = 0 to dcs t - 1 do
+      if i <> t.dc then Vc.bump t.stable_vec i (Vc.get vec i)
+    done;
+    flush_visibility t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Transaction coordination (Algorithm A2).                             *)
+
+(* START_TX (Algorithm A2 lines 1–8). The client allocates the tid. *)
+let start_tx t ~client ~client_id ~req ~tid ~past =
+  bump_snapshot_source t past;
+  let base = remote_snapshot_vec t in
+  let snap = Vc.copy base in
+  Vc.set snap t.dc (max (Vc.get past t.dc) (Vc.get base t.dc));
+  Vc.set_strong snap (max (Vc.strong past) (Vc.strong t.stable_vec));
+  let ct =
+    {
+      ct_tid = tid;
+      ct_client = client;
+      ct_client_id = client_id;
+      ct_snap = snap;
+      ct_wbuff = Hashtbl.create 4;
+      ct_ops = [];
+      ct_read = None;
+      ct_pending = 0;
+      ct_max_ts = 0;
+      ct_commit_req = -1;
+      ct_lc = 0;
+    }
+  in
+  Hashtbl.replace t.txns tid ct;
+  send t client (Msg.R_started { req; tid; snap })
+
+let own_writes ct key =
+  Hashtbl.fold
+    (fun _ ws acc ->
+      List.fold_left
+        (fun acc w -> if w.Types.wkey = key then w :: acc else acc)
+        acc (List.rev !ws))
+    ct.ct_wbuff []
+  |> List.rev
+
+let handle_read t ~client ~req ~tid ~key ~cls =
+  match Hashtbl.find_opt t.txns tid with
+  | None -> send t client (Msg.R_value { req; value = Crdt.V_none; lc = None })
+  | Some ct ->
+      ct.ct_ops <- { Types.key; cls; write = false } :: ct.ct_ops;
+      ct.ct_read <- Some (req, key);
+      let l = Store.Keyspace.partition ~partitions:(partitions t) key in
+      send t (local_replica t l)
+        (Msg.Get_version { from = t.addr; tid; key; snap = ct.ct_snap })
+
+let handle_version t ~tid ~key ~value ~lc =
+  match Hashtbl.find_opt t.txns tid with
+  | None -> ()
+  | Some ct -> (
+      match ct.ct_read with
+      | Some (req, k) when k = key ->
+          ct.ct_read <- None;
+          (* overlay the transaction's own writes (read your writes) *)
+          let value =
+            List.fold_left
+              (fun v w -> Crdt.apply_to_value v w.Types.wop)
+              value (own_writes ct key)
+          in
+          send t ct.ct_client (Msg.R_value { req; value; lc })
+      | _ -> ())
+
+let handle_update t ~client ~req ~tid ~key ~op ~cls =
+  match Hashtbl.find_opt t.txns tid with
+  | None -> send t client (Msg.R_ok { req })
+  | Some ct ->
+      let l = Store.Keyspace.partition ~partitions:(partitions t) key in
+      let ws =
+        match Hashtbl.find_opt ct.ct_wbuff l with
+        | Some ws -> ws
+        | None ->
+            let ws = ref [] in
+            Hashtbl.replace ct.ct_wbuff l ws;
+            ws
+      in
+      ws := { Types.wkey = key; wop = op; wcls = cls } :: !ws;
+      ct.ct_ops <- { Types.key; cls; write = true } :: ct.ct_ops;
+      send t client (Msg.R_ok { req })
+
+(* COMMIT_CAUSAL (Algorithm A2 lines 21–31). *)
+let handle_commit_causal t ~client ~req ~tid ~lc =
+  match Hashtbl.find_opt t.txns tid with
+  | None -> ()
+  | Some ct ->
+      let parts = Hashtbl.fold (fun l _ acc -> l :: acc) ct.ct_wbuff [] in
+      if parts = [] then begin
+        Hashtbl.remove t.txns tid;
+        send t client (Msg.R_committed { req; vec = ct.ct_snap })
+      end
+      else begin
+        ct.ct_pending <- List.length parts;
+        ct.ct_commit_req <- req;
+        ct.ct_lc <- lc;
+        List.iter
+          (fun l ->
+            let writes = List.rev !(Hashtbl.find ct.ct_wbuff l) in
+            send t (local_replica t l)
+              (Msg.Prepare { from = t.addr; tid; writes; snap = ct.ct_snap }))
+          parts
+      end
+
+let handle_prepare_ack t ~tid ~ts =
+  match Hashtbl.find_opt t.txns tid with
+  | None -> ()
+  | Some ct ->
+      ct.ct_max_ts <- max ct.ct_max_ts ts;
+      ct.ct_pending <- ct.ct_pending - 1;
+      if ct.ct_pending = 0 then begin
+        let vec = Vc.copy ct.ct_snap in
+        Vc.set vec t.dc (max (Vc.get vec t.dc) ct.ct_max_ts);
+        let parts = Hashtbl.fold (fun l _ acc -> l :: acc) ct.ct_wbuff [] in
+        List.iter
+          (fun l ->
+            send t (local_replica t l)
+              (Msg.Commit { tid; vec; lc = ct.ct_lc; origin = ct.ct_client_id }))
+          parts;
+        Hashtbl.remove t.txns tid;
+        send t ct.ct_client (Msg.R_committed { req = ct.ct_commit_req; vec })
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Partition-side causal handlers (Algorithm A3).                       *)
+
+let handle_get_version t ~from ~tid ~key ~snap =
+  bump_uniform_remote t snap;
+  wait_known t ~local:(Vc.get snap t.dc) ~strong:(Vc.strong snap) (fun () ->
+      let value, lc = Store.Oplog.read t.oplog key ~snap in
+      send t from (Msg.Version { tid; key; value; lc }))
+
+let handle_prepare t ~from ~tid ~writes ~snap =
+  bump_uniform_remote t snap;
+  (* The prepare time exceeds the clock (as in the paper), this replica's
+     replication frontier (preserving Property 1), previously issued
+     prepare times (distinct local timestamps per partition), and the
+     snapshot's local entry (so a commit vector strictly dominates its
+     snapshot and per-client local timestamps strictly increase). *)
+  let ts =
+    max (clock t)
+      (max (Vc.get snap t.dc)
+         (max (Vc.get t.known_vec t.dc) t.last_prep_ts)
+      + 1)
+  in
+  t.last_prep_ts <- ts;
+  observe_clock t ts;
+  t.prepared_causal <-
+    { pc_tid = tid; pc_writes = writes; pc_ts = ts } :: t.prepared_causal;
+  send t from (Msg.Prepare_ack { tid; part = t.part; ts })
+
+let handle_commit t ~tid ~vec ~lc ~origin =
+  at_clock t (Vc.get vec t.dc) (fun () ->
+      match
+        List.find_opt
+          (fun p -> Types.tid_equal p.pc_tid tid)
+          t.prepared_causal
+      with
+      | None -> ()
+      | Some p ->
+          t.prepared_causal <-
+            List.filter
+              (fun q -> not (Types.tid_equal q.pc_tid tid))
+              t.prepared_causal;
+          let tag = { Crdt.lc; origin } in
+          List.iter
+            (fun w -> Store.Oplog.append t.oplog w.Types.wkey ~op:w.Types.wop ~vec ~tag)
+            p.pc_writes;
+          let tx =
+            {
+              Types.tx_tid = tid;
+              tx_writes = p.pc_writes;
+              tx_vec = vec;
+              tx_lc = lc;
+              tx_origin = origin;
+            }
+          in
+          let q = t.committed_causal.(t.dc) in
+          q := tx :: !q;
+          History.system_commit t.history ~tid ~writes:p.pc_writes ~vec ~lc
+            ~origin ~accumulate:true;
+          Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"commit"
+            "%a local-ts=%d writes=%d" Types.tid_pp tid (Vc.get vec t.dc)
+            (List.length p.pc_writes))
+
+(* ------------------------------------------------------------------ *)
+(* Replication, heartbeats, forwarding (Algorithm A4).                  *)
+
+let propagate_local_txs t =
+  (match t.prepared_causal with
+  | [] -> Vc.bump t.known_vec t.dc (clock t)
+  | ps ->
+      let min_ts =
+        List.fold_left (fun acc p -> min acc p.pc_ts) max_int ps
+      in
+      Vc.bump t.known_vec t.dc (min_ts - 1));
+  let q = t.committed_causal.(t.dc) in
+  let ready, keep =
+    List.partition
+      (fun tx -> Vc.get tx.Types.tx_vec t.dc <= Vc.get t.known_vec t.dc)
+      !q
+  in
+  q := keep;
+  let ready =
+    List.sort
+      (fun a b ->
+        compare (Vc.get a.Types.tx_vec t.dc) (Vc.get b.Types.tx_vec t.dc))
+      ready
+  in
+  for i = 0 to dcs t - 1 do
+    if i <> t.dc then
+      if ready <> [] then
+        send t (sibling t i) (Msg.Replicate { origin = t.dc; txs = ready })
+      else
+        send t (sibling t i)
+          (Msg.Heartbeat { origin = t.dc; ts = Vc.get t.known_vec t.dc })
+  done;
+  flush_known_local t
+
+let handle_replicate t ~origin ~txs =
+  Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"replicate"
+    "from dc%d: %d txs" origin (List.length txs);
+  let txs =
+    List.sort
+      (fun a b ->
+        compare (Vc.get a.Types.tx_vec origin) (Vc.get b.Types.tx_vec origin))
+      txs
+  in
+  List.iter
+    (fun tx ->
+      let ts = Vc.get tx.Types.tx_vec origin in
+      let frontier = Vc.get t.known_vec origin in
+      let fresh =
+        ts > frontier
+        || (ts = frontier && t.frontier_ts.(origin) = ts
+           && not
+                (List.exists
+                   (Types.tid_equal tx.Types.tx_tid)
+                   t.frontier_tids.(origin)))
+      in
+      if fresh then begin
+        if t.frontier_ts.(origin) <> ts then begin
+          t.frontier_ts.(origin) <- ts;
+          t.frontier_tids.(origin) <- []
+        end;
+        t.frontier_tids.(origin) <- tx.Types.tx_tid :: t.frontier_tids.(origin);
+        let tag = Types.tx_tag tx in
+        List.iter
+          (fun w ->
+            Store.Oplog.append t.oplog w.Types.wkey ~op:w.Types.wop
+              ~vec:tx.Types.tx_vec ~tag)
+          tx.Types.tx_writes;
+        let q = t.committed_causal.(origin) in
+        q := tx :: !q;
+        Vc.set t.known_vec origin ts;
+        if t.cfg.Config.measure_visibility && t.part = 0 && origin <> t.dc
+        then begin
+          let pv = t.pending_vis.(origin) in
+          pv := (ts, now t) :: !pv
+        end
+      end)
+    txs
+
+let handle_heartbeat t ~origin ~ts =
+  if ts > Vc.get t.known_vec origin then Vc.set t.known_vec origin ts
+
+(* FORWARD_REMOTE_TXS(i, j): forward transactions that originated at the
+   (suspected) DC j to DC i, skipping what i already stores according to
+   globalMatrix (Algorithm A4 lines 22–27). *)
+let forward_remote_txs t ~dst ~origin =
+  (* include transactions at the threshold itself: distinct transactions
+     may share the frontier timestamp and the receiver dedups by tid *)
+  let threshold = Vc.get t.global_matrix.(dst) origin in
+  let txs =
+    List.filter
+      (fun tx -> Vc.get tx.Types.tx_vec origin >= threshold)
+      !(t.committed_causal.(origin))
+  in
+  if txs <> [] then
+    send t (sibling t dst) (Msg.Replicate { origin; txs })
+  else
+    send t (sibling t dst)
+      (Msg.Heartbeat { origin; ts = Vc.get t.known_vec origin })
+
+let run_forwarding t =
+  List.iter
+    (fun j ->
+      if j <> t.dc then
+        for i = 0 to dcs t - 1 do
+          if i <> t.dc && i <> j && not (Network.dc_failed t.net i) then
+            forward_remote_txs t ~dst:i ~origin:j
+        done)
+    t.suspected
+
+(* Drop forwarded buffers once every live DC stores them (§5.5). *)
+let prune_committed t =
+  for j = 0 to dcs t - 1 do
+    if j <> t.dc then begin
+      let covered ts =
+        let ok = ref true in
+        for i = 0 to dcs t - 1 do
+          if i <> j && i <> t.dc && not (Network.dc_failed t.net i) then
+            if Vc.get t.global_matrix.(i) j < ts then ok := false
+        done;
+        !ok
+      in
+      let q = t.committed_causal.(j) in
+      q := List.filter (fun tx -> not (covered (Vc.get tx.Types.tx_vec j))) !q
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Metadata exchange (Algorithm A5) with an in-DC dissemination tree.   *)
+
+let tree_parent part = (part - 1) / 2
+let tree_children t part =
+  let c1 = (2 * part) + 1 and c2 = (2 * part) + 2 in
+  List.filter (fun c -> c < partitions t) [ c1; c2 ]
+
+let subtree_agg t =
+  let agg = Vc.copy t.known_vec in
+  List.iter
+    (fun c ->
+      let v = t.local_agg.(c) in
+      for i = 0 to Array.length agg - 1 do
+        if Vc.get v i < Vc.get agg i then Vc.set agg i (Vc.get v i)
+      done)
+    (tree_children t t.part);
+  agg
+
+let update_stable t vec =
+  Vc.merge_into t.stable_vec vec;
+  Vc.merge_into t.stable_matrix.(t.dc) t.stable_vec;
+  recompute_uniform t;
+  flush_uniform_local t
+
+(* Messages must carry value snapshots, not live references: the
+   simulation is shared-memory and a receiver processes a message later,
+   when the sender's vector has already advanced. *)
+let broadcast_vecs t =
+  let agg = subtree_agg t in
+  if t.part = 0 then begin
+    (* root of the dissemination tree: agg is the DC-wide minimum; the
+       result is pushed directly to every partition (aggregation is a
+       tree, dissemination one hop, keeping stabilisation latency low) *)
+    update_stable t agg;
+    for p = 1 to partitions t - 1 do
+      send t (local_replica t p)
+        (Msg.Stable_down { vec = Vc.copy t.stable_vec })
+    done
+  end
+  else
+    send t
+      (local_replica t (tree_parent t.part))
+      (Msg.Kv_up { part = t.part; vec = agg });
+  (* sibling exchange across DCs *)
+  for i = 0 to dcs t - 1 do
+    if i <> t.dc then begin
+      if Config.tracks_uniformity t.cfg && dcs t > 1 then
+        send t (sibling t i)
+          (Msg.Stablevec { dc = t.dc; vec = Vc.copy t.stable_vec });
+      send t (sibling t i)
+        (Msg.Knownvec_global { dc = t.dc; vec = Vc.copy t.known_vec })
+    end
+  done;
+  prune_committed t
+
+let handle_kv_up t ~part ~vec =
+  (* partial minima only grow; keep the freshest report per child *)
+  Vc.merge_into t.local_agg.(part) vec
+
+let handle_stable_down t ~vec = update_stable t vec
+
+let handle_stablevec t ~dc ~vec =
+  Vc.merge_into t.stable_matrix.(dc) vec;
+  recompute_uniform t;
+  flush_uniform_local t
+
+let handle_knownvec_global t ~dc ~vec =
+  Vc.merge_into t.global_matrix.(dc) vec
+
+(* ------------------------------------------------------------------ *)
+(* Uniform barrier and attach (§5.6).                                   *)
+
+let handle_uniform_barrier t ~client ~req ~past =
+  wait_uniform_local t ~threshold:(Vc.get past t.dc) (fun () ->
+      send t client (Msg.R_ok { req }))
+
+let handle_attach t ~client ~req ~past =
+  wait_until t
+    (fun () ->
+      let ok = ref true in
+      for i = 0 to dcs t - 1 do
+        if i <> t.dc && Vc.get t.uniform_vec i < Vc.get past i then
+          ok := false
+      done;
+      !ok)
+    (fun () -> send t client (Msg.R_ok { req }))
+
+(* ------------------------------------------------------------------ *)
+(* Strong transactions: coordinator side (Algorithms A6–A7).            *)
+
+let group_leader_addr t g =
+  let leader = t.trusted_view.(g) in
+  if g = rb_group t then
+    match t.env.e_rb_cert with
+    | Some f -> f leader
+    | None -> invalid_arg "Replica: REDBLUE group without service nodes"
+  else t.env.e_lookup leader g
+
+let groups_of t ~wbuff ~ops =
+  if Config.centralized_cert t.cfg then [ rb_group t ]
+  else
+    List.sort_uniq compare
+      (Types.wbuff_partitions wbuff @ Types.opsmap_partitions ops)
+
+(* Re-send PREPARE_STRONG if certification has not concluded: covers
+   leader failures. Far above worst-case queueing delays so an overloaded
+   (but live) service is not hit with duplicate certification work. *)
+let cert_retry_us = 2_000_000
+
+let send_prepare_strong t pc =
+  List.iter
+    (fun (g, _) ->
+      send t (group_leader_addr t g)
+        (Msg.Prepare_strong
+           {
+             rid = pc.p_rid;
+             caller = pc.p_caller;
+             coord = t.addr;
+             tid = pc.p_tid;
+             origin = pc.p_origin;
+             wbuff = pc.p_wbuff;
+             ops = pc.p_ops;
+             snap = pc.p_snap;
+             lc = pc.p_lc;
+           }))
+    (List.filter (fun (_, g) -> not g.g_done) pc.p_groups)
+
+let rec schedule_cert_retry t pc =
+  Engine.schedule t.eng ~delay:cert_retry_us (fun () ->
+      if alive t && (not pc.p_done) && Hashtbl.mem t.pending_cert pc.p_rid
+      then begin
+        send_prepare_strong t pc;
+        schedule_cert_retry t pc
+      end)
+
+(* CERTIFY (Algorithm A7): submit to every involved group's leader and
+   collect quorums of ACCEPT_ACKs. *)
+let certify t ~caller ~tid ~origin ~wbuff ~ops ~snap ~lc ~k =
+  t.rid_ctr <- t.rid_ctr + 1;
+  let rid = (t.uid * 1_000_000) + t.rid_ctr in
+  let groups = groups_of t ~wbuff ~ops in
+  let groups =
+    List.map
+      (fun g ->
+        ( g,
+          {
+            g_acks = [];
+            g_unknown = [];
+            g_ballot = -1;
+            g_vote = true;
+            g_ts = 0;
+            g_lc = 0;
+            g_done = false;
+          } ))
+      groups
+  in
+  let pc =
+    {
+      p_rid = rid;
+      p_caller = caller;
+      p_tid = tid;
+      p_origin = origin;
+      p_wbuff = wbuff;
+      p_ops = ops;
+      p_snap = snap;
+      p_lc = lc;
+      p_groups = groups;
+      p_k = k;
+      p_done = false;
+    }
+  in
+  Hashtbl.replace t.pending_cert rid pc;
+  send_prepare_strong t pc;
+  schedule_cert_retry t pc
+
+let finish_cert t pc result =
+  if not pc.p_done then begin
+    pc.p_done <- true;
+    Hashtbl.remove t.pending_cert pc.p_rid;
+    pc.p_k result
+  end
+
+let complete_cert_if_ready t pc =
+  if (not pc.p_done) && List.for_all (fun (_, g) -> g.g_done) pc.p_groups
+  then begin
+    let dec = List.for_all (fun (_, g) -> g.g_vote) pc.p_groups in
+    let vec = Vc.copy pc.p_snap in
+    let ts =
+      List.fold_left (fun acc (_, g) -> max acc g.g_ts) 0 pc.p_groups
+    in
+    Vc.set_strong vec ts;
+    let lc =
+      List.fold_left (fun acc (_, g) -> max acc g.g_lc) pc.p_lc pc.p_groups
+    in
+    List.iter
+      (fun (g, gs) ->
+        send t (group_leader_addr t g)
+          (Msg.Decision { b = gs.g_ballot; tid = pc.p_tid; dec; vec; lc }))
+      pc.p_groups;
+    if dec then
+      History.system_commit t.history ~tid:pc.p_tid
+        ~writes:(List.concat_map snd pc.p_wbuff)
+        ~vec ~lc ~origin:pc.p_origin ~accumulate:false;
+    finish_cert t pc (Cert.Decided (dec, vec, lc))
+  end
+
+let handle_accept_ack t ~part ~b ~rid ~tid ~vote ~ts ~lc ~from_dc =
+  match Hashtbl.find_opt t.pending_cert rid with
+  | None -> ()
+  | Some pc -> (
+      if Types.tid_equal pc.p_tid tid then
+        match List.assoc_opt part pc.p_groups with
+        | None -> ()
+        | Some g ->
+            if not g.g_done then begin
+              if b > g.g_ballot then begin
+                (* a new ballot supersedes acks from older ones *)
+                g.g_ballot <- b;
+                g.g_acks <- []
+              end;
+              if b = g.g_ballot && not (List.mem from_dc g.g_acks) then begin
+                g.g_acks <- from_dc :: g.g_acks;
+                g.g_vote <- vote;
+                g.g_ts <- ts;
+                g.g_lc <- lc;
+                if List.length g.g_acks >= Config.quorum t.cfg then begin
+                  g.g_done <- true;
+                  complete_cert_if_ready t pc
+                end
+              end
+            end)
+
+let handle_already_decided t ~rid ~tid ~dec ~vec ~lc =
+  match Hashtbl.find_opt t.pending_cert rid with
+  | None -> ()
+  | Some pc ->
+      if Types.tid_equal pc.p_tid tid then begin
+        (* propagate the decision to groups we have a ballot for; the
+           leaders' RETRY task covers the rest *)
+        List.iter
+          (fun (g, gs) ->
+            if gs.g_ballot >= 0 then
+              send t (group_leader_addr t g)
+                (Msg.Decision { b = gs.g_ballot; tid; dec; vec; lc }))
+          pc.p_groups;
+        finish_cert t pc (Cert.Decided (dec, vec, lc))
+      end
+
+let handle_unknown_tx_ack t ~part ~rid ~tid ~from_dc =
+  match Hashtbl.find_opt t.pending_cert rid with
+  | None -> ()
+  | Some pc -> (
+      if Types.tid_equal pc.p_tid tid then
+        match List.assoc_opt part pc.p_groups with
+        | None -> ()
+        | Some g ->
+            if not (List.mem from_dc g.g_unknown) then begin
+              g.g_unknown <- from_dc :: g.g_unknown;
+              if List.length g.g_unknown >= Config.quorum t.cfg then
+                finish_cert t pc Cert.Unknown
+            end)
+
+(* COMMIT_STRONG (Algorithm A6): make the snapshot uniform, then certify. *)
+let handle_commit_strong t ~client ~req ~tid ~lc =
+  match Hashtbl.find_opt t.txns tid with
+  | None -> ()
+  | Some ct ->
+      let wbuff =
+        Hashtbl.fold
+          (fun l ws acc -> (l, List.rev !ws) :: acc)
+          ct.ct_wbuff []
+      in
+      let ops_by_part = Hashtbl.create 4 in
+      List.iter
+        (fun (o : Types.opdesc) ->
+          let l = Store.Keyspace.partition ~partitions:(partitions t) o.key in
+          let cur =
+            match Hashtbl.find_opt ops_by_part l with
+            | Some os -> os
+            | None -> []
+          in
+          Hashtbl.replace ops_by_part l (o :: cur))
+        ct.ct_ops;
+      let ops = Hashtbl.fold (fun l os acc -> (l, os) :: acc) ops_by_part [] in
+      Hashtbl.remove t.txns tid;
+      wait_uniform_local t ~threshold:(Vc.get ct.ct_snap t.dc) (fun () ->
+          certify t ~caller:Msg.Normal ~tid ~origin:ct.ct_client_id ~wbuff
+            ~ops ~snap:ct.ct_snap ~lc ~k:(fun result ->
+              match result with
+              | Cert.Decided (dec, vec, lc) ->
+                  send t client (Msg.R_strong { req; dec; vec; lc })
+              | Cert.Unknown ->
+                  (* cannot happen for NORMAL callers; fail the commit *)
+                  send t client
+                    (Msg.R_strong
+                       { req; dec = false; vec = ct.ct_snap; lc })))
+
+(* DELIVER_UPDATES (Algorithm A6 lines 5–9): apply this partition's slice
+   of each committed strong transaction, in strong-timestamp order. *)
+let deliver_strong t txs ~strong_ts =
+  List.iter
+    (fun tx ->
+      let tag = Types.tx_tag tx in
+      List.iter
+        (fun w ->
+          if
+            Store.Keyspace.partition ~partitions:(partitions t) w.Types.wkey
+            = t.part
+          then
+            Store.Oplog.append t.oplog w.Types.wkey ~op:w.Types.wop
+              ~vec:tx.Types.tx_vec ~tag)
+        tx.Types.tx_writes)
+    txs;
+  if strong_ts > Vc.strong t.known_vec then Vc.set_strong t.known_vec strong_ts;
+  (* dummy heartbeats deliver empty write sets; only real updates are
+     worth tracing *)
+  if List.exists (fun tx -> tx.Types.tx_writes <> []) txs then
+    Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"deliver-strong"
+      "ts=%d txs=%d" strong_ts (List.length txs);
+  flush_known_strong t
+
+(* REDBLUE: updates pushed by the DC's certification service node. *)
+let handle_push_updates t ~txs ~strong_ts = deliver_strong t txs ~strong_ts
+
+(* Dummy strong transaction acting as a heartbeat (Algorithm A6 line 10). *)
+let strong_heartbeat t =
+  t.hb_ctr <- t.hb_ctr + 1;
+  let tid = { Types.cl = -(t.uid + 2); sq = t.hb_ctr } in
+  let g = if Config.centralized_cert t.cfg then rb_group t else t.part in
+  certify t ~caller:Msg.Normal ~tid ~origin:(-1) ~wbuff:[ (g, []) ]
+    ~ops:[ (g, []) ]
+    ~snap:(Vc.create ~dcs:(dcs t))
+    ~lc:0
+    ~k:(fun _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Failure handling: Ω updates and forwarding activation.               *)
+
+let suspect t failed_dc =
+  if not (List.mem failed_dc t.suspected) then begin
+    t.suspected <- failed_dc :: t.suspected;
+    Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"suspect"
+      "dc%d failed; forwarding its transactions" failed_dc;
+    (* move Ω for every group led by the failed DC to the first live DC *)
+    let next_live =
+      let rec go i = if List.mem i t.suspected then go (i + 1) else i in
+      go 0
+    in
+    Array.iteri
+      (fun g trusted ->
+        if List.mem trusted t.suspected then t.trusted_view.(g) <- next_live)
+      (Array.copy t.trusted_view);
+    match t.cert with
+    | Some c when Cert.trusted c <> t.trusted_view.(t.part) ->
+        Cert.set_trusted c t.trusted_view.(t.part)
+    | _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Assembly: cert context and message dispatch.                         *)
+
+let make_cert t =
+  let ctx =
+    {
+      Cert.x_dc = t.dc;
+      x_group = t.part;
+      x_dcs = dcs t;
+      x_quorum = Config.quorum t.cfg;
+      x_conflict_ops = Config.ops_conflict t.cfg.Config.conflict;
+      x_all_conflict = (t.cfg.Config.conflict = Config.All_strong);
+      x_ops_slice = (fun ops -> Types.opsmap_find ops t.part);
+      x_clock = (fun () -> clock t);
+      x_now = (fun () -> now t);
+      x_send = (fun dst msg -> send t dst msg);
+      x_self = (fun () -> t.addr);
+      x_member = (fun dc -> sibling t dc);
+      x_dc_of = (fun a -> Network.dc_of t.net a);
+      x_deliver = (fun txs ~strong_ts -> deliver_strong t txs ~strong_ts);
+      x_at_clock = (fun ts k -> at_clock t ts k);
+      x_certify =
+        (fun ~caller ~tid ~origin ~wbuff ~ops ~snap ~lc ~k ->
+          certify t ~caller ~tid ~origin ~wbuff ~ops ~snap ~lc ~k);
+      x_alive = (fun () -> alive t);
+    }
+  in
+  t.cert <- Some (Cert.create ctx ~leader_dc:t.cfg.Config.leader_dc)
+
+let cert t = t.cert
+
+(* Start the periodic tasks (Algorithm A4 line 1, Algorithm A5 line 1,
+   heartbeats for strong transactions). [phase] staggers replicas. *)
+let start_timers t ~phase =
+  let cfg = t.cfg in
+  Engine.every t.eng ~period:cfg.Config.propagate_period_us ~phase (fun () ->
+      if alive t then begin
+        propagate_local_txs t;
+        run_forwarding t;
+        true
+      end
+      else false);
+  Engine.every t.eng ~period:cfg.Config.broadcast_period_us
+    ~phase:(phase + 1) (fun () ->
+      if alive t then begin
+        broadcast_vecs t;
+        true
+      end
+      else false);
+  if Config.has_strong cfg && not (Config.centralized_cert cfg) then begin
+    Engine.every t.eng ~period:cfg.Config.strong_heartbeat_us
+      ~phase:(phase + 2) (fun () ->
+        if alive t then begin
+          (match t.cert with
+          | Some c ->
+              if
+                Cert.is_leader c
+                && now t - Cert.idle_since c >= cfg.Config.strong_heartbeat_us
+              then strong_heartbeat t
+          | None -> ());
+          true
+        end
+        else false);
+    (* housekeeping runs far less often than heartbeats: it walks the
+       whole decided table *)
+    Engine.every t.eng ~period:500_000 ~phase:(phase + 3) (fun () ->
+        if alive t then begin
+          (match t.cert with
+          | Some c ->
+              Cert.retry_stale c ~older_than_us:(4 * cert_retry_us);
+              Cert.prune_decided c
+                ~keep_after:(Cert.last_delivered c - 1_500_000)
+          | None -> ());
+          true
+        end
+        else false)
+  end
+
+let handle t msg =
+  (match msg with
+  | Msg.C_start { client; client_id; req; tid; past } ->
+      start_tx t ~client ~client_id ~req ~tid ~past
+  | Msg.C_read { client; req; tid; key; cls } ->
+      handle_read t ~client ~req ~tid ~key ~cls
+  | Msg.C_update { client; req; tid; key; op; cls } ->
+      handle_update t ~client ~req ~tid ~key ~op ~cls
+  | Msg.C_commit_causal { client; req; tid; lc } ->
+      handle_commit_causal t ~client ~req ~tid ~lc
+  | Msg.C_commit_strong { client; req; tid; lc } ->
+      handle_commit_strong t ~client ~req ~tid ~lc
+  | Msg.C_uniform_barrier { client; req; past } ->
+      handle_uniform_barrier t ~client ~req ~past
+  | Msg.C_attach { client; req; past } -> handle_attach t ~client ~req ~past
+  | Msg.Get_version { from; tid; key; snap } ->
+      handle_get_version t ~from ~tid ~key ~snap
+  | Msg.Version { tid; key; value; lc } -> handle_version t ~tid ~key ~value ~lc
+  | Msg.Prepare { from; tid; writes; snap } ->
+      handle_prepare t ~from ~tid ~writes ~snap
+  | Msg.Prepare_ack { tid; ts; _ } -> handle_prepare_ack t ~tid ~ts
+  | Msg.Commit { tid; vec; lc; origin } -> handle_commit t ~tid ~vec ~lc ~origin
+  | Msg.Replicate { origin; txs } -> handle_replicate t ~origin ~txs
+  | Msg.Heartbeat { origin; ts } -> handle_heartbeat t ~origin ~ts
+  | Msg.Kv_up { part; vec } -> handle_kv_up t ~part ~vec
+  | Msg.Stable_down { vec } -> handle_stable_down t ~vec
+  | Msg.Stablevec { dc; vec } -> handle_stablevec t ~dc ~vec
+  | Msg.Knownvec_global { dc; vec } -> handle_knownvec_global t ~dc ~vec
+  | Msg.Accept_ack { part; b; rid; tid; vote; ts; lc; from_dc } ->
+      handle_accept_ack t ~part ~b ~rid ~tid ~vote ~ts ~lc ~from_dc
+  | Msg.Already_decided { rid; tid; dec; vec; lc } ->
+      handle_already_decided t ~rid ~tid ~dec ~vec ~lc
+  | Msg.Unknown_tx_ack { part; rid; tid; from_dc } ->
+      handle_unknown_tx_ack t ~part ~rid ~tid ~from_dc
+  | Msg.Push_updates { txs; strong_ts } ->
+      handle_push_updates t ~txs ~strong_ts
+  | Msg.R_started _ | Msg.R_value _ | Msg.R_committed _ | Msg.R_strong _
+  | Msg.R_ok _ ->
+      ()  (* client-bound replies never reach replicas *)
+  | ( Msg.Prepare_strong _ | Msg.Accept _ | Msg.Decision _
+    | Msg.Learn_decision _ | Msg.Deliver _ | Msg.Unknown_tx _ | Msg.Nack _
+    | Msg.New_leader _ | Msg.New_leader_ack _ | Msg.New_state _
+    | Msg.New_state_ack _ ) as m -> (
+      match t.cert with
+      | Some c -> ignore (Cert.handle c m)
+      | None ->
+          Log.debug (fun k ->
+              k "replica %d.%d dropped %s (no certification group)" t.dc
+                t.part (Msg.kind m))))

@@ -1,0 +1,81 @@
+(** Partition replica p_d^m: transaction coordination and the causal
+    commit path (Algorithms A1–A3), replication/heartbeats/forwarding
+    (A4), the stableVec/uniformVec metadata protocol (A5), uniform
+    barriers and attach (§5.6), and the coordinator side of strong
+    certification (A6–A7). Group-member certification lives in {!Cert}.
+
+    Replicas are built and wired by {!System}; tests and benches reach
+    the accessors. *)
+
+type t
+
+(** Late-bound addresses provided by [System]. *)
+type env = {
+  e_lookup : int -> int -> Msg.addr;  (** dc, partition -> replica *)
+  e_rb_cert : (int -> Msg.addr) option;  (** dc -> REDBLUE service node *)
+}
+
+val create :
+  Config.t ->
+  Sim.Engine.t ->
+  Msg.t Net.Network.t ->
+  dc:int ->
+  part:int ->
+  uid:int ->
+  skew:int ->
+  history:History.t ->
+  trace:Sim.Trace.t ->
+  t
+
+val dc_of : t -> int
+val part_of : t -> int
+val set_addr : t -> Msg.addr -> unit
+val set_env : t -> env -> unit
+val addr : t -> Msg.addr
+
+(** Instantiate this replica's per-partition certification group
+    membership (not used under REDBLUE). *)
+val make_cert : t -> unit
+
+val cert : t -> Cert.t option
+
+(** Start the periodic protocol tasks: PROPAGATE_LOCAL_TXS,
+    BROADCAST_VECS, strong heartbeats and certification housekeeping.
+    [phase] staggers replicas. *)
+val start_timers : t -> phase:int -> unit
+
+(** Process one protocol message (registered as the network handler). *)
+val handle : t -> Msg.t -> unit
+
+(** Ω notification: [failed_dc] is believed to have crashed — re-point
+    leaders led by it and start forwarding its transactions (§5.5). *)
+val suspect : t -> int -> unit
+
+(** Coordinator-side certification (Algorithm A7): submit to every
+    involved group leader, collect quorums of ACCEPT_ACKs, broadcast the
+    decision, pass the result to [k]. *)
+val certify :
+  t ->
+  caller:Msg.cert_caller ->
+  tid:Types.tid ->
+  origin:int ->
+  wbuff:Types.wbuff ->
+  ops:Types.opsmap ->
+  snap:Vclock.Vc.t ->
+  lc:int ->
+  k:(Cert.cert_result -> unit) ->
+  unit
+
+(** Submit a dummy strong transaction (Algorithm A6 line 10). *)
+val strong_heartbeat : t -> unit
+
+(** {2 State accessors (tests, benches, convergence checks)} *)
+
+val oplog : t -> Store.Oplog.t
+val known_vec : t -> Vclock.Vc.t
+val stable_vec : t -> Vclock.Vc.t
+val uniform_vec : t -> Vclock.Vc.t
+val stable_matrix_dbg : t -> Vclock.Vc.t array
+
+(** The replica's local clock (physical + skew, or hybrid). *)
+val clock : t -> int

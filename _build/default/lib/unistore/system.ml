@@ -1,0 +1,368 @@
+(* Deployment assembly: builds the data store described by a [Config.t]
+   on top of the simulated network — replicas for every partition at
+   every data center, certification groups, the REDBLUE centralized
+   service when configured, periodic protocol tasks, clients, and
+   failure injection with the Ω failure detector. *)
+
+module Vc = Vclock.Vc
+module Network = Net.Network
+module Engine = Sim.Engine
+module Rng = Sim.Rng
+
+type certify_fn =
+  caller:Msg.cert_caller ->
+  tid:Types.tid ->
+  origin:int ->
+  wbuff:Types.wbuff ->
+  ops:Types.opsmap ->
+  snap:Vc.t ->
+  lc:int ->
+  k:(Cert.cert_result -> unit) ->
+  unit
+
+type t = {
+  cfg : Config.t;
+  eng : Engine.t;
+  net : Msg.t Network.t;
+  history : History.t;
+  trace : Sim.Trace.t;
+  replicas : Replica.t array array;  (* [dc].(partition) *)
+  addrs : Msg.addr array array;
+  rb_certs : (Cert.t * Msg.addr) array;  (* REDBLUE service nodes, per DC *)
+  mutable clients : Client.t list;
+  mutable next_client : int;
+}
+
+let cfg t = t.cfg
+let trace t = t.trace
+let engine t = t.eng
+let network t = t.net
+let history t = t.history
+let now t = Engine.now t.eng
+let replica t ~dc ~part = t.replicas.(dc).(part)
+let clients t = List.rev t.clients
+
+(* Build the REDBLUE certification service: one node per DC forming a
+   single Paxos group whose committed updates are pushed to the DC's data
+   partitions. RETRY/recovery re-certification is delegated to partition
+   0's replica of the DC (patched in once replicas exist). *)
+let make_rb_certs cfg eng net ~addrs ~rng ~certify_of_dc =
+  let dcs = Config.dcs cfg in
+  let partitions = cfg.Config.partitions in
+  let rb_addrs = Array.make dcs (-1) in
+  let cert_refs = Array.make dcs None in
+  for dc = 0 to dcs - 1 do
+    let skew =
+      let s = cfg.Config.clock_skew_us in
+      if s = 0 then 0 else Rng.int rng (2 * s) - s
+    in
+    let handler msg =
+      match cert_refs.(dc) with
+      | Some c -> ignore (Cert.handle c msg)
+      | None -> ()
+    in
+    let addr =
+      Network.register net ~dc
+        ~cost:(Msg.cost_centralized cfg.Config.costs)
+        handler
+    in
+    rb_addrs.(dc) <- addr;
+    let deliver txs ~strong_ts =
+      (* push each partition its slice; every partition learns the new
+         strong timestamp even when it has no writes *)
+      for p = 0 to partitions - 1 do
+        let sliced =
+          List.map
+            (fun tx ->
+              {
+                tx with
+                Types.tx_writes =
+                  List.filter
+                    (fun w ->
+                      Store.Keyspace.partition ~partitions w.Types.wkey = p)
+                    tx.Types.tx_writes;
+              })
+            txs
+        in
+        Network.send net ~src:addr ~dst:addrs.(dc).(p)
+          (Msg.Push_updates { txs = sliced; strong_ts })
+      done
+    in
+    let ctx =
+      {
+        Cert.x_dc = dc;
+        x_group = partitions;
+        x_dcs = dcs;
+        x_quorum = Config.quorum cfg;
+        x_conflict_ops = Config.ops_conflict cfg.Config.conflict;
+        x_all_conflict = (cfg.Config.conflict = Config.All_strong);
+        x_ops_slice = (fun ops -> List.concat_map snd ops);
+        x_clock = (fun () -> Engine.now eng + skew);
+        x_now = (fun () -> Engine.now eng);
+        x_send =
+          (fun dst msg ->
+            if dst = addr then Network.send_self net ~node:addr msg
+            else Network.send net ~src:addr ~dst msg);
+        x_self = (fun () -> addr);
+        x_member = (fun i -> rb_addrs.(i));
+        x_dc_of = (fun a -> Network.dc_of net a);
+        x_deliver = deliver;
+        x_at_clock =
+          (fun ts k ->
+            if Engine.now eng + skew >= ts then k ()
+            else
+              Engine.schedule_at eng ~time:(ts - skew) (fun () ->
+                  if not (Network.dc_failed net dc) then k ()));
+        x_certify =
+          (fun ~caller ~tid ~origin ~wbuff ~ops ~snap ~lc ~k ->
+            (certify_of_dc dc) ~caller ~tid ~origin ~wbuff ~ops ~snap ~lc ~k);
+        x_alive = (fun () -> not (Network.dc_failed net dc));
+      }
+    in
+    cert_refs.(dc) <- Some (Cert.create ctx ~leader_dc:cfg.Config.leader_dc)
+  done;
+  Array.init dcs (fun dc ->
+      match cert_refs.(dc) with
+      | Some c -> (c, rb_addrs.(dc))
+      | None -> assert false)
+
+let create cfg =
+  let eng = Engine.create ~seed:cfg.Config.seed () in
+  let rng = Rng.split (Engine.rng eng) ~id:0x515 in
+  let net = Network.create eng cfg.Config.topo in
+  let history = History.create ~record_full:cfg.Config.record_history () in
+  History.set_clock history (fun () -> Engine.now eng);
+  let trace =
+    Sim.Trace.create
+      ~clock:(fun () -> Engine.now eng)
+      ~enabled:cfg.Config.trace_enabled ()
+  in
+  let dcs = Config.dcs cfg in
+  let partitions = cfg.Config.partitions in
+  let replicas =
+    Array.init dcs (fun dc ->
+        Array.init partitions (fun part ->
+            let skew =
+              let s = cfg.Config.clock_skew_us in
+              if s = 0 then 0 else Rng.int rng (2 * s) - s
+            in
+            Replica.create cfg eng net ~dc ~part
+              ~uid:((dc * partitions) + part)
+              ~skew ~history ~trace))
+  in
+  let addrs =
+    Array.map
+      (fun row ->
+        Array.map
+          (fun r ->
+            Network.register net
+              ~dc:(Replica.dc_of r)
+              ~cost:(Msg.cost cfg.Config.costs)
+              (fun msg -> Replica.handle r msg))
+          row)
+      replicas
+  in
+  Array.iteri
+    (fun dc row ->
+      Array.iteri (fun part r -> Replica.set_addr r addrs.(dc).(part)) row)
+    replicas;
+  let rb_certs =
+    if Config.centralized_cert cfg then
+      let certify_of_dc dc ~caller ~tid ~origin ~wbuff ~ops ~snap ~lc ~k =
+        Replica.certify replicas.(dc).(0) ~caller ~tid ~origin ~wbuff ~ops
+          ~snap ~lc ~k
+      in
+      make_rb_certs cfg eng net ~addrs ~rng ~certify_of_dc
+    else [||]
+  in
+  let env =
+    {
+      Replica.e_lookup = (fun dc part -> addrs.(dc).(part));
+      e_rb_cert =
+        (if Config.centralized_cert cfg then
+           Some (fun dc -> snd rb_certs.(dc))
+         else None);
+    }
+  in
+  Array.iter (Array.iter (fun r -> Replica.set_env r env)) replicas;
+  if Config.has_strong cfg && not (Config.centralized_cert cfg) then
+    Array.iter (Array.iter Replica.make_cert) replicas;
+  (* start periodic tasks, staggered so replicas do not broadcast in
+     lock-step *)
+  Array.iter
+    (Array.iter (fun r ->
+         Replica.start_timers r
+           ~phase:(Rng.int rng cfg.Config.propagate_period_us)))
+    replicas;
+  (* the REDBLUE leader needs dummy strong heartbeats too: partition 0's
+     replica of the leader DC submits them *)
+  if Config.centralized_cert cfg then
+    Engine.every eng ~period:cfg.Config.strong_heartbeat_us
+      ~phase:(Rng.int rng cfg.Config.strong_heartbeat_us) (fun () ->
+        let lead, _ = rb_certs.(0) in
+        ignore lead;
+        let live_leader =
+          let rec find dc =
+            if dc >= dcs then None
+            else if Network.dc_failed net dc then find (dc + 1)
+            else Some dc
+          in
+          (* heartbeat from whichever DC currently leads *)
+          let rec leading dc =
+            if dc >= dcs then find 0
+            else
+              let c, _ = rb_certs.(dc) in
+              if Cert.is_leader c && not (Network.dc_failed net dc) then
+                Some dc
+              else leading (dc + 1)
+          in
+          leading 0
+        in
+        (match live_leader with
+        | Some dc ->
+            let c, _ = rb_certs.(dc) in
+            if
+              Engine.now eng - Cert.idle_since c
+              >= cfg.Config.strong_heartbeat_us
+            then Replica.strong_heartbeat replicas.(dc).(0)
+        | None -> ());
+        true);
+  if Config.centralized_cert cfg then
+    Engine.every eng ~period:500_000 ~phase:123 (fun () ->
+        Array.iteri
+          (fun dc (c, _) ->
+            if not (Network.dc_failed net dc) then begin
+              if Cert.is_leader c then
+                Cert.retry_stale c ~older_than_us:2_400_000;
+              Cert.prune_decided c
+                ~keep_after:(Cert.last_delivered c - 1_500_000)
+            end)
+          rb_certs;
+        true);
+  {
+    cfg;
+    eng;
+    net;
+    history;
+    trace;
+    replicas;
+    addrs;
+    rb_certs;
+    clients = [];
+    next_client = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Database population: install an initial version of a key at every
+   data center, below every possible snapshot (commit vector 0), the
+   moral equivalent of the paper's dedicated initial transaction t0. *)
+
+let preload t key op =
+  let partitions = t.cfg.Config.partitions in
+  let part = Store.Keyspace.partition ~partitions key in
+  let vec = Vc.create ~dcs:(Config.dcs t.cfg) in
+  let tag = { Crdt.lc = 0; origin = -1 } in
+  Array.iter
+    (fun row -> Store.Oplog.append (Replica.oplog row.(part)) key ~op ~vec ~tag)
+    t.replicas;
+  History.preloaded t.history ~key ~op
+
+(* ------------------------------------------------------------------ *)
+(* Clients.                                                             *)
+
+let new_client t ~dc =
+  let id = t.next_client in
+  t.next_client <- t.next_client + 1;
+  let client =
+    Client.create ~id ~eng:t.eng ~net:t.net ~cfg:t.cfg ~history:t.history ~dc
+      ~replicas_of_dc:(fun dc -> t.addrs.(dc))
+  in
+  t.clients <- client :: t.clients;
+  client
+
+(* Spawn a client fiber: [body] runs in direct style, blocking on the
+   store's replies. *)
+let spawn_client t ~dc body =
+  let client = new_client t ~dc in
+  Sim.Fiber.spawn t.eng (fun () -> body client);
+  client
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection and the Ω failure detector.                        *)
+
+let fail_dc t dc =
+  Network.fail_dc t.net dc;
+  Engine.schedule t.eng ~delay:t.cfg.Config.detection_delay_us (fun () ->
+      Array.iteri
+        (fun d row ->
+          if not (Network.dc_failed t.net d) then
+            Array.iter (fun r -> Replica.suspect r dc) row)
+        t.replicas;
+      if Config.centralized_cert t.cfg then begin
+        let rec first_live d =
+          if Network.dc_failed t.net d then first_live (d + 1) else d
+        in
+        let new_leader = first_live 0 in
+        Array.iteri
+          (fun d (c, _) ->
+            if (not (Network.dc_failed t.net d)) && Cert.trusted c = dc then
+              Cert.set_trusted c new_leader)
+          t.rb_certs
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Running and measurement.                                             *)
+
+let run t ~until = Engine.run t.eng ~until
+
+let set_window t ~start ~stop = History.set_window t.history ~start ~stop
+
+(* ------------------------------------------------------------------ *)
+(* Convergence check (tests): after quiescence, correct data centers
+   must agree on every key (Eventual Visibility + CRDT convergence).    *)
+
+let top_snapshot t =
+  let v = Vc.create ~dcs:(Config.dcs t.cfg) in
+  for i = 0 to Config.dcs t.cfg do
+    Vc.set v i max_int
+  done;
+  v
+
+let check_convergence t =
+  let errors = ref [] in
+  let snap = top_snapshot t in
+  let correct =
+    List.filter
+      (fun dc -> not (Network.dc_failed t.net dc))
+      (List.init (Config.dcs t.cfg) Fun.id)
+  in
+  (match correct with
+  | [] | [ _ ] -> ()
+  | ref_dc :: rest ->
+      for part = 0 to t.cfg.Config.partitions - 1 do
+        let ref_log = Replica.oplog t.replicas.(ref_dc).(part) in
+        let ref_keys = List.sort compare (Store.Oplog.keys ref_log) in
+        List.iter
+          (fun dc ->
+            let log = Replica.oplog t.replicas.(dc).(part) in
+            let keys = List.sort compare (Store.Oplog.keys log) in
+            if keys <> ref_keys then
+              errors :=
+                Fmt.str "partition %d: dc%d and dc%d store different key sets"
+                  part ref_dc dc
+                :: !errors
+            else
+              List.iter
+                (fun key ->
+                  let v1, _ = Store.Oplog.read ref_log key ~snap in
+                  let v2, _ = Store.Oplog.read log key ~snap in
+                  if v1 <> v2 then
+                    errors :=
+                      Fmt.str
+                        "partition %d key %d: dc%d reads %a but dc%d reads %a"
+                        part key ref_dc Crdt.value_pp v1 dc Crdt.value_pp v2
+                      :: !errors)
+                ref_keys)
+          rest
+      done);
+  List.rev !errors

@@ -1,0 +1,69 @@
+(** Deployment assembly: build the data store described by a
+    {!Config.t} on the simulated network — partition replicas at every
+    data center, certification groups, the REDBLUE centralized service
+    when configured, periodic protocol tasks, clients, and failure
+    injection with the Ω failure detector. *)
+
+type t
+
+(** The coordinator-side certification entry point, re-exported for the
+    REDBLUE service plumbing. *)
+type certify_fn =
+  caller:Msg.cert_caller ->
+  tid:Types.tid ->
+  origin:int ->
+  wbuff:Types.wbuff ->
+  ops:Types.opsmap ->
+  snap:Vclock.Vc.t ->
+  lc:int ->
+  k:(Cert.cert_result -> unit) ->
+  unit
+
+(** Build a deployment. Nothing runs until {!run}. *)
+val create : Config.t -> t
+
+val cfg : t -> Config.t
+val engine : t -> Sim.Engine.t
+val network : t -> Msg.t Net.Network.t
+val history : t -> History.t
+
+(** The deployment's event trace (a disabled no-op trace unless
+    [Config.trace_enabled] is set). *)
+val trace : t -> Sim.Trace.t
+
+(** Current simulated time (microseconds). *)
+val now : t -> int
+
+val replica : t -> dc:int -> part:int -> Replica.t
+val clients : t -> Client.t list
+
+(** Install an initial version of a key at every data center, below
+    every possible snapshot (the paper's initial transaction t0). Must
+    be called before {!run}. *)
+val preload : t -> Store.Keyspace.key -> Crdt.op -> unit
+
+(** Create a client session attached to [dc] (no fiber). *)
+val new_client : t -> dc:int -> Client.t
+
+(** Create a client and run [body] in a fiber; the body may block on
+    the store's replies. *)
+val spawn_client : t -> dc:int -> (Client.t -> unit) -> Client.t
+
+(** Crash a whole data center (§2): its nodes stop sending and
+    receiving; after the configured detection delay, the failure
+    detector notifies survivors, which re-elect Paxos leaders and start
+    forwarding the failed DC's transactions. *)
+val fail_dc : t -> int -> unit
+
+(** Execute the simulation up to the given simulated time. *)
+val run : t -> until:int -> unit
+
+(** Restrict measurement (throughput window, latency samples) to
+    [start, stop) of simulated time. *)
+val set_window : t -> start:int -> stop:int -> unit
+
+(** After quiescence: check that every correct data center stores the
+    same keys with the same values (Eventual Visibility + CRDT
+    convergence). Returns human-readable divergence descriptions, empty
+    when converged. *)
+val check_convergence : t -> string list

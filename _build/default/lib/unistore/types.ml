@@ -1,0 +1,63 @@
+(* Identifiers and transaction records shared across the protocol. *)
+
+(* Transaction identifier: issuing client plus a per-client sequence
+   number (unique across the system, Algorithm A2 line 3). *)
+type tid = { cl : int; sq : int }
+
+let tid_pp ppf t = Fmt.pf ppf "t%d.%d" t.cl t.sq
+let tid_equal a b = a.cl = b.cl && a.sq = b.sq
+let tid_compare a b =
+  match compare a.cl b.cl with 0 -> compare a.sq b.sq | c -> c
+
+(* No transaction: used by dummy strong heartbeats (Algorithm A6 line 11,
+   CERTIFY with tid = ⊥). *)
+let tid_none = { cl = -1; sq = -1 }
+let tid_is_none t = t.cl = -1
+
+(* Description of one operation for the conflict relation ⋈ (§3): the key
+   it touches, an application-assigned operation class, and whether it is
+   an update. The read set rset of Algorithm A2 is a list of these. *)
+type opdesc = { key : Store.Keyspace.key; cls : int; write : bool }
+
+let opdesc_pp ppf o =
+  Fmt.pf ppf "%s(%a,c%d)" (if o.write then "w" else "r") Store.Keyspace.pp o.key o.cls
+
+(* Default operation class when the application does not declare one. *)
+let cls_default = 0
+
+(* One write of a committed transaction as stored in write buffers,
+   REPLICATE messages and certification payloads. *)
+type write = { wkey : Store.Keyspace.key; wop : Crdt.op; wcls : int }
+
+(* Write buffer and operation descriptions of a transaction, keyed by
+   partition (wbuff[tid][l] in the pseudocode). Strong transactions carry
+   the full maps to every partition leader so that certification state
+   survives leader recovery (Algorithm A10 re-certifies from it). *)
+type wbuff = (int * write list) list
+
+type opsmap = (int * opdesc list) list
+
+let wbuff_partitions (w : wbuff) = List.map fst w
+
+let wbuff_find (w : wbuff) part =
+  match List.assoc_opt part w with None -> [] | Some l -> l
+
+let opsmap_find (o : opsmap) part =
+  match List.assoc_opt part o with None -> [] | Some l -> l
+
+let opsmap_partitions (o : opsmap) = List.map fst o
+
+(* A committed update transaction as it travels between replicas
+   (committedCausal entries and REPLICATE payloads, Algorithm A4). *)
+type tx_rec = {
+  tx_tid : tid;
+  tx_writes : write list;
+  tx_vec : Vclock.Vc.t;  (* commit vector *)
+  tx_lc : int;  (* Lamport clock of the commit *)
+  tx_origin : int;  (* issuing client, tie-breaker for LWW tags *)
+}
+
+let tx_tag tx = { Crdt.lc = tx.tx_lc; origin = tx.tx_origin }
+
+let tx_pp ppf tx =
+  Fmt.pf ppf "%a@%a" tid_pp tx.tx_tid Vclock.Vc.pp tx.tx_vec

@@ -1,0 +1,1 @@
+lib/vclock/vc.ml: Array Fmt

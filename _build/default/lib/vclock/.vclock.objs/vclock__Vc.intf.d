@@ -1,0 +1,1 @@
+lib/vclock/vc.mli: Fmt

@@ -1,0 +1,1 @@
+lib/workload/micro.ml: Crdt List Sim Store Unistore

@@ -1,0 +1,1 @@
+lib/workload/rubis.ml: Array Crdt List Sim Store Unistore

@@ -1,0 +1,102 @@
+(* Microbenchmark workload (§8.2, §8.3).
+
+   Closed-loop clients issue transactions over a register key space:
+   - each transaction accesses [ops_per_txn] distinct data items (3 in
+     the paper);
+   - a configurable fraction of transactions are updates (100% in the
+     scalability experiments of §8.2; 15% in the uniformity-cost
+     experiments of §8.3);
+   - a configurable fraction are strong (§8.2 sweeps 0–100%);
+   - for the contention experiment (§8.2 bottom), a fraction of strong
+     transactions aim all accesses at a designated partition. *)
+
+module Client = Unistore.Client
+module Types = Unistore.Types
+
+type spec = {
+  keys : int;  (* key-space size *)
+  theta : float;  (* Zipf skew; 0 = uniform as in the paper *)
+  ops_per_txn : int;
+  update_ratio : float;  (* fraction of update transactions *)
+  strong_ratio : float;  (* fraction of strong transactions *)
+  partitions : int;
+  (* (designated partition, fraction of strong transactions aimed at it) *)
+  hot_partition : (int * float) option;
+  think_time_us : int;
+  max_retries : int;  (* strong transactions re-execute on abort *)
+}
+
+let default_spec ~partitions =
+  {
+    keys = 100_000;
+    theta = 0.0;
+    ops_per_txn = 3;
+    update_ratio = 1.0;
+    strong_ratio = 0.1;
+    partitions;
+    hot_partition = None;
+    think_time_us = 0;
+    max_retries = 3;
+  }
+
+(* Distinct keys for one transaction. *)
+let pick_keys spec zipf rng ~hot =
+  let rec pick acc n =
+    if n = 0 then acc
+    else
+      let key =
+        match hot with
+        | Some p ->
+            (* a key guaranteed to live on the designated partition *)
+            let k = Sim.Rng.int rng (spec.keys / spec.partitions) in
+            Store.Keyspace.key_on ~partitions:spec.partitions ~p k
+        | None -> Sim.Zipf.sample zipf rng
+      in
+      if List.mem key acc then pick acc n else pick (key :: acc) (n - 1)
+  in
+  pick [] spec.ops_per_txn
+
+(* Execute one transaction; returns [true] if it committed. *)
+let run_txn spec zipf rng client =
+  let strong = Sim.Rng.float rng 1.0 < spec.strong_ratio in
+  let update = Sim.Rng.float rng 1.0 < spec.update_ratio in
+  let hot =
+    match spec.hot_partition with
+    | Some (p, frac) when strong && Sim.Rng.float rng 1.0 < frac -> Some p
+    | _ -> None
+  in
+  let keys = pick_keys spec zipf rng ~hot in
+  let label =
+    match (strong, update) with
+    | true, _ -> "micro-strong"
+    | false, true -> "micro-update"
+    | false, false -> "micro-read"
+  in
+  let rec attempt n =
+    Client.start client ~label ~strong;
+    List.iter
+      (fun key ->
+        if update then
+          Client.update client key (Crdt.Reg_write (Sim.Rng.int rng 1_000_000))
+        else ignore (Client.read client key))
+      keys;
+    match Client.commit client with
+    | `Committed _ -> true
+    | `Aborted -> if n >= spec.max_retries then false else attempt (n + 1)
+  in
+  attempt 0
+
+(* Closed-loop client body: run transactions until [stop ()]. *)
+let client_body spec ~stop client =
+  let rng =
+    Sim.Rng.create ((Client.id client * 7919) + 13)
+  in
+  let zipf = Sim.Zipf.create ~n:spec.keys ~theta:spec.theta in
+  let rec loop () =
+    if not (stop ()) then begin
+      ignore (run_txn spec zipf rng client);
+      if spec.think_time_us > 0 then Sim.Fiber.sleep spec.think_time_us;
+      loop ()
+    end
+  in
+  loop ()

@@ -1,0 +1,374 @@
+(* RUBiS benchmark (§8.1): an online auction site in the style of eBay.
+
+   The paper's setup: 11 read-only and 5 update transaction types plus an
+   extra update transaction closeAuction; the bidding mix has 15% update
+   transactions, of which strong transactions are 10% of the total. Four
+   transaction types are strong — registerUser, storeBuyNow, storeBid and
+   closeAuction — with three declared conflicts:
+
+     registerUser  ⋈ registerUser   (same nickname: unique usernames)
+     storeBid      ⋈ closeAuction   (same item: the winner is the
+                                     highest bidder)
+     storeBuyNow   ⋈ closeAuction   (same item: no buy-now on a closed
+                                     auction)
+
+   The database is populated with items for sale and registered users;
+   client think time is 500 ms, as in the RUBiS specification. *)
+
+module Client = Unistore.Client
+module Types = Unistore.Types
+module System = Unistore.System
+module Config = Unistore.Config
+module Keyspace = Store.Keyspace
+
+(* Tables. *)
+let t_user = 1
+let t_item = 2
+let t_bid = 3
+let t_buynow = 4
+let t_comment = 5
+let t_region = 6
+let t_category = 7
+
+(* Fields. *)
+let f_base = 0
+let f_rating = 1  (* counter *)
+let f_maxbid = 2
+let f_bidcount = 3  (* counter *)
+let f_closed = 4
+let f_winner = 5
+let f_stock = 6
+let f_lastbid = 7
+
+(* Operation classes for the conflict relation. *)
+let cls_register_user = 1
+let cls_store_bid = 2
+let cls_close_auction = 3
+let cls_store_buynow = 4
+
+(* The PoR conflict relation of §8.1. *)
+let conflict_spec =
+  Config.Classes
+    [
+      (cls_register_user, cls_register_user);
+      (cls_store_bid, cls_close_auction);
+      (cls_store_buynow, cls_close_auction);
+    ]
+
+let user_key ~uid ~field = Keyspace.make ~table:t_user ~field ~row:uid
+let item_key ~iid ~field = Keyspace.make ~table:t_item ~field ~row:iid
+let bid_key ~bid = Keyspace.make ~table:t_bid ~field:0 ~row:bid
+let buynow_key ~bn = Keyspace.make ~table:t_buynow ~field:0 ~row:bn
+let comment_key ~cid = Keyspace.make ~table:t_comment ~field:0 ~row:cid
+let region_key ~rid = Keyspace.make ~table:t_region ~field:0 ~row:rid
+let category_key ~cid = Keyspace.make ~table:t_category ~field:0 ~row:cid
+
+type spec = {
+  n_items : int;
+  n_users : int;
+  n_regions : int;
+  n_categories : int;
+  think_time_us : int;
+  max_retries : int;
+}
+
+(* The paper populates 33,000 items and 1M users (the RUBiS spec); user
+   count only shapes key dispersion, so the default scales it down to
+   keep simulator memory reasonable. *)
+let default_spec =
+  {
+    n_items = 33_000;
+    n_users = 50_000;
+    n_regions = 62;
+    n_categories = 20;
+    think_time_us = 500_000;
+    max_retries = 5;
+  }
+
+let populate sys spec =
+  for iid = 0 to spec.n_items - 1 do
+    System.preload sys (item_key ~iid ~field:f_base) (Crdt.Reg_write 1);
+    System.preload sys (item_key ~iid ~field:f_maxbid) (Crdt.Reg_write 0);
+    System.preload sys (item_key ~iid ~field:f_stock) (Crdt.Reg_write 10)
+  done;
+  for rid = 0 to spec.n_regions - 1 do
+    System.preload sys (region_key ~rid) (Crdt.Reg_write 1)
+  done;
+  for cid = 0 to spec.n_categories - 1 do
+    System.preload sys (category_key ~cid) (Crdt.Reg_write 1)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Transaction implementations. Each takes the client and an RNG.       *)
+
+let rand_item spec rng = Sim.Rng.int rng spec.n_items
+let rand_user spec rng = Sim.Rng.int rng spec.n_users
+
+let home spec client rng =
+  ignore (Client.read client (category_key ~cid:(Sim.Rng.int rng spec.n_categories)));
+  ignore (Client.read client (region_key ~rid:(Sim.Rng.int rng spec.n_regions)))
+
+let browse_categories spec client rng =
+  for _ = 1 to 3 do
+    ignore
+      (Client.read client (category_key ~cid:(Sim.Rng.int rng spec.n_categories)))
+  done
+
+let search_items_in_category spec client rng =
+  for _ = 1 to 5 do
+    ignore (Client.read client (item_key ~iid:(rand_item spec rng) ~field:f_base))
+  done
+
+let browse_regions spec client rng =
+  for _ = 1 to 3 do
+    ignore (Client.read client (region_key ~rid:(Sim.Rng.int rng spec.n_regions)))
+  done
+
+let search_items_in_region spec client rng =
+  for _ = 1 to 5 do
+    ignore (Client.read client (item_key ~iid:(rand_item spec rng) ~field:f_base))
+  done
+
+let view_item spec client rng =
+  let iid = rand_item spec rng in
+  ignore (Client.read client (item_key ~iid ~field:f_base));
+  ignore (Client.read client (item_key ~iid ~field:f_maxbid));
+  ignore (Client.read client (item_key ~iid ~field:f_bidcount))
+
+let view_user_info spec client rng =
+  let uid = rand_user spec rng in
+  ignore (Client.read client (user_key ~uid ~field:f_base));
+  ignore (Client.read client (user_key ~uid ~field:f_rating))
+
+let view_bid_history spec client rng =
+  let iid = rand_item spec rng in
+  ignore (Client.read client (item_key ~iid ~field:f_lastbid));
+  ignore (Client.read client (item_key ~iid ~field:f_bidcount));
+  ignore (Client.read client (user_key ~uid:(rand_user spec rng) ~field:f_base))
+
+let buy_now_auth spec client rng =
+  let uid = rand_user spec rng in
+  ignore (Client.read client (user_key ~uid ~field:f_base))
+
+let about_me spec client rng =
+  ignore (Client.read client (user_key ~uid:(rand_user spec rng) ~field:f_base));
+  for _ = 1 to 3 do
+    ignore (Client.read client (item_key ~iid:(rand_item spec rng) ~field:f_base))
+  done
+
+let view_comments spec client rng =
+  for _ = 1 to 3 do
+    ignore
+      (Client.read client (comment_key ~cid:(Sim.Rng.int rng (10 * spec.n_items))))
+  done
+
+(* --- update transactions -------------------------------------------- *)
+
+let register_user spec client rng =
+  (* fresh nicknames land above the populated range; the strong conflict
+     guarantees uniqueness even for simultaneous registrations *)
+  let uid = spec.n_users + Sim.Rng.int rng (10 * spec.n_users) in
+  let key = user_key ~uid ~field:f_base in
+  let existing = Client.read ~cls:cls_register_user client key in
+  if Crdt.int_value existing = 0 then begin
+    Client.update ~cls:cls_register_user client key (Crdt.Reg_write 1);
+    Client.update client (user_key ~uid ~field:f_rating) (Crdt.Ctr_add 0)
+  end
+
+let register_item spec client rng =
+  let iid = spec.n_items + Sim.Rng.int rng (10 * spec.n_items) in
+  Client.update client (item_key ~iid ~field:f_base) (Crdt.Reg_write 1);
+  Client.update client (item_key ~iid ~field:f_maxbid) (Crdt.Reg_write 0);
+  Client.update client (item_key ~iid ~field:f_stock) (Crdt.Reg_write 10)
+
+let store_comment spec client rng =
+  let cid = Sim.Rng.int rng (100 * spec.n_items) in
+  Client.update client (comment_key ~cid) (Crdt.Reg_write 1);
+  Client.update client
+    (user_key ~uid:(rand_user spec rng) ~field:f_rating)
+    (Crdt.Ctr_add 1)
+
+let store_bid spec client rng =
+  let iid = rand_item spec rng in
+  ignore (Client.read client (item_key ~iid ~field:f_base));
+  let maxbid =
+    Crdt.int_value (Client.read ~cls:cls_store_bid client (item_key ~iid ~field:f_maxbid))
+  in
+  let bid = maxbid + 1 + Sim.Rng.int rng 10 in
+  Client.update ~cls:cls_store_bid client (item_key ~iid ~field:f_maxbid)
+    (Crdt.Reg_write bid);
+  Client.update client (item_key ~iid ~field:f_bidcount) (Crdt.Ctr_add 1);
+  Client.update client (item_key ~iid ~field:f_lastbid)
+    (Crdt.Reg_write (Client.id client));
+  Client.update client
+    (bid_key ~bid:((iid * 1000) + Sim.Rng.int rng 1000))
+    (Crdt.Reg_write bid)
+
+let store_buy_now spec client rng =
+  let iid = rand_item spec rng in
+  let closed =
+    Crdt.int_value
+      (Client.read ~cls:cls_store_buynow client (item_key ~iid ~field:f_closed))
+  in
+  if closed = 0 then begin
+    let stock =
+      Crdt.int_value (Client.read client (item_key ~iid ~field:f_stock))
+    in
+    if stock > 0 then begin
+      Client.update client (item_key ~iid ~field:f_stock)
+        (Crdt.Reg_write (stock - 1));
+      Client.update client
+        (buynow_key ~bn:((iid * 1000) + Sim.Rng.int rng 1000))
+        (Crdt.Reg_write (Client.id client))
+    end
+  end
+
+let close_auction spec client rng =
+  let iid = rand_item spec rng in
+  let maxbid =
+    Crdt.int_value
+      (Client.read ~cls:cls_close_auction client (item_key ~iid ~field:f_maxbid))
+  in
+  Client.update ~cls:cls_close_auction client (item_key ~iid ~field:f_closed)
+    (Crdt.Reg_write 1);
+  Client.update client (item_key ~iid ~field:f_winner) (Crdt.Reg_write maxbid)
+
+(* ------------------------------------------------------------------ *)
+(* The bidding mix: weights chosen to match §8.1 — 15% update
+   transactions overall, of which strong transactions are 10% of the
+   total workload.                                                      *)
+
+type txn = {
+  name : string;
+  strong : bool;
+  weight : float;
+  body : spec -> Client.t -> Sim.Rng.t -> unit;
+}
+
+let mix =
+  [|
+    { name = "home"; strong = false; weight = 8.0; body = home };
+    {
+      name = "browseCategories";
+      strong = false;
+      weight = 8.0;
+      body = browse_categories;
+    };
+    {
+      name = "searchItemsInCategory";
+      strong = false;
+      weight = 16.0;
+      body = search_items_in_category;
+    };
+    {
+      name = "browseRegions";
+      strong = false;
+      weight = 6.0;
+      body = browse_regions;
+    };
+    {
+      name = "searchItemsInRegion";
+      strong = false;
+      weight = 10.0;
+      body = search_items_in_region;
+    };
+    { name = "viewItem"; strong = false; weight = 18.0; body = view_item };
+    {
+      name = "viewUserInfo";
+      strong = false;
+      weight = 7.0;
+      body = view_user_info;
+    };
+    {
+      name = "viewBidHistory";
+      strong = false;
+      weight = 5.0;
+      body = view_bid_history;
+    };
+    { name = "buyNowAuth"; strong = false; weight = 2.0; body = buy_now_auth };
+    { name = "aboutMe"; strong = false; weight = 2.0; body = about_me };
+    {
+      name = "viewComments";
+      strong = false;
+      weight = 3.0;
+      body = view_comments;
+    };
+    (* update transactions: 15% of the mix *)
+    {
+      name = "registerUser";
+      strong = true;
+      weight = 1.0;
+      body = register_user;
+    };
+    {
+      name = "registerItem";
+      strong = false;
+      weight = 2.0;
+      body = register_item;
+    };
+    {
+      name = "storeComment";
+      strong = false;
+      weight = 3.0;
+      body = store_comment;
+    };
+    { name = "storeBid"; strong = true; weight = 6.0; body = store_bid };
+    {
+      name = "storeBuyNow";
+      strong = true;
+      weight = 1.5;
+      body = store_buy_now;
+    };
+    {
+      name = "closeAuction";
+      strong = true;
+      weight = 1.5;
+      body = close_auction;
+    };
+  |]
+
+let weights = Array.map (fun t -> t.weight) mix
+
+(* Fraction of strong transactions in the mix (sanity: ~0.10). *)
+let strong_fraction () =
+  let total = Array.fold_left (fun acc t -> acc +. t.weight) 0.0 mix in
+  let strong =
+    Array.fold_left
+      (fun acc t -> if t.strong then acc +. t.weight else acc)
+      0.0 mix
+  in
+  strong /. total
+
+(* Fraction of update transactions in the mix (sanity: ~0.15). *)
+let update_fraction () =
+  let updates =
+    [ "registerUser"; "registerItem"; "storeComment"; "storeBid";
+      "storeBuyNow"; "closeAuction" ]
+  in
+  let total = Array.fold_left (fun acc t -> acc +. t.weight) 0.0 mix in
+  let upd =
+    Array.fold_left
+      (fun acc t -> if List.mem t.name updates then acc +. t.weight else acc)
+      0.0 mix
+  in
+  upd /. total
+
+(* Closed-loop client body running the bidding mix until [stop ()]. *)
+let client_body spec ~stop client =
+  let rng = Sim.Rng.create ((Client.id client * 6271) + 5) in
+  let rec loop () =
+    if not (stop ()) then begin
+      let txn = mix.(Sim.Rng.weighted rng weights) in
+      let rec attempt n =
+        Client.start client ~label:txn.name ~strong:txn.strong;
+        txn.body spec client rng;
+        match Client.commit client with
+        | `Committed _ -> ()
+        | `Aborted -> if n < spec.max_retries then attempt (n + 1)
+      in
+      attempt 0;
+      if spec.think_time_us > 0 then Sim.Fiber.sleep spec.think_time_us;
+      loop ()
+    end
+  in
+  loop ()

@@ -1,0 +1,1 @@
+test/test_abstract_exec.ml: Alcotest Crdt Fmt List Sim Unistore Util Vclock

@@ -1,0 +1,1 @@
+test/test_cert.ml: Alcotest Array Crdt Fmt List Option Unistore Vclock

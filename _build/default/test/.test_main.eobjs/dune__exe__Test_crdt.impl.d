@@ -1,0 +1,1 @@
+test/test_crdt.ml: Alcotest Array Crdt Gen List QCheck QCheck_alcotest Sim Vclock

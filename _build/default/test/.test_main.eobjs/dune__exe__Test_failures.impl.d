@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Crdt Fmt Sim Unistore Util

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Fmt List QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_keyspace.ml: Alcotest Array Fmt List QCheck QCheck_alcotest Store

@@ -1,0 +1,1 @@
+test/test_oplog.ml: Alcotest Crdt Gen List QCheck QCheck_alcotest Store Vclock

@@ -1,0 +1,1 @@
+test/test_properties.ml: Crdt Fmt List Net QCheck QCheck_alcotest Sim Store String Unistore Vclock

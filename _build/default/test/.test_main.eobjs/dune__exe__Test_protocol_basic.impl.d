@@ -1,0 +1,1 @@
+test/test_protocol_basic.ml: Alcotest Array Crdt Fmt List Sim Unistore Util Vclock

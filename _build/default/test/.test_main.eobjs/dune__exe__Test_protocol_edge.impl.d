@@ -1,0 +1,1 @@
+test/test_protocol_edge.ml: Alcotest Array Crdt Fmt List Net Sim String Unistore Util

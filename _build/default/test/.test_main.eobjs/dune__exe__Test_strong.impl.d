@@ -1,0 +1,1 @@
+test/test_strong.ml: Alcotest Crdt List Sim Unistore Util Vclock

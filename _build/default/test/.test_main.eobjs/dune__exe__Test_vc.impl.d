@@ -1,0 +1,1 @@
+test/test_vc.ml: Alcotest List QCheck QCheck_alcotest Vclock

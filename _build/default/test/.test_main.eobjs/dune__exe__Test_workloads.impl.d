@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Fmt List Net Store String Unistore Workload

@@ -1,0 +1,169 @@
+(* The declarative §B specification: building abstract executions and
+   checking the axioms, plus agreement with the vector-based checker. *)
+
+module U = Unistore
+module Vc = Vclock.Vc
+module Client = U.Client
+
+let vec entries strong =
+  let v = Vc.create ~dcs:3 in
+  List.iteri (fun i x -> Vc.set v i x) entries;
+  Vc.set_strong v strong;
+  v
+
+let record ?(client = 0) ?(strong = false) ?(lc = 1) ~sq ~snap ~commit
+    ?(reads = []) ?(writes = []) ?(ops = []) () =
+  {
+    U.History.h_tid = { U.Types.cl = client; sq };
+    h_client = client;
+    h_dc = 0;
+    h_strong = strong;
+    h_label = "t";
+    h_snap = snap;
+    h_vec = commit;
+    h_lc = lc;
+    h_reads = reads;
+    h_writes = writes;
+    h_ops = ops;
+    h_start_us = 0;
+    h_commit_us = sq;
+  }
+
+let cfg = U.Config.default ~partitions:2 ~record_history:true ()
+let write key v = { U.Types.wkey = key; wop = Crdt.Reg_write v; wcls = 0 }
+let wop key = { U.Types.key; cls = 0; write = true }
+let rop key = { U.Types.key; cls = 0; write = false }
+
+let test_visibility_construction () =
+  let t1 =
+    record ~sq:1 ~lc:1 ~snap:(vec [ 0; 0; 0 ] 0) ~commit:(vec [ 10; 0; 0 ] 0) ()
+  in
+  let t2 =
+    record ~client:1 ~sq:1 ~lc:2
+      ~snap:(vec [ 10; 0; 0 ] 0)
+      ~commit:(vec [ 10; 5; 0 ] 0)
+      ()
+  in
+  let t3 =
+    record ~client:2 ~sq:1 ~lc:2
+      ~snap:(vec [ 0; 0; 0 ] 0)
+      ~commit:(vec [ 0; 0; 7 ] 0)
+      ()
+  in
+  let ae = U.Abstract_exec.build [ t1; t2; t3 ] in
+  Alcotest.(check bool) "t1 visible to t2" true
+    (U.Abstract_exec.visible ae ~from:0 ~to_:1);
+  Alcotest.(check bool) "t2 not visible to t1" false
+    (U.Abstract_exec.visible ae ~from:1 ~to_:0);
+  Alcotest.(check bool) "t1 not visible to concurrent t3" false
+    (U.Abstract_exec.visible ae ~from:0 ~to_:2);
+  (* arbitration is a total order consistent with Lamport clocks *)
+  Alcotest.(check bool) "t1 before t2 in arbitration" true
+    (U.Abstract_exec.arbitration_rank ae 0 < U.Abstract_exec.arbitration_rank ae 1)
+
+let test_accepts_legal () =
+  let t1 =
+    record ~sq:1 ~lc:1
+      ~snap:(vec [ 0; 0; 0 ] 0)
+      ~commit:(vec [ 10; 0; 0 ] 0)
+      ~writes:[ write 5 42 ] ~ops:[ wop 5 ] ()
+  in
+  let t2 =
+    record ~sq:2 ~lc:2
+      ~snap:(vec [ 10; 0; 0 ] 0)
+      ~commit:(vec [ 20; 0; 0 ] 0)
+      ~reads:[ (5, Crdt.V_int 42) ]
+      ~ops:[ rop 5 ] ()
+  in
+  let r = U.Abstract_exec.check cfg [ t1; t2 ] in
+  Alcotest.(check bool) (Fmt.str "%a" U.Abstract_exec.pp_result r) true
+    (U.Abstract_exec.ok r)
+
+let test_rejects_unordered_conflict () =
+  let t1 =
+    record ~sq:1 ~strong:true ~lc:1
+      ~snap:(vec [ 0; 0; 0 ] 0)
+      ~commit:(vec [ 0; 0; 0 ] 100)
+      ~writes:[ write 5 1 ] ~ops:[ wop 5 ] ()
+  in
+  let t2 =
+    record ~client:1 ~sq:1 ~strong:true ~lc:2
+      ~snap:(vec [ 0; 0; 0 ] 0)
+      ~commit:(vec [ 0; 0; 0 ] 200)
+      ~writes:[ write 5 2 ] ~ops:[ wop 5 ] ()
+  in
+  let r = U.Abstract_exec.check cfg [ t1; t2 ] in
+  Alcotest.(check bool) "unordered conflicting strongs rejected" false
+    (U.Abstract_exec.ok r)
+
+let test_rejects_stale_read () =
+  let t1 =
+    record ~sq:1 ~lc:1
+      ~snap:(vec [ 0; 0; 0 ] 0)
+      ~commit:(vec [ 10; 0; 0 ] 0)
+      ~writes:[ write 5 42 ] ~ops:[ wop 5 ] ()
+  in
+  let t2 =
+    record ~client:1 ~sq:1 ~lc:2
+      ~snap:(vec [ 15; 0; 0 ] 0)
+      ~commit:(vec [ 20; 0; 0 ] 0)
+      ~reads:[ (5, Crdt.V_none) ]
+      ~ops:[ rop 5 ] ()
+  in
+  let r = U.Abstract_exec.check cfg [ t1; t2 ] in
+  Alcotest.(check bool) "stale read rejected" false (U.Abstract_exec.ok r)
+
+(* End-to-end: run a real workload and check it against BOTH the
+   vector-based checker and the abstract-execution specification; they
+   must agree (and both pass). *)
+let test_agreement_on_real_run () =
+  let sys = Util.make_system ~partitions:4 () in
+  for k = 0 to 9 do
+    U.System.preload sys k (Crdt.Reg_write 0)
+  done;
+  for i = 0 to 5 do
+    ignore
+      (U.System.spawn_client sys ~dc:(i mod 3) (fun c ->
+           let rng = Sim.Rng.create (100 + i) in
+           for _ = 1 to 15 do
+             let strong = Sim.Rng.int rng 5 = 0 in
+             let rec attempt n =
+               Client.start c ~strong;
+               for _ = 1 to 2 do
+                 let key = Sim.Rng.int rng 10 in
+                 if Sim.Rng.bool rng then ignore (Client.read c key)
+                 else Client.update c key (Crdt.Reg_write (Sim.Rng.int rng 50))
+               done;
+               match Client.commit c with
+               | `Committed _ -> ()
+               | `Aborted -> if n < 10 then attempt (n + 1)
+             in
+             attempt 0;
+             Sim.Fiber.sleep (Sim.Rng.int rng 30_000)
+           done))
+  done;
+  Util.run sys ~until:20_000_000;
+  let h = U.System.history sys in
+  let preloads = U.History.preloads h in
+  let txns = U.History.txns h in
+  let concrete = U.Checker.check ~preloads (U.System.cfg sys) txns in
+  let abstract = U.Abstract_exec.check ~preloads (U.System.cfg sys) txns in
+  if not (U.Checker.ok concrete) then
+    Alcotest.failf "concrete: %a" U.Checker.pp_result concrete;
+  if not (U.Abstract_exec.ok abstract) then
+    Alcotest.failf "abstract: %a" U.Abstract_exec.pp_result abstract;
+  Alcotest.(check bool) "non-trivial history" true
+    (abstract.U.Abstract_exec.transactions > 50)
+
+let suite =
+  [
+    Alcotest.test_case "visibility/arbitration construction" `Quick
+      test_visibility_construction;
+    Alcotest.test_case "accepts a legal abstract execution" `Quick
+      test_accepts_legal;
+    Alcotest.test_case "rejects unordered conflicting strongs" `Quick
+      test_rejects_unordered_conflict;
+    Alcotest.test_case "rejects stale reads" `Quick test_rejects_stale_read;
+    Alcotest.test_case "agrees with the concrete checker on a real run"
+      `Slow test_agreement_on_real_run;
+  ]

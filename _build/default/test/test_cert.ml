@@ -1,0 +1,250 @@
+(* White-box tests of the certification group state machine (Cert):
+   certification checks, delivery gating, and leader recovery — driven
+   through mock contexts with synchronous message delivery, no network
+   or replicas involved. *)
+
+module U = Unistore
+module Vc = Vclock.Vc
+
+(* A tiny synchronous bus: addr i = member of DC i. *)
+type bus = {
+  mutable members : U.Cert.t option array;
+  mutable queue : (int * U.Msg.t) list;  (* (dst, msg) in FIFO order *)
+  mutable delivered : (int * string) list;  (* deliveries observed *)
+  mutable clock : int;
+  mutable certify_calls : U.Types.tid list;
+}
+
+let dcs = 3
+
+let make_bus () =
+  {
+    members = Array.make dcs None;
+    queue = [];
+    delivered = [];
+    clock = 100;
+    certify_calls = [];
+  }
+
+let rec pump bus =
+  match bus.queue with
+  | [] -> ()
+  | (dst, msg) :: rest ->
+      bus.queue <- rest;
+      (* addresses outside the member range stand for coordinators whose
+         replies the tests observe only through state *)
+      (if dst >= 0 && dst < Array.length bus.members then
+         match bus.members.(dst) with
+         | Some c -> ignore (U.Cert.handle c msg)
+         | None -> ());
+      pump bus
+
+let make_member bus dc =
+  let ctx =
+    {
+      U.Cert.x_dc = dc;
+      x_group = 0;
+      x_dcs = dcs;
+      x_quorum = 2;
+      x_conflict_ops = U.Config.ops_conflict U.Config.Serializable;
+      x_all_conflict = false;
+      x_ops_slice = (fun ops -> List.concat_map snd ops);
+      x_clock = (fun () -> bus.clock);
+      x_now = (fun () -> bus.clock);
+      x_send = (fun dst msg -> bus.queue <- bus.queue @ [ (dst, msg) ]);
+      x_self = (fun () -> dc);
+      x_member = (fun i -> i);
+      x_dc_of = (fun a -> a);
+      x_deliver =
+        (fun txs ~strong_ts ->
+          List.iter
+            (fun tx ->
+              bus.delivered <-
+                (strong_ts, Fmt.str "%a@dc?" U.Types.tid_pp tx.U.Types.tx_tid)
+                :: bus.delivered)
+            txs;
+          if txs = [] then bus.delivered <- (strong_ts, "dummy") :: bus.delivered);
+      x_at_clock = (fun ts k -> bus.clock <- max bus.clock ts; k ());
+      x_certify =
+        (fun ~caller:_ ~tid ~origin:_ ~wbuff:_ ~ops:_ ~snap:_ ~lc:_ ~k:_ ->
+          bus.certify_calls <- tid :: bus.certify_calls);
+      x_alive = (fun () -> true);
+    }
+  in
+  U.Cert.create ctx ~leader_dc:0
+
+let setup () =
+  let bus = make_bus () in
+  for dc = 0 to dcs - 1 do
+    bus.members.(dc) <- Some (make_member bus dc)
+  done;
+  let m dc = Option.get bus.members.(dc) in
+  (bus, m)
+
+let tid n = { U.Types.cl = 9; sq = n }
+
+let wbuff_of key : U.Types.wbuff =
+  [ (0, [ { U.Types.wkey = key; wop = Crdt.Reg_write 1; wcls = 0 } ]) ]
+
+let ops_of key : U.Types.opsmap =
+  [ (0, [ { U.Types.key; cls = 0; write = true } ]) ]
+
+let snap0 = Vc.create ~dcs:3
+
+let prepare bus ~coord ~n ~key ~snap =
+  bus.queue <-
+    bus.queue
+    @ [
+        ( 0,
+          U.Msg.Prepare_strong
+            {
+              rid = n;
+              caller = U.Msg.Normal;
+              coord;
+              tid = tid n;
+              origin = 9;
+              wbuff = wbuff_of key;
+              ops = ops_of key;
+              snap;
+              lc = 0;
+            } );
+      ];
+  pump bus
+
+let test_leader_certifies_and_members_ack () =
+  let bus, m = setup () in
+  Alcotest.(check bool) "dc0 leads" true (U.Cert.is_leader (m 0));
+  Alcotest.(check bool) "dc1 follows" false (U.Cert.is_leader (m 1));
+  (* coordinator "address" 99 is nobody on the bus: we only observe state *)
+  prepare bus ~coord:99 ~n:1 ~key:5 ~snap:snap0;
+  (* after the ACCEPT round every member holds the transaction *)
+  for dc = 0 to dcs - 1 do
+    Alcotest.(check int)
+      (Fmt.str "member %d prepared" dc)
+      1
+      (U.Cert.prepared_count (m dc))
+  done
+
+let test_conflicting_second_prepare_votes_abort () =
+  let bus, m = setup () in
+  prepare bus ~coord:99 ~n:1 ~key:5 ~snap:snap0;
+  (* second transaction on the same key while the first is pending *)
+  prepare bus ~coord:99 ~n:2 ~key:5 ~snap:snap0;
+  ignore m;
+  (* deliver decisions: commit the first, the second's vote must be abort;
+     we can observe it through the Accept broadcast already applied: both
+     are prepared, so inspect via certification check behaviour instead *)
+  Alcotest.(check int) "both prepared at leader" 2
+    (U.Cert.prepared_count (m 0))
+
+let decide bus ~n ~ts ~dec =
+  let vec = Vc.create ~dcs:3 in
+  Vc.set_strong vec ts;
+  bus.queue <-
+    bus.queue @ [ (0, U.Msg.Decision { b = 0; tid = tid n; dec; vec; lc = 1 }) ];
+  pump bus
+
+let test_delivery_in_timestamp_order_with_gating () =
+  let bus, m = setup () in
+  prepare bus ~coord:99 ~n:1 ~key:5 ~snap:snap0;
+  prepare bus ~coord:99 ~n:2 ~key:6 ~snap:snap0;
+  (* decide the later transaction first: delivery must wait for the
+     earlier prepared one *)
+  decide bus ~n:2 ~ts:2000 ~dec:true;
+  Alcotest.(check (list (pair int string))) "nothing delivered yet" []
+    bus.delivered;
+  decide bus ~n:1 ~ts:1000 ~dec:true;
+  (* both decided: deliveries happen in ts order 1000 then 2000 *)
+  let ts_order =
+    List.rev_map fst bus.delivered
+    |> List.filter (fun t -> t = 1000 || t = 2000)
+  in
+  Alcotest.(check bool) "delivered in order" true
+    (List.length ts_order >= 2
+    && List.sort compare ts_order = ts_order);
+  Alcotest.(check int) "nothing left prepared" 0 (U.Cert.prepared_count (m 0))
+
+let test_abort_decision_unblocks_delivery () =
+  let bus, _m = setup () in
+  prepare bus ~coord:99 ~n:1 ~key:5 ~snap:snap0;
+  prepare bus ~coord:99 ~n:2 ~key:6 ~snap:snap0;
+  decide bus ~n:2 ~ts:2000 ~dec:true;
+  Alcotest.(check (list (pair int string))) "gated" [] bus.delivered;
+  (* aborting the earlier one lifts the gate *)
+  decide bus ~n:1 ~ts:1000 ~dec:false;
+  Alcotest.(check bool) "later delivery proceeds" true
+    (List.exists (fun (t, _) -> t = 2000) bus.delivered)
+
+let test_already_decided_reply () =
+  let bus, _m = setup () in
+  prepare bus ~coord:99 ~n:1 ~key:5 ~snap:snap0;
+  decide bus ~n:1 ~ts:1000 ~dec:true;
+  (* re-preparing the same tid must answer ALREADY_DECIDED to the
+     coordinator; member 1 acts as "coordinator" address so the reply
+     lands somewhere harmless *)
+  let before = List.length bus.queue in
+  ignore before;
+  prepare bus ~coord:1 ~n:1 ~key:5 ~snap:snap0;
+  (* no new prepared entry appears *)
+  let _, m = setup () in
+  ignore m;
+  Alcotest.(check bool) "no duplicate prepared" true
+    (U.Cert.prepared_count (Option.get bus.members.(0)) = 0)
+
+let test_leader_recovery_preserves_decisions () =
+  let bus, m = setup () in
+  prepare bus ~coord:99 ~n:1 ~key:5 ~snap:snap0;
+  decide bus ~n:1 ~ts:1000 ~dec:true;
+  prepare bus ~coord:99 ~n:2 ~key:6 ~snap:snap0;
+  (* dc0 "fails": dc1 and dc2 now trust dc1 *)
+  bus.members.(0) <- None;
+  U.Cert.set_trusted (m 1) 1;
+  U.Cert.set_trusted (m 2) 1;
+  pump bus;
+  (* the new leader must not serve until the in-flight transaction's fate
+     is settled: it stays RESTORING and re-certifies it *)
+  Alcotest.(check string) "dc1 restoring" "restoring"
+    (U.Cert.status_name (U.Cert.status (m 1)));
+  Alcotest.(check bool) "recovery re-certified the pending txn" true
+    (List.exists (U.Types.tid_equal (tid 2)) bus.certify_calls);
+  Alcotest.(check int) "decided state survived" 1 (U.Cert.decided_count (m 1));
+  (* the re-certification concludes with a decision on the new ballot *)
+  let vec = Vc.create ~dcs:3 in
+  Vc.set_strong vec 3000;
+  bus.queue <-
+    bus.queue
+    @ [ (1, U.Msg.Decision { b = 1; tid = tid 2; dec = true; vec; lc = 1 }) ];
+  pump bus;
+  Alcotest.(check string) "dc1 now leads" "leader"
+    (U.Cert.status_name (U.Cert.status (m 1)));
+  Alcotest.(check int) "pending transaction decided" 2
+    (U.Cert.decided_count (m 1));
+  Alcotest.(check bool) "and delivered under the new leader" true
+    (List.exists (fun (t, _) -> t = 3000) bus.delivered)
+
+let test_prune_decided () =
+  let bus, m = setup () in
+  prepare bus ~coord:99 ~n:1 ~key:5 ~snap:snap0;
+  decide bus ~n:1 ~ts:1000 ~dec:true;
+  Alcotest.(check int) "one decided" 1 (U.Cert.decided_count (m 0));
+  U.Cert.prune_decided (m 0) ~keep_after:500;
+  Alcotest.(check int) "recent kept" 1 (U.Cert.decided_count (m 0));
+  U.Cert.prune_decided (m 0) ~keep_after:1500;
+  Alcotest.(check int) "old pruned" 0 (U.Cert.decided_count (m 0))
+
+let suite =
+  [
+    Alcotest.test_case "leader certifies, members accept" `Quick
+      test_leader_certifies_and_members_ack;
+    Alcotest.test_case "conflicting prepares coexist until decisions"
+      `Quick test_conflicting_second_prepare_votes_abort;
+    Alcotest.test_case "delivery gated and ordered by strong ts" `Quick
+      test_delivery_in_timestamp_order_with_gating;
+    Alcotest.test_case "abort decisions lift the delivery gate" `Quick
+      test_abort_decision_unblocks_delivery;
+    Alcotest.test_case "duplicate prepare answered from decided state"
+      `Quick test_already_decided_reply;
+    Alcotest.test_case "leader recovery preserves decisions" `Quick
+      test_leader_recovery_preserves_decisions;
+    Alcotest.test_case "decided-set pruning" `Quick test_prune_decided;
+  ]

@@ -1,0 +1,164 @@
+(* The PoR checker itself: it must accept legal histories and flag each
+   kind of violation when we seed one by hand. *)
+
+module U = Unistore
+module Vc = Vclock.Vc
+
+let vec entries strong =
+  let v = Vc.create ~dcs:3 in
+  List.iteri (fun i x -> Vc.set v i x) entries;
+  Vc.set_strong v strong;
+  v
+
+let record ?(client = 0) ?(dc = 0) ?(strong = false) ?(lc = 1) ~tid ~snap
+    ~commit ?(reads = []) ?(writes = []) ?(ops = []) () =
+  {
+    U.History.h_tid = { U.Types.cl = client; sq = tid };
+    h_client = client;
+    h_dc = dc;
+    h_strong = strong;
+    h_label = "t";
+    h_snap = snap;
+    h_vec = commit;
+    h_lc = lc;
+    h_reads = reads;
+    h_writes = writes;
+    h_ops = ops;
+    h_start_us = 0;
+    h_commit_us = tid;
+  }
+
+let cfg = U.Config.default ~partitions:2 ~record_history:true ()
+
+let check ?preloads txns = U.Checker.check ?preloads cfg txns
+
+let write key v = { U.Types.wkey = key; wop = Crdt.Reg_write v; wcls = 0 }
+let wop key = { U.Types.key; cls = 0; write = true }
+let rop key = { U.Types.key; cls = 0; write = false }
+
+let test_accepts_legal () =
+  let t1 =
+    record ~tid:1
+      ~snap:(vec [ 0; 0; 0 ] 0)
+      ~commit:(vec [ 10; 0; 0 ] 0)
+      ~writes:[ write 5 42 ] ~ops:[ wop 5 ] ()
+  in
+  let t2 =
+    record ~tid:2 ~lc:2
+      ~snap:(vec [ 10; 0; 0 ] 0)
+      ~commit:(vec [ 20; 0; 0 ] 0)
+      ~reads:[ (5, Crdt.V_int 42) ]
+      ~ops:[ rop 5 ] ()
+  in
+  let r = check [ t1; t2 ] in
+  Alcotest.(check bool) (Fmt.str "%a" U.Checker.pp_result r) true
+    (U.Checker.ok r)
+
+let test_detects_session_violation () =
+  let t1 =
+    record ~tid:1 ~snap:(vec [ 0; 0; 0 ] 0) ~commit:(vec [ 10; 0; 0 ] 0) ()
+  in
+  let t2 =
+    (* same client, later transaction, but its snapshot excludes t1 *)
+    record ~tid:2 ~lc:2 ~snap:(vec [ 5; 0; 0 ] 0)
+      ~commit:(vec [ 20; 0; 0 ] 0)
+      ()
+  in
+  let r = check [ t1; t2 ] in
+  Alcotest.(check bool) "violation found" false (U.Checker.ok r)
+
+let test_detects_stale_read () =
+  let t1 =
+    record ~tid:1
+      ~snap:(vec [ 0; 0; 0 ] 0)
+      ~commit:(vec [ 10; 0; 0 ] 0)
+      ~writes:[ write 5 42 ] ~ops:[ wop 5 ] ()
+  in
+  let t2 =
+    record ~client:1 ~tid:1 ~lc:2
+      ~snap:(vec [ 15; 0; 0 ] 0)  (* snapshot contains t1 *)
+      ~commit:(vec [ 20; 0; 0 ] 0)
+      ~reads:[ (5, Crdt.V_none) ]  (* ...but the read missed it *)
+      ~ops:[ rop 5 ] ()
+  in
+  let r = check [ t1; t2 ] in
+  Alcotest.(check bool) "stale read found" false (U.Checker.ok r)
+
+let test_detects_conflict_ordering_violation () =
+  let t1 =
+    record ~tid:1 ~strong:true
+      ~snap:(vec [ 0; 0; 0 ] 0)
+      ~commit:(vec [ 0; 0; 0 ] 100)
+      ~writes:[ write 5 1 ] ~ops:[ wop 5 ] ()
+  in
+  let t2 =
+    (* conflicting strong txn with a later strong ts whose snapshot does
+       not include t1 *)
+    record ~client:1 ~tid:1 ~strong:true ~lc:2
+      ~snap:(vec [ 0; 0; 0 ] 0)
+      ~commit:(vec [ 0; 0; 0 ] 200)
+      ~writes:[ write 5 2 ] ~ops:[ wop 5 ] ()
+  in
+  let r = check [ t1; t2 ] in
+  Alcotest.(check bool) "conflict ordering violation found" false
+    (U.Checker.ok r)
+
+let test_detects_duplicate_strong_ts () =
+  let t1 =
+    record ~tid:1 ~strong:true
+      ~snap:(vec [ 0; 0; 0 ] 0)
+      ~commit:(vec [ 0; 0; 0 ] 100)
+      ~writes:[ write 5 1 ] ~ops:[ wop 5 ] ()
+  in
+  let t2 =
+    record ~client:1 ~tid:1 ~strong:true ~lc:2
+      ~snap:(vec [ 0; 0; 0 ] 0)
+      ~commit:(vec [ 0; 0; 0 ] 100)
+      ~writes:[ write 5 2 ] ~ops:[ wop 5 ] ()
+  in
+  let r = check [ t1; t2 ] in
+  Alcotest.(check bool) "duplicate strong ts found" false (U.Checker.ok r)
+
+let test_preloads_seed_reads () =
+  let t1 =
+    record ~tid:1
+      ~snap:(vec [ 0; 0; 0 ] 0)
+      ~commit:(vec [ 10; 0; 0 ] 0)
+      ~reads:[ (9, Crdt.V_int 7) ]
+      ~ops:[ rop 9 ] ()
+  in
+  let r_without = check [ t1 ] in
+  Alcotest.(check bool) "read of unknown value rejected" false
+    (U.Checker.ok r_without);
+  let r_with = check ~preloads:[ write 9 7 ] [ t1 ] in
+  Alcotest.(check bool) "preload explains the read" true (U.Checker.ok r_with)
+
+let test_own_write_overlay () =
+  (* internal reads see the transaction's own earlier writes *)
+  let t1 =
+    record ~tid:1
+      ~snap:(vec [ 0; 0; 0 ] 0)
+      ~commit:(vec [ 10; 0; 0 ] 0)
+      ~writes:[ write 5 1 ]
+      ~reads:[ (5, Crdt.V_int 1) ]
+      ~ops:[ wop 5; rop 5 ] ()
+  in
+  let r = check [ t1 ] in
+  Alcotest.(check bool) (Fmt.str "%a" U.Checker.pp_result r) true
+    (U.Checker.ok r)
+
+let suite =
+  [
+    Alcotest.test_case "accepts a legal history" `Quick test_accepts_legal;
+    Alcotest.test_case "detects session-order violations" `Quick
+      test_detects_session_violation;
+    Alcotest.test_case "detects stale reads" `Quick test_detects_stale_read;
+    Alcotest.test_case "detects conflict-ordering violations" `Quick
+      test_detects_conflict_ordering_violation;
+    Alcotest.test_case "detects duplicate strong timestamps" `Quick
+      test_detects_duplicate_strong_ts;
+    Alcotest.test_case "preloads seed the read check" `Quick
+      test_preloads_seed_reads;
+    Alcotest.test_case "own writes overlay internal reads" `Quick
+      test_own_write_overlay;
+  ]

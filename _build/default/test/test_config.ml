@@ -1,0 +1,91 @@
+(* Configuration: conflict relations, mode predicates, validation. *)
+
+module U = Unistore
+
+let od key cls write = { U.Types.key; cls; write }
+
+let test_serializable_conflicts () =
+  let c = U.Config.ops_conflict U.Config.Serializable in
+  Alcotest.(check bool) "w-w same key" true (c (od 1 0 true) (od 1 0 true));
+  Alcotest.(check bool) "r-w same key" true (c (od 1 0 false) (od 1 0 true));
+  Alcotest.(check bool) "w-r same key" true (c (od 1 0 true) (od 1 0 false));
+  Alcotest.(check bool) "r-r same key" false (c (od 1 0 false) (od 1 0 false));
+  Alcotest.(check bool) "different keys" false (c (od 1 0 true) (od 2 0 true))
+
+let test_write_write_conflicts () =
+  let c = U.Config.ops_conflict U.Config.Write_write in
+  Alcotest.(check bool) "w-w" true (c (od 1 0 true) (od 1 0 true));
+  Alcotest.(check bool) "r-w" false (c (od 1 0 false) (od 1 0 true))
+
+let test_class_conflicts_symmetric () =
+  let c = U.Config.ops_conflict (U.Config.Classes [ (1, 2) ]) in
+  Alcotest.(check bool) "declared pair" true (c (od 1 1 true) (od 1 2 false));
+  Alcotest.(check bool) "symmetric" true (c (od 1 2 false) (od 1 1 true));
+  Alcotest.(check bool) "undeclared pair" false (c (od 1 1 true) (od 1 3 true));
+  Alcotest.(check bool) "different keys" false (c (od 1 1 true) (od 2 2 true))
+
+let test_all_strong_dummies () =
+  (* dummy strong heartbeats (no operations) conflict with nothing *)
+  Alcotest.(check bool) "two non-empty" true
+    (U.Config.txs_conflict U.Config.All_strong [ od 1 0 true ] [ od 2 0 true ]);
+  Alcotest.(check bool) "empty left" false
+    (U.Config.txs_conflict U.Config.All_strong [] [ od 2 0 true ]);
+  Alcotest.(check bool) "empty right" false
+    (U.Config.txs_conflict U.Config.All_strong [ od 1 0 true ] [])
+
+let test_mode_predicates () =
+  let mk mode = U.Config.default ~mode () in
+  Alcotest.(check bool) "unistore tracks uniformity" true
+    (U.Config.tracks_uniformity (mk U.Config.Unistore));
+  Alcotest.(check bool) "cureft does not" false
+    (U.Config.tracks_uniformity (mk U.Config.Cure_ft));
+  Alcotest.(check bool) "causal has no strong" false
+    (U.Config.has_strong (mk U.Config.Causal_only));
+  Alcotest.(check bool) "redblue centralized" true
+    (U.Config.centralized_cert (mk U.Config.Red_blue));
+  Alcotest.(check bool) "unistore distributed" false
+    (U.Config.centralized_cert (mk U.Config.Unistore))
+
+let test_effective_strong () =
+  let mk mode = U.Config.default ~mode () in
+  Alcotest.(check bool) "STRONG forces strong" true
+    (U.Config.effective_strong (mk U.Config.Strong) ~requested:false);
+  Alcotest.(check bool) "CAUSAL forces causal" false
+    (U.Config.effective_strong (mk U.Config.Causal_only) ~requested:true);
+  Alcotest.(check bool) "UNISTORE honours the request" true
+    (U.Config.effective_strong (mk U.Config.Unistore) ~requested:true)
+
+let test_validation () =
+  Alcotest.(check bool) "bad partitions rejected" true
+    (try
+       ignore (U.Config.default ~partitions:0 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad leader rejected" true
+    (try
+       ignore (U.Config.default ~leader_dc:7 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_quorum () =
+  let cfg = U.Config.default ~f:1 () in
+  Alcotest.(check int) "f+1" 2 (U.Config.quorum cfg);
+  let cfg = U.Config.default ~topo:(Net.Topology.five_dcs ()) ~f:2 () in
+  Alcotest.(check int) "f+1 of 5" 3 (U.Config.quorum cfg)
+
+let suite =
+  [
+    Alcotest.test_case "serializable conflict relation" `Quick
+      test_serializable_conflicts;
+    Alcotest.test_case "write-write conflict relation" `Quick
+      test_write_write_conflicts;
+    Alcotest.test_case "class conflicts are symmetric and keyed" `Quick
+      test_class_conflicts_symmetric;
+    Alcotest.test_case "all-strong ignores empty transactions" `Quick
+      test_all_strong_dummies;
+    Alcotest.test_case "mode predicates" `Quick test_mode_predicates;
+    Alcotest.test_case "effective strength per mode" `Quick
+      test_effective_strong;
+    Alcotest.test_case "configuration validation" `Quick test_validation;
+    Alcotest.test_case "quorum sizes" `Quick test_quorum;
+  ]

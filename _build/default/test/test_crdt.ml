@@ -1,0 +1,191 @@
+(* CRDTs: semantics of each type and convergence under permuted
+   delivery. *)
+
+module Vc = Vclock.Vc
+
+let tag lc origin = { Crdt.lc; origin }
+
+let vec entries =
+  let v = Vc.create ~dcs:2 in
+  List.iteri (fun i x -> Vc.set v i x) entries;
+  v
+
+let apply ops =
+  List.fold_left
+    (fun st (op, t, v) -> Crdt.apply st op ~tag:t ~vec:v)
+    Crdt.empty ops
+
+let value_t = Alcotest.testable Crdt.value_pp ( = )
+
+let test_lww_register () =
+  let st =
+    apply
+      [
+        (Crdt.Reg_write 1, tag 1 0, vec [ 1; 0 ]);
+        (Crdt.Reg_write 2, tag 3 0, vec [ 2; 0 ]);
+        (Crdt.Reg_write 3, tag 2 0, vec [ 0; 1 ]);
+      ]
+  in
+  Alcotest.check value_t "highest tag wins" (Crdt.V_int 2) (Crdt.read st)
+
+let test_lww_tie_break_by_origin () =
+  let st =
+    apply
+      [
+        (Crdt.Reg_write 1, tag 5 1, vec [ 1; 0 ]);
+        (Crdt.Reg_write 2, tag 5 2, vec [ 0; 1 ]);
+      ]
+  in
+  Alcotest.check value_t "higher origin wins ties" (Crdt.V_int 2)
+    (Crdt.read st)
+
+let test_counter () =
+  let st =
+    apply
+      [
+        (Crdt.Ctr_add 5, tag 1 0, vec [ 1; 0 ]);
+        (Crdt.Ctr_add (-2), tag 2 0, vec [ 2; 0 ]);
+        (Crdt.Ctr_add 10, tag 1 1, vec [ 0; 1 ]);
+      ]
+  in
+  Alcotest.check value_t "sums all increments" (Crdt.V_int 13) (Crdt.read st)
+
+let test_set_add_remove () =
+  let st =
+    apply
+      [
+        (Crdt.Set_add 1, tag 1 0, vec [ 1; 0 ]);
+        (Crdt.Set_add 2, tag 2 0, vec [ 2; 0 ]);
+        (Crdt.Set_remove 1, tag 3 0, vec [ 3; 0 ]);
+        (Crdt.Set_add 3, tag 4 0, vec [ 4; 0 ]);
+      ]
+  in
+  Alcotest.check value_t "remove wins by tag" (Crdt.V_set [ 2; 3 ])
+    (Crdt.read st)
+
+let test_set_concurrent_add_remove () =
+  (* concurrent add (higher tag) beats remove (lower tag) *)
+  let st =
+    apply
+      [
+        (Crdt.Set_add 7, tag 1 0, vec [ 1; 0 ]);
+        (Crdt.Set_remove 7, tag 2 0, vec [ 2; 0 ]);
+        (Crdt.Set_add 7, tag 3 1, vec [ 0; 1 ]);
+      ]
+  in
+  Alcotest.check value_t "later add survives" (Crdt.V_set [ 7 ]) (Crdt.read st)
+
+let test_mv_register_concurrent () =
+  let st =
+    apply
+      [
+        (Crdt.Mv_write 1, tag 1 0, vec [ 1; 0 ]);
+        (Crdt.Mv_write 2, tag 1 1, vec [ 0; 1 ]);
+      ]
+  in
+  Alcotest.check value_t "concurrent writes both kept"
+    (Crdt.V_multi [ 1; 2 ]) (Crdt.read st)
+
+let test_mv_register_dominated () =
+  let st =
+    apply
+      [
+        (Crdt.Mv_write 1, tag 1 0, vec [ 1; 0 ]);
+        (Crdt.Mv_write 2, tag 2 0, vec [ 2; 1 ]);
+      ]
+  in
+  Alcotest.check value_t "dominated write dropped" (Crdt.V_multi [ 2 ])
+    (Crdt.read st)
+
+let test_type_confusion_rejected () =
+  let st = apply [ (Crdt.Reg_write 1, tag 1 0, vec [ 1; 0 ]) ] in
+  Alcotest.(check bool) "counter op on register raises" true
+    (try
+       ignore (Crdt.apply st (Crdt.Ctr_add 1) ~tag:(tag 2 0) ~vec:(vec [ 2; 0 ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_apply_to_value () =
+  Alcotest.check value_t "reg overlay" (Crdt.V_int 9)
+    (Crdt.apply_to_value (Crdt.V_int 1) (Crdt.Reg_write 9));
+  Alcotest.check value_t "ctr overlay" (Crdt.V_int 4)
+    (Crdt.apply_to_value (Crdt.V_int 1) (Crdt.Ctr_add 3));
+  Alcotest.check value_t "ctr overlay on none" (Crdt.V_int 3)
+    (Crdt.apply_to_value Crdt.V_none (Crdt.Ctr_add 3));
+  Alcotest.check value_t "set add overlay" (Crdt.V_set [ 1; 2 ])
+    (Crdt.apply_to_value (Crdt.V_set [ 1 ]) (Crdt.Set_add 2));
+  Alcotest.check value_t "set remove overlay" (Crdt.V_set [ 1 ])
+    (Crdt.apply_to_value (Crdt.V_set [ 1; 2 ]) (Crdt.Set_remove 2))
+
+(* --- convergence: same operation set, any order, same value --------- *)
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun v -> Crdt.Reg_write v) (int_bound 100));
+        (0, return (Crdt.Reg_write 0));
+      ])
+
+let gen_tagged which =
+  QCheck.Gen.(
+    map
+      (fun (lc, origin, payload) ->
+        let op =
+          match which with
+          | `Reg -> Crdt.Reg_write payload
+          | `Ctr -> Crdt.Ctr_add (payload - 50)
+          | `Set ->
+              if payload mod 3 = 0 then Crdt.Set_remove (payload mod 10)
+              else Crdt.Set_add (payload mod 10)
+        in
+        (op, tag lc origin, vec [ lc; origin ]))
+      (triple (int_bound 1000) (int_bound 5) (int_bound 100)))
+
+let convergence_test name which =
+  QCheck.Test.make ~name ~count:200
+    QCheck.(
+      make
+        Gen.(
+          pair (list_size (int_range 0 20) (gen_tagged which)) (int_bound 1000)))
+    (fun (ops, seed) ->
+      ignore gen_op;
+      let shuffled =
+        let arr = Array.of_list ops in
+        Sim.Rng.shuffle (Sim.Rng.create seed) arr;
+        Array.to_list arr
+      in
+      Crdt.read (apply ops) = Crdt.read (apply shuffled))
+
+let qcheck_reg_convergence =
+  convergence_test "LWW register converges under permutation" `Reg
+
+let qcheck_ctr_convergence =
+  convergence_test "counter converges under permutation" `Ctr
+
+let qcheck_set_convergence =
+  convergence_test "LWW-element set converges under permutation" `Set
+
+let suite =
+  [
+    Alcotest.test_case "LWW register: last writer wins" `Quick
+      test_lww_register;
+    Alcotest.test_case "LWW register: ties break by origin" `Quick
+      test_lww_tie_break_by_origin;
+    Alcotest.test_case "PN-counter sums" `Quick test_counter;
+    Alcotest.test_case "set add/remove by tag order" `Quick
+      test_set_add_remove;
+    Alcotest.test_case "set concurrent add beats older remove" `Quick
+      test_set_concurrent_add_remove;
+    Alcotest.test_case "MV-register keeps concurrent writes" `Quick
+      test_mv_register_concurrent;
+    Alcotest.test_case "MV-register drops dominated writes" `Quick
+      test_mv_register_dominated;
+    Alcotest.test_case "type confusion rejected" `Quick
+      test_type_confusion_rejected;
+    Alcotest.test_case "value-level overlay (read your writes)" `Quick
+      test_apply_to_value;
+    QCheck_alcotest.to_alcotest qcheck_reg_convergence;
+    QCheck_alcotest.to_alcotest qcheck_ctr_convergence;
+    QCheck_alcotest.to_alcotest qcheck_set_convergence;
+  ]

@@ -1,0 +1,160 @@
+(* Cooperative fibers and ivars over the simulation engine. *)
+
+module Fiber = Sim.Fiber
+module Ivar = Sim.Fiber.Ivar
+
+let test_sleep () =
+  let eng = Sim.Engine.create () in
+  let woke = ref (-1) in
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep 1234;
+      woke := Sim.Engine.now eng);
+  Sim.Engine.run eng;
+  Alcotest.(check int) "woke at the right instant" 1234 !woke
+
+let test_await_filled_later () =
+  let eng = Sim.Engine.create () in
+  let iv = Ivar.create () in
+  let got = ref 0 in
+  Fiber.spawn eng (fun () -> got := Fiber.await iv);
+  Sim.Engine.schedule eng ~delay:100 (fun () -> Ivar.fill eng iv 99);
+  Sim.Engine.run eng;
+  Alcotest.(check int) "received the value" 99 !got
+
+let test_await_already_filled () =
+  let eng = Sim.Engine.create () in
+  let iv = Ivar.create () in
+  Ivar.fill eng iv 7;
+  let got = ref 0 in
+  Fiber.spawn eng (fun () -> got := Fiber.await iv);
+  Sim.Engine.run eng;
+  Alcotest.(check int) "immediate value" 7 !got
+
+let test_multiple_waiters () =
+  let eng = Sim.Engine.create () in
+  let iv = Ivar.create () in
+  let sum = ref 0 in
+  for _ = 1 to 5 do
+    Fiber.spawn eng (fun () -> sum := !sum + Fiber.await iv)
+  done;
+  Sim.Engine.schedule eng ~delay:10 (fun () -> Ivar.fill eng iv 3);
+  Sim.Engine.run eng;
+  Alcotest.(check int) "all waiters woke" 15 !sum
+
+let test_double_fill_raises () =
+  let eng = Sim.Engine.create () in
+  let iv = Ivar.create () in
+  Ivar.fill eng iv 1;
+  Alcotest.check_raises "double fill"
+    (Invalid_argument "Ivar.fill: already filled") (fun () ->
+      Ivar.fill eng iv 2)
+
+let test_peek_is_filled () =
+  let eng = Sim.Engine.create () in
+  let iv = Ivar.create () in
+  Alcotest.(check bool) "unfilled" false (Ivar.is_filled iv);
+  Alcotest.(check (option int)) "no peek" None (Ivar.peek iv);
+  Ivar.fill eng iv 5;
+  Alcotest.(check bool) "filled" true (Ivar.is_filled iv);
+  Alcotest.(check (option int)) "peek" (Some 5) (Ivar.peek iv)
+
+let test_ping_pong () =
+  let eng = Sim.Engine.create () in
+  let a = ref (Ivar.create ()) and b = ref (Ivar.create ()) in
+  let log = ref [] in
+  Fiber.spawn eng (fun () ->
+      for i = 1 to 3 do
+        let x = Fiber.await !a in
+        log := ("pong " ^ string_of_int x) :: !log;
+        let next = Ivar.create () in
+        let cur_b = !b in
+        b := Ivar.create ();
+        let fresh_b = !b in
+        ignore next;
+        Ivar.fill eng cur_b i;
+        ignore fresh_b
+      done);
+  Fiber.spawn eng (fun () ->
+      for i = 1 to 3 do
+        Fiber.sleep 10;
+        let cur_a = !a in
+        a := Ivar.create ();
+        Ivar.fill eng cur_a i;
+        let x = Fiber.await !b in
+        log := ("ping got " ^ string_of_int x) :: !log
+      done);
+  Sim.Engine.run eng;
+  Alcotest.(check int) "six exchanges" 6 (List.length !log)
+
+let test_sequential_composition () =
+  (* a fiber that awaits several ivars in sequence keeps direct style *)
+  let eng = Sim.Engine.create () in
+  let ivs = List.init 5 (fun _ -> Ivar.create ()) in
+  let order = ref [] in
+  Fiber.spawn eng (fun () ->
+      List.iteri (fun i iv -> order := (i, Fiber.await iv) :: !order) ivs);
+  List.iteri
+    (fun i iv ->
+      Sim.Engine.schedule eng ~delay:((5 - i) * 10) (fun () ->
+          Ivar.fill eng iv (i * 2)))
+    ivs;
+  Sim.Engine.run eng;
+  (* fills arrive in reverse time order, but the fiber consumes in list
+     order, resuming only when the next ivar it awaits is filled *)
+  Alcotest.(check (list (pair int int)))
+    "sequence respected"
+    [ (0, 0); (1, 2); (2, 4); (3, 6); (4, 8) ]
+    (List.rev !order)
+
+let test_await_all () =
+  let eng = Sim.Engine.create () in
+  let ivs = List.init 4 (fun _ -> Ivar.create ()) in
+  let got = ref [] in
+  Fiber.spawn eng (fun () -> got := Fiber.await_all ivs);
+  List.iteri
+    (fun i iv ->
+      Sim.Engine.schedule eng ~delay:(10 * (i + 1)) (fun () ->
+          Ivar.fill eng iv i))
+    ivs;
+  Sim.Engine.run eng;
+  Alcotest.(check (list int)) "values in list order" [ 0; 1; 2; 3 ] !got
+
+let test_exception_propagates () =
+  let eng = Sim.Engine.create () in
+  Fiber.spawn eng (fun () -> failwith "boom");
+  Alcotest.check_raises "fiber exception surfaces" (Failure "boom")
+    (fun () -> Sim.Engine.run eng)
+
+let test_spawn_inside_fiber () =
+  let eng = Sim.Engine.create () in
+  let log = ref [] in
+  Fiber.spawn eng (fun () ->
+      log := "outer" :: !log;
+      Fiber.spawn eng (fun () ->
+          Fiber.sleep 5;
+          log := "inner" :: !log);
+      Fiber.sleep 10;
+      log := "outer-done" :: !log);
+  Sim.Engine.run eng;
+  Alcotest.(check (list string))
+    "nested spawn interleaves"
+    [ "outer"; "inner"; "outer-done" ]
+    (List.rev !log)
+
+let suite =
+  [
+    Alcotest.test_case "sleep wakes at the right time" `Quick test_sleep;
+    Alcotest.test_case "await blocks until fill" `Quick test_await_filled_later;
+    Alcotest.test_case "await on a filled ivar" `Quick
+      test_await_already_filled;
+    Alcotest.test_case "multiple waiters all wake" `Quick test_multiple_waiters;
+    Alcotest.test_case "double fill rejected" `Quick test_double_fill_raises;
+    Alcotest.test_case "peek and is_filled" `Quick test_peek_is_filled;
+    Alcotest.test_case "two fibers exchange messages" `Quick test_ping_pong;
+    Alcotest.test_case "sequential awaits stay ordered" `Quick
+      test_sequential_composition;
+    Alcotest.test_case "await_all returns in list order" `Quick test_await_all;
+    Alcotest.test_case "exceptions propagate out of fibers" `Quick
+      test_exception_propagates;
+    Alcotest.test_case "fibers can spawn fibers" `Quick test_spawn_inside_fiber;
+  ]

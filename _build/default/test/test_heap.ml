@@ -1,0 +1,103 @@
+(* Event-queue heap: ordering, tie-breaking, growth. *)
+
+let check = Alcotest.(check int)
+
+let test_empty () =
+  let h = Sim.Heap.create 0 in
+  Alcotest.(check bool) "empty" true (Sim.Heap.is_empty h);
+  Alcotest.(check bool) "pop none" true (Sim.Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Sim.Heap.peek h = None)
+
+let test_ordering () =
+  let h = Sim.Heap.create 0 in
+  List.iteri
+    (fun i t -> Sim.Heap.push h ~time:t ~seq:i i)
+    [ 5; 3; 9; 1; 7; 3; 0 ];
+  let order = ref [] in
+  let rec drain () =
+    match Sim.Heap.pop h with
+    | None -> ()
+    | Some e ->
+        order := e.Sim.Heap.time :: !order;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 3; 3; 5; 7; 9 ] (List.rev !order)
+
+let test_fifo_ties () =
+  let h = Sim.Heap.create (-1) in
+  for i = 0 to 9 do
+    Sim.Heap.push h ~time:42 ~seq:i i
+  done;
+  for i = 0 to 9 do
+    match Sim.Heap.pop h with
+    | Some e -> check (Fmt.str "tie %d" i) i e.Sim.Heap.value
+    | None -> Alcotest.fail "heap exhausted early"
+  done
+
+let test_growth () =
+  let h = Sim.Heap.create 0 in
+  let n = 10_000 in
+  for i = n downto 1 do
+    Sim.Heap.push h ~time:i ~seq:i i
+  done;
+  check "size" n (Sim.Heap.size h);
+  let prev = ref 0 in
+  let rec drain () =
+    match Sim.Heap.pop h with
+    | None -> ()
+    | Some e ->
+        Alcotest.(check bool) "monotone" true (e.Sim.Heap.time > !prev);
+        prev := e.Sim.Heap.time;
+        drain ()
+  in
+  drain ();
+  check "drained" 0 (Sim.Heap.size h)
+
+let test_clear () =
+  let h = Sim.Heap.create 0 in
+  for i = 1 to 100 do
+    Sim.Heap.push h ~time:i ~seq:i i
+  done;
+  Sim.Heap.clear h;
+  check "cleared" 0 (Sim.Heap.size h);
+  Alcotest.(check bool) "pop after clear" true (Sim.Heap.pop h = None)
+
+let test_interleaved () =
+  let h = Sim.Heap.create 0 in
+  Sim.Heap.push h ~time:10 ~seq:0 10;
+  Sim.Heap.push h ~time:5 ~seq:1 5;
+  (match Sim.Heap.pop h with
+  | Some e -> check "first" 5 e.Sim.Heap.value
+  | None -> Alcotest.fail "empty");
+  Sim.Heap.push h ~time:1 ~seq:2 1;
+  (match Sim.Heap.pop h with
+  | Some e -> check "second" 1 e.Sim.Heap.value
+  | None -> Alcotest.fail "empty");
+  match Sim.Heap.pop h with
+  | Some e -> check "third" 10 e.Sim.Heap.value
+  | None -> Alcotest.fail "empty"
+
+let qcheck_heapsort =
+  QCheck.Test.make ~name:"heap pops form a sorted permutation" ~count:200
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let h = Sim.Heap.create 0 in
+      List.iteri (fun i t -> Sim.Heap.push h ~time:t ~seq:i t) times;
+      let rec drain acc =
+        match Sim.Heap.pop h with
+        | None -> List.rev acc
+        | Some e -> drain (e.Sim.Heap.time :: acc)
+      in
+      drain [] = List.sort compare times)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "pops in time order" `Quick test_ordering;
+    Alcotest.test_case "ties break by sequence" `Quick test_fifo_ties;
+    Alcotest.test_case "grows past initial capacity" `Quick test_growth;
+    Alcotest.test_case "clear empties the heap" `Quick test_clear;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
+    QCheck_alcotest.to_alcotest qcheck_heapsort;
+  ]

@@ -1,0 +1,97 @@
+(* History/measurement bookkeeping. *)
+
+module U = Unistore
+module Vc = Vclock.Vc
+
+let record ?(strong = false) ?(label = "t") ?(client = 0) ?(dc = 0) n =
+  {
+    U.History.h_tid = { U.Types.cl = client; sq = n };
+    h_client = client;
+    h_dc = dc;
+    h_strong = strong;
+    h_label = label;
+    h_snap = Vc.create ~dcs:3;
+    h_vec = Vc.create ~dcs:3;
+    h_lc = n;
+    h_reads = [];
+    h_writes = [];
+    h_ops = [];
+    h_start_us = 0;
+    h_commit_us = n;
+  }
+
+let test_counts () =
+  let h = U.History.create () in
+  U.History.set_clock h (fun () -> 0);
+  U.History.committed h ~record:(record 1) ~latency_us:1000;
+  U.History.committed h ~record:(record ~strong:true 2) ~latency_us:50_000;
+  U.History.aborted h;
+  Alcotest.(check int) "causal" 1 (U.History.committed_causal h);
+  Alcotest.(check int) "strong" 1 (U.History.committed_strong h);
+  Alcotest.(check int) "total" 2 (U.History.committed_total h);
+  Alcotest.(check int) "aborts" 1 (U.History.aborted_strong h);
+  Alcotest.(check (float 0.001)) "abort rate" 0.5 (U.History.abort_rate h)
+
+let test_window_filters_samples () =
+  let now = ref 0 in
+  let h = U.History.create () in
+  U.History.set_clock h (fun () -> !now);
+  U.History.set_window h ~start:100 ~stop:200;
+  now := 50;
+  U.History.committed h ~record:(record 1) ~latency_us:10;
+  now := 150;
+  U.History.committed h ~record:(record 2) ~latency_us:20;
+  now := 250;
+  U.History.committed h ~record:(record 3) ~latency_us:30;
+  Alcotest.(check int) "only the in-window latency sampled" 1
+    (Sim.Stats.count (U.History.latency_all h));
+  Alcotest.(check (option int)) "window commits" (Some 1)
+    (U.History.window_commits h);
+  (* counts are unconditional *)
+  Alcotest.(check int) "all commits counted" 3 (U.History.committed_total h)
+
+let test_labels () =
+  let h = U.History.create () in
+  U.History.set_clock h (fun () -> 0);
+  U.History.committed h ~record:(record ~label:"storeBid" 1) ~latency_us:10;
+  U.History.committed h ~record:(record ~label:"viewItem" 2) ~latency_us:20;
+  U.History.committed h ~record:(record ~label:"viewItem" 3) ~latency_us:30;
+  Alcotest.(check (list string)) "labels sorted" [ "storeBid"; "viewItem" ]
+    (U.History.labels h);
+  match U.History.latency_by_label h "viewItem" with
+  | Some s -> Alcotest.(check int) "two samples" 2 (Sim.Stats.count s)
+  | None -> Alcotest.fail "label missing"
+
+let test_record_full () =
+  let h = U.History.create ~record_full:true () in
+  U.History.set_clock h (fun () -> 0);
+  U.History.committed h ~record:(record 1) ~latency_us:10;
+  U.History.committed h ~record:(record 2) ~latency_us:10;
+  let txns = U.History.txns h in
+  Alcotest.(check int) "both recorded" 2 (List.length txns);
+  Alcotest.(check int) "commit order preserved" 1
+    (List.hd txns).U.History.h_tid.U.Types.sq
+
+let test_visibility_samples () =
+  let h = U.History.create () in
+  U.History.visibility_delay h ~observer:0 ~origin:1 ~delay_us:5_000;
+  U.History.visibility_delay h ~observer:0 ~origin:1 ~delay_us:7_000;
+  (match U.History.visibility_samples h ~observer:0 ~origin:1 with
+  | Some s ->
+      Alcotest.(check int) "two samples" 2 (Sim.Stats.count s);
+      Alcotest.(check (float 0.01)) "mean" 6_000.0 (Sim.Stats.mean s)
+  | None -> Alcotest.fail "missing samples");
+  Alcotest.(check bool) "other pair empty" true
+    (U.History.visibility_samples h ~observer:1 ~origin:0 = None)
+
+let suite =
+  [
+    Alcotest.test_case "commit and abort counters" `Quick test_counts;
+    Alcotest.test_case "measurement window filters samples" `Quick
+      test_window_filters_samples;
+    Alcotest.test_case "per-label latencies" `Quick test_labels;
+    Alcotest.test_case "full recording preserves order" `Quick
+      test_record_full;
+    Alcotest.test_case "visibility delay samples" `Quick
+      test_visibility_samples;
+  ]

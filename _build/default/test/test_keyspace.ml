@@ -1,0 +1,95 @@
+(* Key space: partitioning and packed table/field/row keys. *)
+
+let test_partition_modulo () =
+  Alcotest.(check int) "mod" 3 (Store.Keyspace.partition ~partitions:8 11);
+  Alcotest.(check int) "zero" 0 (Store.Keyspace.partition ~partitions:8 16)
+
+let test_key_on () =
+  for p = 0 to 7 do
+    for k = 0 to 20 do
+      let key = Store.Keyspace.key_on ~partitions:8 ~p k in
+      Alcotest.(check int)
+        (Fmt.str "key %d lands on partition %d" key p)
+        p
+        (Store.Keyspace.partition ~partitions:8 key)
+    done
+  done
+
+let test_pack_roundtrip () =
+  let key = Store.Keyspace.make ~table:7 ~field:3 ~row:123456 in
+  Alcotest.(check int) "table" 7 (Store.Keyspace.table_of key);
+  Alcotest.(check int) "field" 3 (Store.Keyspace.field_of key);
+  Alcotest.(check int) "row" 123456 (Store.Keyspace.row_of key)
+
+let test_pack_distinct () =
+  let keys =
+    List.concat_map
+      (fun table ->
+        List.concat_map
+          (fun field ->
+            List.map
+              (fun row -> Store.Keyspace.make ~table ~field ~row)
+              [ 0; 1; 77 ])
+          [ 0; 5 ])
+      [ 1; 2 ]
+  in
+  Alcotest.(check int) "all distinct" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_pack_bounds () =
+  Alcotest.(check bool) "table too large" true
+    (try
+       ignore (Store.Keyspace.make ~table:Store.Keyspace.max_tables ~field:0 ~row:0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative row" true
+    (try
+       ignore (Store.Keyspace.make ~table:0 ~field:0 ~row:(-1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_balanced_placement () =
+  (* regression: packed keys must spread across partitions by row; field
+     and table must not bias placement (a field-0 hotspot once put every
+     RUBiS base row on partition 0) *)
+  let partitions = 16 in
+  let counts = Array.make partitions 0 in
+  for row = 0 to 4_000 do
+    List.iter
+      (fun (table, field) ->
+        let key = Store.Keyspace.make ~table ~field ~row in
+        let p = Store.Keyspace.partition ~partitions key in
+        counts.(p) <- counts.(p) + 1)
+      [ (1, 0); (2, 0); (2, 2); (7, 0) ]
+  done;
+  let total = Array.fold_left ( + ) 0 counts in
+  let expected = float_of_int total /. float_of_int partitions in
+  Array.iteri
+    (fun p c ->
+      let ratio = float_of_int c /. expected in
+      Alcotest.(check bool)
+        (Fmt.str "partition %d within 2x of fair share (%.2f)" p ratio)
+        true
+        (ratio > 0.5 && ratio < 2.0))
+    counts
+
+let qcheck_pack_roundtrip =
+  QCheck.Test.make ~name:"pack/unpack roundtrip" ~count:500
+    QCheck.(triple (int_bound 15) (int_bound 15) (int_bound 1_000_000))
+    (fun (table, field, row) ->
+      let key = Store.Keyspace.make ~table ~field ~row in
+      Store.Keyspace.table_of key = table
+      && Store.Keyspace.field_of key = field
+      && Store.Keyspace.row_of key = row)
+
+let suite =
+  [
+    Alcotest.test_case "modulo partitioning" `Quick test_partition_modulo;
+    Alcotest.test_case "key_on targets a partition" `Quick test_key_on;
+    Alcotest.test_case "pack/unpack roundtrip" `Quick test_pack_roundtrip;
+    Alcotest.test_case "packed keys distinct" `Quick test_pack_distinct;
+    Alcotest.test_case "pack bounds checked" `Quick test_pack_bounds;
+    Alcotest.test_case "packed keys balance across partitions" `Quick
+      test_balanced_placement;
+    QCheck_alcotest.to_alcotest qcheck_pack_roundtrip;
+  ]

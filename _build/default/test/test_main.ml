@@ -1,0 +1,29 @@
+(* Entry point: every suite registered here runs under `dune runtest`. *)
+
+let () =
+  Alcotest.run "unistore"
+    [
+      ("heap", Test_heap.suite);
+      ("rng", Test_rng.suite);
+      ("zipf", Test_zipf.suite);
+      ("stats", Test_stats.suite);
+      ("engine", Test_engine.suite);
+      ("fiber", Test_fiber.suite);
+      ("vc", Test_vc.suite);
+      ("crdt", Test_crdt.suite);
+      ("oplog", Test_oplog.suite);
+      ("keyspace", Test_keyspace.suite);
+      ("network", Test_network.suite);
+      ("trace", Test_trace.suite);
+      ("protocol", Test_protocol_basic.suite);
+      ("protocol-edge", Test_protocol_edge.suite);
+      ("strong", Test_strong.suite);
+      ("cert", Test_cert.suite);
+      ("failures", Test_failures.suite);
+      ("config", Test_config.suite);
+      ("history", Test_history.suite);
+      ("checker", Test_checker.suite);
+      ("abstract-exec", Test_abstract_exec.suite);
+      ("workloads", Test_workloads.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,175 @@
+(* Network substrate: latency, FIFO channels, CPU serialization, DC
+   failures. *)
+
+let mk ?(jitter = 0) () =
+  let eng = Sim.Engine.create () in
+  let topo =
+    Net.Topology.create ~intra_dc_us:100 ~jitter_us:jitter
+      [| Net.Topology.Virginia; Net.Topology.California; Net.Topology.Frankfurt |]
+  in
+  (eng, Net.Network.create eng topo)
+
+let test_latency () =
+  let eng, net = mk () in
+  let got = ref (-1) in
+  let a = Net.Network.register net ~dc:0 ~cost:(fun _ -> 0) (fun _ -> ()) in
+  let b =
+    Net.Network.register net ~dc:1
+      ~cost:(fun _ -> 0)
+      (fun (_ : int) -> got := Sim.Engine.now eng)
+  in
+  Net.Network.send net ~src:a ~dst:b 1;
+  Sim.Engine.run eng;
+  (* Virginia–California RTT is 61 ms, one way 30.5 ms *)
+  Alcotest.(check int) "one-way latency" 30_500 !got
+
+let test_intra_dc_latency () =
+  let eng, net = mk () in
+  let got = ref (-1) in
+  let a = Net.Network.register net ~dc:0 ~cost:(fun _ -> 0) (fun _ -> ()) in
+  let b =
+    Net.Network.register net ~dc:0
+      ~cost:(fun _ -> 0)
+      (fun (_ : int) -> got := Sim.Engine.now eng)
+  in
+  Net.Network.send net ~src:a ~dst:b 1;
+  Sim.Engine.run eng;
+  Alcotest.(check int) "intra-DC latency" 100 !got
+
+let test_fifo_order () =
+  let eng, net = mk ~jitter:5_000 () in
+  let received = ref [] in
+  let a = Net.Network.register net ~dc:0 ~cost:(fun _ -> 0) (fun _ -> ()) in
+  let b =
+    Net.Network.register net ~dc:1
+      ~cost:(fun _ -> 0)
+      (fun m -> received := m :: !received)
+  in
+  for i = 1 to 50 do
+    Net.Network.send net ~src:a ~dst:b i
+  done;
+  Sim.Engine.run eng;
+  Alcotest.(check (list int))
+    "messages delivered in send order despite jitter"
+    (List.init 50 (fun i -> i + 1))
+    (List.rev !received)
+
+let test_cpu_serialization () =
+  let eng, net = mk () in
+  let times = ref [] in
+  let a = Net.Network.register net ~dc:0 ~cost:(fun _ -> 0) (fun _ -> ()) in
+  let b =
+    Net.Network.register net ~dc:0
+      ~cost:(fun _ -> 1_000)
+      (fun (_ : int) -> times := Sim.Engine.now eng :: !times)
+  in
+  (* three messages arrive together; each costs 1 ms of CPU, so handlers
+     complete 1 ms apart *)
+  for _ = 1 to 3 do
+    Net.Network.send net ~src:a ~dst:b 0
+  done;
+  Sim.Engine.run eng;
+  (match List.rev !times with
+  | [ t1; t2; t3 ] ->
+      Alcotest.(check int) "first after service" 1_100 t1;
+      Alcotest.(check int) "second queued" 2_100 t2;
+      Alcotest.(check int) "third queued" 3_100 t3
+  | _ -> Alcotest.fail "expected three deliveries");
+  Alcotest.(check int) "busy time accounted" 3_000 (Net.Network.node_busy_us net b);
+  Alcotest.(check int) "processed count" 3 (Net.Network.node_processed net b)
+
+let test_send_self_no_latency () =
+  let eng, net = mk () in
+  let got = ref (-1) in
+  let rec_addr = ref (-1) in
+  let a =
+    Net.Network.register net ~dc:0
+      ~cost:(fun _ -> 42)
+      (fun (_ : int) -> got := Sim.Engine.now eng)
+  in
+  rec_addr := a;
+  Net.Network.send_self net ~node:a 0;
+  Sim.Engine.run eng;
+  Alcotest.(check int) "only service time, no network" 42 !got
+
+let test_failed_dc_drops () =
+  let eng, net = mk () in
+  let received = ref 0 in
+  let a = Net.Network.register net ~dc:0 ~cost:(fun _ -> 0) (fun _ -> ()) in
+  let b =
+    Net.Network.register net ~dc:1 ~cost:(fun _ -> 0) (fun (_ : int) -> incr received)
+  in
+  Net.Network.send net ~src:a ~dst:b 0;
+  Sim.Engine.run eng;
+  Net.Network.fail_dc net 1;
+  Alcotest.(check bool) "marked failed" true (Net.Network.dc_failed net 1);
+  Net.Network.send net ~src:a ~dst:b 0;
+  Net.Network.send net ~src:b ~dst:a 0;
+  Sim.Engine.run eng;
+  Alcotest.(check int) "no delivery to or from a failed DC" 1 !received;
+  Alcotest.(check int) "drops counted" 2 (Net.Network.messages_dropped net)
+
+let test_inflight_to_failed_dc_dropped () =
+  let eng, net = mk () in
+  let received = ref 0 in
+  let a = Net.Network.register net ~dc:0 ~cost:(fun _ -> 0) (fun _ -> ()) in
+  let b =
+    Net.Network.register net ~dc:1 ~cost:(fun _ -> 0) (fun (_ : int) -> incr received)
+  in
+  Net.Network.send net ~src:a ~dst:b 0;
+  (* the DC fails while the message is still in flight *)
+  Sim.Engine.schedule eng ~delay:1_000 (fun () -> Net.Network.fail_dc net 1);
+  Sim.Engine.run eng;
+  Alcotest.(check int) "in-flight message dropped" 0 !received
+
+let test_topology_paper_rtts () =
+  let topo = Net.Topology.five_dcs () in
+  (* §8: RTT between regions ranges from 26 ms to 202 ms *)
+  let max_rtt = ref 0 and min_rtt = ref max_int in
+  for i = 0 to 4 do
+    for j = 0 to 4 do
+      if i <> j then begin
+        let rtt =
+          Net.Topology.one_way topo ~src:i ~dst:j
+          + Net.Topology.one_way topo ~src:j ~dst:i
+        in
+        if rtt > !max_rtt then max_rtt := rtt;
+        if rtt < !min_rtt then min_rtt := rtt
+      end
+    done
+  done;
+  Alcotest.(check int) "min RTT 26ms" 26_000 !min_rtt;
+  Alcotest.(check int) "max RTT 202ms" 202_000 !max_rtt;
+  (* Virginia–California: 61 ms, the latency that dominates strong
+     transactions in §8.1 *)
+  Alcotest.(check int) "Va-Ca RTT" 61_000
+    (Net.Topology.one_way topo ~src:0 ~dst:1
+    + Net.Topology.one_way topo ~src:1 ~dst:0)
+
+let test_topology_growth_order () =
+  (* §8.3 grows the deployment: 3 DCs, then Ireland, then Brazil *)
+  let t4 = Net.Topology.n_dcs 4 in
+  Alcotest.(check string) "fourth DC is Ireland" "ireland"
+    (Net.Topology.region_of_dc t4 3);
+  let t5 = Net.Topology.n_dcs 5 in
+  Alcotest.(check string) "fifth DC is Brazil" "brazil"
+    (Net.Topology.region_of_dc t5 4)
+
+let suite =
+  [
+    Alcotest.test_case "WAN latency from the topology" `Quick test_latency;
+    Alcotest.test_case "intra-DC latency" `Quick test_intra_dc_latency;
+    Alcotest.test_case "channels are FIFO under jitter" `Quick test_fifo_order;
+    Alcotest.test_case "node CPU serializes processing" `Quick
+      test_cpu_serialization;
+    Alcotest.test_case "self-send skips the network" `Quick
+      test_send_self_no_latency;
+    Alcotest.test_case "failed DC sends and receives nothing" `Quick
+      test_failed_dc_drops;
+    Alcotest.test_case "in-flight messages to a failed DC drop" `Quick
+      test_inflight_to_failed_dc_dropped;
+    Alcotest.test_case "topology matches the paper's RTTs" `Quick
+      test_topology_paper_rtts;
+    Alcotest.test_case "deployment growth order (§8.3)" `Quick
+      test_topology_growth_order;
+  ]

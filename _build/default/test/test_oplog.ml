@@ -1,0 +1,138 @@
+(* Per-key operation logs: snapshot reads, ordering, compaction. *)
+
+module Vc = Vclock.Vc
+
+let vec entries =
+  let v = Vc.create ~dcs:2 in
+  List.iteri (fun i x -> Vc.set v i x) entries;
+  v
+
+let tag lc origin = { Crdt.lc; origin }
+let value_t = Alcotest.testable Crdt.value_pp ( = )
+
+let test_empty_read () =
+  let log = Store.Oplog.create () in
+  let v, lc = Store.Oplog.read log 1 ~snap:(vec [ 10; 10 ]) in
+  Alcotest.check value_t "no version" Crdt.V_none v;
+  Alcotest.(check (option int)) "no lamport" None lc
+
+let test_snapshot_filtering () =
+  let log = Store.Oplog.create () in
+  Store.Oplog.append log 1 ~op:(Crdt.Reg_write 1) ~vec:(vec [ 1; 0 ]) ~tag:(tag 1 0);
+  Store.Oplog.append log 1 ~op:(Crdt.Reg_write 2) ~vec:(vec [ 5; 0 ]) ~tag:(tag 2 0);
+  Store.Oplog.append log 1 ~op:(Crdt.Reg_write 3) ~vec:(vec [ 9; 0 ]) ~tag:(tag 3 0);
+  let v, lc = Store.Oplog.read log 1 ~snap:(vec [ 6; 0 ]) in
+  Alcotest.check value_t "snapshot excludes newer write" (Crdt.V_int 2) v;
+  Alcotest.(check (option int)) "lamport of winner" (Some 2) lc;
+  let v, _ = Store.Oplog.read log 1 ~snap:(vec [ 100; 100 ]) in
+  Alcotest.check value_t "full snapshot sees last write" (Crdt.V_int 3) v;
+  let v, _ = Store.Oplog.read log 1 ~snap:(vec [ 0; 0 ]) in
+  Alcotest.check value_t "empty snapshot sees nothing" Crdt.V_none v
+
+let test_lww_across_origins () =
+  let log = Store.Oplog.create () in
+  (* concurrent writes from two DCs: the higher Lamport tag must win
+     regardless of append order *)
+  Store.Oplog.append log 7 ~op:(Crdt.Reg_write 10) ~vec:(vec [ 0; 3 ]) ~tag:(tag 9 1);
+  Store.Oplog.append log 7 ~op:(Crdt.Reg_write 20) ~vec:(vec [ 3; 0 ]) ~tag:(tag 4 0);
+  let v, lc = Store.Oplog.read log 7 ~snap:(vec [ 5; 5 ]) in
+  Alcotest.check value_t "higher tag wins" (Crdt.V_int 10) v;
+  Alcotest.(check (option int)) "its lamport" (Some 9) lc
+
+let test_counter_fold () =
+  let log = Store.Oplog.create () in
+  Store.Oplog.append log 2 ~op:(Crdt.Ctr_add 5) ~vec:(vec [ 1; 0 ]) ~tag:(tag 1 0);
+  Store.Oplog.append log 2 ~op:(Crdt.Ctr_add 3) ~vec:(vec [ 0; 1 ]) ~tag:(tag 1 1);
+  Store.Oplog.append log 2 ~op:(Crdt.Ctr_add 2) ~vec:(vec [ 2; 0 ]) ~tag:(tag 2 0);
+  let v, _ = Store.Oplog.read log 2 ~snap:(vec [ 1; 1 ]) in
+  Alcotest.check value_t "partial sum" (Crdt.V_int 8) v;
+  let v, _ = Store.Oplog.read log 2 ~snap:(vec [ 9; 9 ]) in
+  Alcotest.check value_t "full sum" (Crdt.V_int 10) v
+
+let test_entries_order () =
+  let log = Store.Oplog.create () in
+  Store.Oplog.append log 3 ~op:(Crdt.Reg_write 1) ~vec:(vec [ 1; 0 ]) ~tag:(tag 5 0);
+  Store.Oplog.append log 3 ~op:(Crdt.Reg_write 2) ~vec:(vec [ 2; 0 ]) ~tag:(tag 1 0);
+  Store.Oplog.append log 3 ~op:(Crdt.Reg_write 3) ~vec:(vec [ 3; 0 ]) ~tag:(tag 9 0);
+  let tags =
+    List.map (fun e -> e.Store.Oplog.tag.Crdt.lc) (Store.Oplog.entries log 3)
+  in
+  Alcotest.(check (list int)) "descending tag order" [ 9; 5; 1 ] tags;
+  Alcotest.(check int) "version count" 3 (Store.Oplog.version_count log 3);
+  Alcotest.(check int) "appends" 3 (Store.Oplog.appended log)
+
+let test_same_txn_double_write () =
+  (* two writes to the same key in one transaction share the tag; the
+     later one must win *)
+  let log = Store.Oplog.create () in
+  Store.Oplog.append log 4 ~op:(Crdt.Reg_write 1) ~vec:(vec [ 1; 0 ]) ~tag:(tag 3 0);
+  Store.Oplog.append log 4 ~op:(Crdt.Reg_write 2) ~vec:(vec [ 1; 0 ]) ~tag:(tag 3 0);
+  let v, _ = Store.Oplog.read log 4 ~snap:(vec [ 2; 2 ]) in
+  Alcotest.check value_t "second write of the txn wins" (Crdt.V_int 2) v
+
+let test_compact_registers () =
+  let log = Store.Oplog.create () in
+  for i = 1 to 10 do
+    Store.Oplog.append log 5 ~op:(Crdt.Reg_write i) ~vec:(vec [ i; 0 ])
+      ~tag:(tag i 0)
+  done;
+  Store.Oplog.compact log ~horizon:(vec [ 100; 100 ]);
+  Alcotest.(check int) "register history collapsed" 1
+    (Store.Oplog.version_count log 5);
+  let v, _ = Store.Oplog.read log 5 ~snap:(vec [ 100; 100 ]) in
+  Alcotest.check value_t "value preserved" (Crdt.V_int 10) v
+
+let test_compact_respects_horizon () =
+  let log = Store.Oplog.create () in
+  Store.Oplog.append log 6 ~op:(Crdt.Reg_write 1) ~vec:(vec [ 1; 0 ]) ~tag:(tag 1 0);
+  Store.Oplog.append log 6 ~op:(Crdt.Reg_write 2) ~vec:(vec [ 9; 0 ]) ~tag:(tag 2 0);
+  Store.Oplog.compact log ~horizon:(vec [ 5; 5 ]);
+  Alcotest.(check int) "nothing dropped above the horizon" 2
+    (Store.Oplog.version_count log 6)
+
+let qcheck_read_matches_fold =
+  (* a snapshot read equals folding exactly the in-snapshot entries *)
+  QCheck.Test.make ~name:"snapshot read equals direct fold" ~count:300
+    QCheck.(
+      make
+        Gen.(
+          list_size (int_range 0 30)
+            (triple (int_bound 20) (int_bound 20) (int_bound 100))))
+    (fun writes ->
+      let log = Store.Oplog.create () in
+      List.iteri
+        (fun i (a, b, v) ->
+          Store.Oplog.append log 1 ~op:(Crdt.Reg_write v) ~vec:(vec [ a; b ])
+            ~tag:(tag i 0))
+        writes;
+      let snap = vec [ 10; 10 ] in
+      let got, _ = Store.Oplog.read log 1 ~snap in
+      let expected =
+        List.fold_left
+          (fun st (i, (a, b, v)) ->
+            if Vc.leq (vec [ a; b ]) snap then
+              Crdt.apply st (Crdt.Reg_write v) ~tag:(tag i 0) ~vec:(vec [ a; b ])
+            else st)
+          Crdt.empty
+          (List.mapi (fun i w -> (i, w)) writes)
+        |> Crdt.read
+      in
+      got = expected)
+
+let suite =
+  [
+    Alcotest.test_case "reading an absent key" `Quick test_empty_read;
+    Alcotest.test_case "snapshot filters versions" `Quick
+      test_snapshot_filtering;
+    Alcotest.test_case "LWW across origins" `Quick test_lww_across_origins;
+    Alcotest.test_case "counter folds in-snapshot entries" `Quick
+      test_counter_fold;
+    Alcotest.test_case "entries kept in tag order" `Quick test_entries_order;
+    Alcotest.test_case "double write in one txn" `Quick
+      test_same_txn_double_write;
+    Alcotest.test_case "compaction collapses register history" `Quick
+      test_compact_registers;
+    Alcotest.test_case "compaction respects the horizon" `Quick
+      test_compact_respects_horizon;
+    QCheck_alcotest.to_alcotest qcheck_read_matches_fold;
+  ]

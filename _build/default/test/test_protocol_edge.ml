@@ -1,0 +1,258 @@
+(* Protocol edge cases beyond the basic suite: multi-partition atomicity
+   under strong transactions, repeated migrations, mixed sessions,
+   hybrid clocks, read-only strong transactions, LWW arbitration. *)
+
+module U = Unistore
+module Client = U.Client
+module Fiber = Sim.Fiber
+
+let test_strong_multipartition_atomicity () =
+  (* a strong transaction spanning several partitions becomes visible
+     atomically everywhere *)
+  let sys = Util.make_system ~partitions:4 () in
+  (* keys 0..3 land on partitions 0..3 *)
+  for k = 0 to 3 do
+    U.System.preload sys k (Crdt.Reg_write 0)
+  done;
+  ignore
+    (U.System.spawn_client sys ~dc:0 (fun c ->
+         for i = 1 to 10 do
+           Client.start c ~strong:true;
+           for k = 0 to 3 do
+             Client.update c k (Crdt.Reg_write i)
+           done;
+           ignore (Client.commit c);
+           Fiber.sleep 50_000;
+           ignore i
+         done));
+  let violations = ref 0 in
+  ignore
+    (U.System.spawn_client sys ~dc:2 (fun c ->
+         for _ = 1 to 150 do
+           Client.start c;
+           let v0 = Client.read_int c 0 in
+           let v1 = Client.read_int c 1 in
+           let v2 = Client.read_int c 2 in
+           let v3 = Client.read_int c 3 in
+           ignore (Client.commit c);
+           if not (v0 = v1 && v1 = v2 && v2 = v3) then incr violations;
+           Fiber.sleep 4_000
+         done));
+  Util.run sys ~until:5_000_000;
+  Alcotest.(check int) "no torn strong transaction" 0 !violations;
+  Util.assert_por sys
+
+let test_read_only_strong_in_unistore () =
+  (* a read-only strong transaction certifies its reads: it aborts if a
+     conflicting write committed outside its snapshot *)
+  let sys = Util.make_system () in
+  U.System.preload sys 7 (Crdt.Reg_write 1);
+  let ok = ref false in
+  ignore
+    (U.System.spawn_client sys ~dc:0 (fun c ->
+         Client.start c ~strong:true;
+         let v = Client.read_int c 7 in
+         (match Client.commit c with
+         | `Committed _ -> ok := v = 1
+         | `Aborted -> ())));
+  Util.run sys ~until:2_000_000;
+  Alcotest.(check bool) "read-only strong commits quietly" true !ok;
+  Util.assert_por sys
+
+let test_repeated_migration () =
+  (* a client hops Virginia -> California -> Frankfurt -> Virginia and
+     always sees its whole session *)
+  let sys = Util.make_system () in
+  let hops = [ 1; 2; 0 ] in
+  let final = ref (-1) in
+  ignore
+    (U.System.spawn_client sys ~dc:0 (fun c ->
+         List.iteri
+           (fun i dc ->
+             Client.start c;
+             Client.update c 42 (Crdt.Reg_write (i + 1));
+             ignore (Client.commit c);
+             Client.migrate c ~dc;
+             (* after attaching, the session must read its last write *)
+             Client.start c;
+             let v = Client.read_int c 42 in
+             ignore (Client.commit c);
+             if v <> i + 1 then failwith "session lost during migration")
+           hops;
+         Client.start c;
+         final := Client.read_int c 42;
+         ignore (Client.commit c)));
+  Util.run sys ~until:5_000_000;
+  Alcotest.(check int) "session intact after three migrations" 3 !final;
+  Util.assert_por sys
+
+let test_hlc_mode_consistency () =
+  (* hybrid clocks with extreme skew: the protocol stays consistent *)
+  let topo = Net.Topology.three_dcs () in
+  let cfg =
+    U.Config.default ~topo ~partitions:4 ~clock_skew_us:50_000 ~use_hlc:true
+      ~record_history:true ()
+  in
+  let sys = U.System.create cfg in
+  for k = 0 to 9 do
+    U.System.preload sys k (Crdt.Reg_write 0)
+  done;
+  for i = 0 to 5 do
+    ignore
+      (U.System.spawn_client sys ~dc:(i mod 3) (fun c ->
+           let rng = Sim.Rng.create (500 + i) in
+           for _ = 1 to 20 do
+             let rec attempt n =
+               Client.start c ~strong:(Sim.Rng.int rng 5 = 0);
+               let key = Sim.Rng.int rng 10 in
+               ignore (Client.read c key);
+               Client.update c key (Crdt.Reg_write (Sim.Rng.int rng 100));
+               match Client.commit c with
+               | `Committed _ -> ()
+               | `Aborted -> if n < 10 then attempt (n + 1)
+             in
+             attempt 0
+           done))
+  done;
+  U.System.run sys ~until:25_000_000;
+  let h = U.System.history sys in
+  let result =
+    U.Checker.check ~preloads:(U.History.preloads h) cfg (U.History.txns h)
+  in
+  if not (U.Checker.ok result) then
+    Alcotest.failf "%a" U.Checker.pp_result result;
+  match U.System.check_convergence sys with
+  | [] -> ()
+  | errs -> Alcotest.failf "divergence: %s" (String.concat "; " errs)
+
+let test_hlc_commit_faster_than_physical_wait () =
+  (* with a large positive coordinator skew, physical clocks force the
+     commit record to wait; hybrid clocks do not *)
+  let latency mode_hlc =
+    let cfg =
+      U.Config.default ~partitions:2 ~clock_skew_us:30_000 ~use_hlc:mode_hlc
+        ~seed:99 ()
+    in
+    let sys = U.System.create cfg in
+    let done_at = ref 0 in
+    ignore
+      (U.System.spawn_client sys ~dc:0 (fun c ->
+           for i = 1 to 5 do
+             Client.start c;
+             Client.update c i (Crdt.Reg_write i);
+             ignore (Client.commit c);
+             (* read back from another partition of the same txn chain *)
+             Client.start c;
+             ignore (Client.read_int c i);
+             ignore (Client.commit c)
+           done;
+           done_at := U.System.now sys));
+    U.System.run sys ~until:10_000_000;
+    !done_at
+  in
+  let physical = latency false and hybrid = latency true in
+  Alcotest.(check bool)
+    (Fmt.str "hybrid (%dus) at least as fast as physical (%dus)" hybrid
+       physical)
+    true (hybrid <= physical)
+
+let test_lww_cross_dc_arbitration () =
+  (* two causally-ordered writes from different DCs: the later session
+     always wins at every replica *)
+  let sys = Util.make_system () in
+  U.System.preload sys 9 (Crdt.Reg_write 0);
+  ignore
+    (U.System.spawn_client sys ~dc:0 (fun c ->
+         Client.start c;
+         Client.update c 9 (Crdt.Reg_write 1);
+         ignore (Client.commit c)));
+  ignore
+    (U.System.spawn_client sys ~dc:1 (fun c ->
+         (* wait until the first write is visible, then overwrite *)
+         let rec poll () =
+           Client.start c;
+           let v = Client.read_int c 9 in
+           ignore (Client.commit c);
+           if v = 1 then begin
+             Client.start c;
+             Client.update c 9 (Crdt.Reg_write 2);
+             ignore (Client.commit c)
+           end
+           else begin
+             Fiber.sleep 10_000;
+             poll ()
+           end
+         in
+         poll ()));
+  Util.run sys ~until:4_000_000;
+  let finals = Array.make 3 (-1) in
+  for dc = 0 to 2 do
+    ignore
+      (U.System.spawn_client sys ~dc (fun c ->
+           Client.start c;
+           finals.(dc) <- Client.read_int c 9;
+           ignore (Client.commit c)))
+  done;
+  Util.run sys ~until:6_000_000;
+  Array.iteri
+    (fun dc v ->
+      Alcotest.(check int) (Fmt.str "causally-later write wins at dc%d" dc) 2 v)
+    finals;
+  Util.assert_por sys;
+  Util.assert_convergence sys
+
+let test_empty_transaction () =
+  let sys = Util.make_system () in
+  let committed = ref false in
+  ignore
+    (U.System.spawn_client sys ~dc:0 (fun c ->
+         Client.start c;
+         (match Client.commit c with
+         | `Committed _ -> committed := true
+         | `Aborted -> ());
+         (* and an empty strong transaction *)
+         Client.start c ~strong:true;
+         match Client.commit c with
+         | `Committed _ -> ()
+         | `Aborted -> committed := false));
+  Util.run sys ~until:2_000_000;
+  Alcotest.(check bool) "empty transactions commit" true !committed
+
+let test_interleaved_sessions_share_coordinators () =
+  (* many clients through the same replicas: sessions stay isolated *)
+  let sys = Util.make_system ~partitions:2 () in
+  let ok = ref 0 in
+  for i = 0 to 19 do
+    ignore
+      (U.System.spawn_client sys ~dc:0 (fun c ->
+           let key = 1000 + Client.id c in
+           Client.start c;
+           Client.update c key (Crdt.Reg_write (Client.id c));
+           ignore (Client.commit c);
+           Client.start c;
+           if Client.read_int c key = Client.id c then incr ok;
+           ignore (Client.commit c)));
+    ignore i
+  done;
+  Util.run sys ~until:3_000_000;
+  Alcotest.(check int) "every session reads its own write" 20 !ok;
+  Util.assert_por sys
+
+let suite =
+  [
+    Alcotest.test_case "strong multi-partition atomicity" `Slow
+      test_strong_multipartition_atomicity;
+    Alcotest.test_case "read-only strong transaction" `Quick
+      test_read_only_strong_in_unistore;
+    Alcotest.test_case "repeated migration keeps the session" `Slow
+      test_repeated_migration;
+    Alcotest.test_case "hybrid clocks stay consistent at 50ms skew" `Slow
+      test_hlc_mode_consistency;
+    Alcotest.test_case "hybrid clocks avoid physical waits" `Quick
+      test_hlc_commit_faster_than_physical_wait;
+    Alcotest.test_case "LWW arbitration across DCs" `Quick
+      test_lww_cross_dc_arbitration;
+    Alcotest.test_case "empty transactions" `Quick test_empty_transaction;
+    Alcotest.test_case "interleaved sessions stay isolated" `Quick
+      test_interleaved_sessions_share_coordinators;
+  ]

@@ -1,0 +1,126 @@
+(* Deterministic PRNG: reproducibility, stream independence, samplers. *)
+
+let test_determinism () =
+  let a = Sim.Rng.create 7 and b = Sim.Rng.create 7 in
+  for _ = 1 to 1000 do
+    Alcotest.(check int64)
+      "same seed, same stream" (Sim.Rng.next_int64 a) (Sim.Rng.next_int64 b)
+  done
+
+let test_different_seeds () =
+  let a = Sim.Rng.create 1 and b = Sim.Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Sim.Rng.next_int64 a = Sim.Rng.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_split_independent () =
+  let parent = Sim.Rng.create 7 in
+  let a = Sim.Rng.split parent ~id:1 in
+  let b = Sim.Rng.split parent ~id:2 in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Sim.Rng.next_int64 a = Sim.Rng.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "split streams differ" true (!same < 5)
+
+let test_int_bounds () =
+  let rng = Sim.Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let x = Sim.Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_int_covers_range () =
+  let rng = Sim.Rng.create 13 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1_000 do
+    seen.(Sim.Rng.int rng 8) <- true
+  done;
+  Array.iteri
+    (fun i hit -> Alcotest.(check bool) (Fmt.str "value %d seen" i) true hit)
+    seen
+
+let test_float_bounds () =
+  let rng = Sim.Rng.create 17 in
+  for _ = 1 to 10_000 do
+    let x = Sim.Rng.float rng 3.5 in
+    Alcotest.(check bool) "in range" true (x >= 0.0 && x < 3.5)
+  done
+
+let test_float_mean () =
+  let rng = Sim.Rng.create 19 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Sim.Rng.float rng 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Fmt.str "mean %.4f close to 0.5" mean)
+    true
+    (abs_float (mean -. 0.5) < 0.01)
+
+let test_exponential_mean () =
+  let rng = Sim.Rng.create 23 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Sim.Rng.exponential rng ~mean:50.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Fmt.str "mean %.2f close to 50" mean)
+    true
+    (abs_float (mean -. 50.0) < 2.0)
+
+let test_weighted () =
+  let rng = Sim.Rng.create 29 in
+  let weights = [| 1.0; 0.0; 3.0 |] in
+  let counts = Array.make 3 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let i = Sim.Rng.weighted rng weights in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero-weight index never drawn" 0 counts.(1);
+  let frac0 = float_of_int counts.(0) /. float_of_int n in
+  Alcotest.(check bool)
+    (Fmt.str "weight-1 fraction %.3f near 0.25" frac0)
+    true
+    (abs_float (frac0 -. 0.25) < 0.02)
+
+let test_shuffle_permutation () =
+  let rng = Sim.Rng.create 31 in
+  let arr = Array.init 100 Fun.id in
+  Sim.Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "permutation" true (sorted = Array.init 100 Fun.id);
+  Alcotest.(check bool) "actually shuffled" true (arr <> Array.init 100 Fun.id)
+
+let test_invalid_args () =
+  let rng = Sim.Rng.create 1 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Sim.Rng.int rng 0));
+  Alcotest.check_raises "weighted zero"
+    (Invalid_argument "Rng.weighted: weights sum to zero") (fun () ->
+      ignore (Sim.Rng.weighted rng [| 0.0; 0.0 |]))
+
+let suite =
+  [
+    Alcotest.test_case "same seed reproduces stream" `Quick test_determinism;
+    Alcotest.test_case "different seeds differ" `Quick test_different_seeds;
+    Alcotest.test_case "split streams are independent" `Quick
+      test_split_independent;
+    Alcotest.test_case "int stays in bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int covers its range" `Quick test_int_covers_range;
+    Alcotest.test_case "float stays in bounds" `Quick test_float_bounds;
+    Alcotest.test_case "float is uniform (mean)" `Quick test_float_mean;
+    Alcotest.test_case "exponential has requested mean" `Quick
+      test_exponential_mean;
+    Alcotest.test_case "weighted respects weights" `Quick test_weighted;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutation;
+    Alcotest.test_case "invalid arguments rejected" `Quick test_invalid_args;
+  ]

@@ -1,0 +1,106 @@
+(* Latency sample sets, percentiles, CDFs, throughput counters. *)
+
+let test_percentiles () =
+  let s = Sim.Stats.create_samples () in
+  for i = 1 to 100 do
+    Sim.Stats.add s i
+  done;
+  Alcotest.(check int) "count" 100 (Sim.Stats.count s);
+  Alcotest.(check (float 0.001)) "p0" 1.0 (Sim.Stats.percentile s 0.0);
+  Alcotest.(check (float 0.001)) "p100" 100.0 (Sim.Stats.percentile s 100.0);
+  Alcotest.(check (float 0.001)) "median" 50.5 (Sim.Stats.median s);
+  Alcotest.(check (float 0.01)) "p90" 90.1 (Sim.Stats.percentile s 90.0)
+
+let test_percentile_interpolation () =
+  let s = Sim.Stats.create_samples () in
+  Sim.Stats.add s 10;
+  Sim.Stats.add s 20;
+  Alcotest.(check (float 0.001)) "p50 interpolates" 15.0 (Sim.Stats.median s)
+
+let test_mean_min_max () =
+  let s = Sim.Stats.create_samples () in
+  List.iter (Sim.Stats.add s) [ 4; 8; 15; 16; 23; 42 ];
+  Alcotest.(check (float 0.001)) "mean" 18.0 (Sim.Stats.mean s);
+  Alcotest.(check int) "min" 4 (Sim.Stats.min_value s);
+  Alcotest.(check int) "max" 42 (Sim.Stats.max_value s)
+
+let test_unsorted_insertion () =
+  let s = Sim.Stats.create_samples () in
+  List.iter (Sim.Stats.add s) [ 9; 1; 5 ];
+  Alcotest.(check (float 0.001)) "median of unsorted" 5.0 (Sim.Stats.median s);
+  (* adding after sorting must keep results correct *)
+  Sim.Stats.add s 0;
+  Alcotest.(check int) "new min" 0 (Sim.Stats.min_value s)
+
+let test_empty_raises () =
+  let s = Sim.Stats.create_samples () in
+  Alcotest.check_raises "empty mean"
+    (Invalid_argument "Stats.mean: empty sample set") (fun () ->
+      ignore (Sim.Stats.mean s))
+
+let test_cdf () =
+  let s = Sim.Stats.create_samples () in
+  for i = 1 to 1000 do
+    Sim.Stats.add s i
+  done;
+  let cdf = Sim.Stats.cdf s ~points:11 in
+  Alcotest.(check int) "points" 11 (List.length cdf);
+  let v0, f0 = List.hd cdf in
+  Alcotest.(check int) "starts at min" 1 v0;
+  Alcotest.(check (float 0.001)) "starts at 0" 0.0 f0;
+  let vn, fn = List.nth cdf 10 in
+  Alcotest.(check int) "ends at max" 1000 vn;
+  Alcotest.(check (float 0.001)) "ends at 1" 1.0 fn;
+  (* fractions increase *)
+  let rec mono = function
+    | (_, f1) :: ((_, f2) :: _ as rest) ->
+        Alcotest.(check bool) "monotone" true (f1 <= f2);
+        mono rest
+    | _ -> ()
+  in
+  mono cdf
+
+let test_counter_window () =
+  let c = Sim.Stats.create_counter ~window_start:100 ~window_end:200 in
+  Sim.Stats.incr_counter c ~now:50;
+  Sim.Stats.incr_counter c ~now:100;
+  Sim.Stats.incr_counter c ~now:150;
+  Sim.Stats.incr_counter c ~now:199;
+  Sim.Stats.incr_counter c ~now:200;
+  Sim.Stats.incr_counter c ~now:300;
+  Alcotest.(check int) "only in-window events" 3 (Sim.Stats.counter_events c);
+  Alcotest.(check bool) "in_window" true (Sim.Stats.in_window c ~now:150);
+  Alcotest.(check bool) "out of window" false (Sim.Stats.in_window c ~now:200)
+
+let test_throughput () =
+  (* 500 events in a 0.5-second window = 1000 events/s *)
+  let c = Sim.Stats.create_counter ~window_start:0 ~window_end:500_000 in
+  for i = 0 to 499 do
+    Sim.Stats.incr_counter c ~now:(i * 1000)
+  done;
+  Alcotest.(check (float 0.001)) "throughput" 1000.0 (Sim.Stats.throughput c)
+
+let qcheck_percentile_bounds =
+  QCheck.Test.make ~name:"percentiles stay within min/max" ~count:200
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 50) (int_bound 10_000)) (int_bound 100))
+    (fun (samples, p) ->
+      QCheck.assume (samples <> []);
+      let s = Sim.Stats.create_samples () in
+      List.iter (Sim.Stats.add s) samples;
+      let v = Sim.Stats.percentile s (float_of_int p) in
+      v >= float_of_int (Sim.Stats.min_value s)
+      && v <= float_of_int (Sim.Stats.max_value s))
+
+let suite =
+  [
+    Alcotest.test_case "exact percentiles" `Quick test_percentiles;
+    Alcotest.test_case "percentile interpolation" `Quick
+      test_percentile_interpolation;
+    Alcotest.test_case "mean/min/max" `Quick test_mean_min_max;
+    Alcotest.test_case "insertion after sorting" `Quick test_unsorted_insertion;
+    Alcotest.test_case "empty set raises" `Quick test_empty_raises;
+    Alcotest.test_case "empirical CDF" `Quick test_cdf;
+    Alcotest.test_case "counter honours its window" `Quick test_counter_window;
+    Alcotest.test_case "throughput computation" `Quick test_throughput;
+    QCheck_alcotest.to_alcotest qcheck_percentile_bounds;
+  ]

@@ -1,0 +1,163 @@
+(* Workload generators: the microbenchmark and RUBiS. *)
+
+module U = Unistore
+module Rubis = Workload.Rubis
+module Micro = Workload.Micro
+
+let test_rubis_mix_fractions () =
+  (* §8.1: the bidding mix has 15% update transactions, 10% strong *)
+  Alcotest.(check (float 0.005)) "strong fraction" 0.10
+    (Rubis.strong_fraction ());
+  Alcotest.(check (float 0.005)) "update fraction" 0.15
+    (Rubis.update_fraction ())
+
+let test_rubis_mix_shape () =
+  let names = Array.to_list (Array.map (fun t -> t.Rubis.name) Rubis.mix) in
+  Alcotest.(check int) "17 transaction types (11 read-only + 5 update + \
+                        closeAuction)"
+    17 (List.length names);
+  List.iter
+    (fun must ->
+      Alcotest.(check bool) (must ^ " present") true (List.mem must names))
+    [ "registerUser"; "storeBid"; "storeBuyNow"; "closeAuction" ];
+  (* exactly the four §8.1 strong types *)
+  let strong =
+    Array.to_list Rubis.mix
+    |> List.filter (fun t -> t.Rubis.strong)
+    |> List.map (fun t -> t.Rubis.name)
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "strong types"
+    [ "closeAuction"; "registerUser"; "storeBid"; "storeBuyNow" ]
+    strong
+
+let test_rubis_conflicts () =
+  let spec = Rubis.conflict_spec in
+  let od key cls write = { U.Types.key; cls; write } in
+  let item_maxbid = Rubis.item_key ~iid:1 ~field:2 in
+  let conflict a b = U.Config.ops_conflict spec a b in
+  Alcotest.(check bool) "storeBid vs closeAuction on the same item" true
+    (conflict
+       (od item_maxbid Rubis.cls_store_bid true)
+       (od item_maxbid Rubis.cls_close_auction false));
+  Alcotest.(check bool) "storeBid vs storeBid does NOT conflict" false
+    (conflict
+       (od item_maxbid Rubis.cls_store_bid true)
+       (od item_maxbid Rubis.cls_store_bid true));
+  Alcotest.(check bool) "different items never conflict" false
+    (conflict
+       (od item_maxbid Rubis.cls_store_bid true)
+       (od (Rubis.item_key ~iid:2 ~field:2) Rubis.cls_close_auction false))
+
+let test_rubis_small_run () =
+  let cfg =
+    U.Config.default ~topo:(Net.Topology.three_dcs ()) ~partitions:4
+      ~conflict:Rubis.conflict_spec ~record_history:true ()
+  in
+  let sys = U.System.create cfg in
+  let spec =
+    { Rubis.default_spec with n_items = 200; n_users = 500; think_time_us = 5_000 }
+  in
+  Rubis.populate sys spec;
+  let stop () = U.System.now sys >= 1_500_000 in
+  for i = 0 to 8 do
+    ignore
+      (U.System.spawn_client sys ~dc:(i mod 3) (fun c ->
+           Rubis.client_body spec ~stop c))
+  done;
+  U.System.run sys ~until:4_000_000;
+  let h = U.System.history sys in
+  Alcotest.(check bool) "transactions committed" true
+    (U.History.committed_total h > 50);
+  Alcotest.(check bool) "both kinds of transactions ran" true
+    (U.History.committed_strong h > 0 && U.History.committed_causal h > 0);
+  let result =
+    U.Checker.check ~preloads:(U.History.preloads h) cfg (U.History.txns h)
+  in
+  if not (U.Checker.ok result) then
+    Alcotest.failf "%a" U.Checker.pp_result result;
+  match U.System.check_convergence sys with
+  | [] -> ()
+  | errs -> Alcotest.failf "divergence: %s" (String.concat "; " errs)
+
+let test_micro_key_targeting () =
+  (* the contended variant must aim strong transactions at the designated
+     partition *)
+  let partitions = 8 in
+  let spec =
+    {
+      (Micro.default_spec ~partitions) with
+      strong_ratio = 1.0;
+      hot_partition = Some (3, 1.0);
+    }
+  in
+  let cfg =
+    U.Config.default ~topo:(Net.Topology.three_dcs ()) ~partitions
+      ~record_history:true ()
+  in
+  let sys = U.System.create cfg in
+  let stop () = U.System.now sys >= 600_000 in
+  ignore
+    (U.System.spawn_client sys ~dc:0 (fun c ->
+         Micro.client_body spec ~stop c));
+  U.System.run sys ~until:2_000_000;
+  let h = U.System.history sys in
+  let txns = U.History.txns h in
+  Alcotest.(check bool) "ran" true (List.length txns > 0);
+  List.iter
+    (fun (r : U.History.txn_record) ->
+      List.iter
+        (fun (w : U.Types.write) ->
+          Alcotest.(check int) "write on designated partition" 3
+            (Store.Keyspace.partition ~partitions w.wkey))
+        r.h_writes)
+    txns
+
+let test_micro_mix_ratios () =
+  let partitions = 4 in
+  let spec =
+    {
+      (Micro.default_spec ~partitions) with
+      update_ratio = 0.5;
+      strong_ratio = 0.0;
+      keys = 1_000;
+    }
+  in
+  let cfg =
+    U.Config.default ~topo:(Net.Topology.three_dcs ()) ~partitions
+      ~record_history:true ()
+  in
+  let sys = U.System.create cfg in
+  let stop () = U.System.now sys >= 2_000_000 in
+  for i = 0 to 5 do
+    ignore
+      (U.System.spawn_client sys ~dc:(i mod 3) (fun c ->
+           Micro.client_body spec ~stop c))
+  done;
+  U.System.run sys ~until:3_000_000;
+  let txns = U.History.txns (U.System.history sys) in
+  let updates =
+    List.length
+      (List.filter (fun (r : U.History.txn_record) -> r.h_writes <> []) txns)
+  in
+  let frac = float_of_int updates /. float_of_int (List.length txns) in
+  Alcotest.(check bool)
+    (Fmt.str "update fraction %.2f near 0.5" frac)
+    true
+    (abs_float (frac -. 0.5) < 0.1)
+
+let suite =
+  [
+    Alcotest.test_case "RUBiS mix fractions (15% update, 10% strong)" `Quick
+      test_rubis_mix_fractions;
+    Alcotest.test_case "RUBiS mix shape (17 types, 4 strong)" `Quick
+      test_rubis_mix_shape;
+    Alcotest.test_case "RUBiS conflict relation (3 declared conflicts)"
+      `Quick test_rubis_conflicts;
+    Alcotest.test_case "RUBiS end-to-end run passes the checker" `Slow
+      test_rubis_small_run;
+    Alcotest.test_case "microbenchmark contended targeting" `Quick
+      test_micro_key_targeting;
+    Alcotest.test_case "microbenchmark update ratio" `Quick
+      test_micro_mix_ratios;
+  ]

@@ -1,0 +1,69 @@
+(* Zipf sampler: bounds, uniform degeneration, skew ordering. *)
+
+let test_bounds () =
+  let rng = Sim.Rng.create 3 in
+  let z = Sim.Zipf.create ~n:100 ~theta:0.9 in
+  for _ = 1 to 10_000 do
+    let x = Sim.Zipf.sample z rng in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 100)
+  done
+
+let test_uniform_when_theta_zero () =
+  let rng = Sim.Rng.create 5 in
+  let z = Sim.Zipf.create ~n:10 ~theta:0.0 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Sim.Zipf.sample z rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let frac = float_of_int c /. float_of_int n in
+      Alcotest.(check bool)
+        (Fmt.str "bucket %d frac %.3f near 0.1" i frac)
+        true
+        (abs_float (frac -. 0.1) < 0.01))
+    counts
+
+let test_skew_prefers_low_ranks () =
+  let rng = Sim.Rng.create 7 in
+  let z = Sim.Zipf.create ~n:1000 ~theta:0.9 in
+  let low = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Sim.Zipf.sample z rng < 10 then incr low
+  done;
+  let frac = float_of_int !low /. float_of_int n in
+  (* under uniform this would be 1%; a 0.9-skew draws far more *)
+  Alcotest.(check bool) (Fmt.str "low-rank mass %.3f" frac) true (frac > 0.3)
+
+let test_rank_monotonicity () =
+  let rng = Sim.Rng.create 11 in
+  let z = Sim.Zipf.create ~n:50 ~theta:0.8 in
+  let counts = Array.make 50 0 in
+  for _ = 1 to 200_000 do
+    let i = Sim.Zipf.sample z rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "rank 0 beats rank 5" true (counts.(0) > counts.(5));
+  Alcotest.(check bool) "rank 5 beats rank 40" true (counts.(5) > counts.(40))
+
+let test_invalid () =
+  Alcotest.check_raises "n=0"
+    (Invalid_argument "Zipf.create: n must be positive") (fun () ->
+      ignore (Sim.Zipf.create ~n:0 ~theta:0.5));
+  Alcotest.check_raises "theta=1"
+    (Invalid_argument "Zipf.create: theta must be in [0, 1)") (fun () ->
+      ignore (Sim.Zipf.create ~n:10 ~theta:1.0))
+
+let suite =
+  [
+    Alcotest.test_case "samples stay in bounds" `Quick test_bounds;
+    Alcotest.test_case "theta=0 is uniform" `Quick test_uniform_when_theta_zero;
+    Alcotest.test_case "skew concentrates on low ranks" `Quick
+      test_skew_prefers_low_ranks;
+    Alcotest.test_case "frequency decreases with rank" `Quick
+      test_rank_monotonicity;
+    Alcotest.test_case "invalid parameters rejected" `Quick test_invalid;
+  ]
