@@ -4,7 +4,7 @@
    paper's evaluation (§8) and runs the Bechamel microbenchmarks;
    individual artefacts can be selected by name:
 
-     main.exe [fig3|tab-latency|fig4a|fig4b|fig5|fig6|scenarios|micro]... *)
+     main.exe [fig3|tab-latency|fig4a|fig4b|fig5|fig6|scenarios|nemesis|micro]... *)
 
 let artefacts =
   [
@@ -27,12 +27,14 @@ let artefacts =
     ("fig5", fun () -> Common.timed "fig5" Fig5.run);
     ("fig6", fun () -> Common.timed "fig6" Fig6.run);
     ("scenarios", fun () -> Common.timed "scenarios" Scenarios.run);
+    ("nemesis", fun () -> Common.timed "nemesis" Nemesis_bench.run);
     ("ablations", fun () -> Common.timed "ablations" Ablations.run);
     ("micro", fun () -> Common.timed "micro" Microbench.run);
   ]
 
 let default_sequence =
-  [ "scenarios"; "tab-latency"; "fig6"; "fig5"; "ablations"; "micro"; "fig3"; "fig4" ]
+  [ "scenarios"; "nemesis"; "tab-latency"; "fig6"; "fig5"; "ablations";
+    "micro"; "fig3"; "fig4" ]
 
 let () =
   let requested =

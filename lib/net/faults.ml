@@ -1,0 +1,178 @@
+(* Per-link fault model for the simulated network (the nemesis substrate).
+
+   The paper's system model (§2) assumes eventual-delivery links, not
+   lossless ones: messages between correct data centers may be lost,
+   duplicated or delayed, and must merely arrive eventually if resent.
+   This module captures that adversary:
+
+   - [drop_p]: independent per-message loss probability;
+   - [dup_p]: probability a message is delivered twice;
+   - gray degradation: per-message probability of a large extra delay,
+     or a deterministic extra delay pinned to a directed DC link;
+   - heal-able bidirectional partitions between data-center pairs.
+
+   Faults apply to inter-DC links only. Intra-DC links (the paper's
+   redundant data-center network) stay reliable, so local 2PC and
+   client/coordinator RPCs are unaffected; the WAN is the adversary.
+
+   All random decisions draw from the [Sim.Rng.t] the caller passes in
+   (the network's own stream), so faulty runs replay deterministically
+   from the simulation seed. *)
+
+type spec = {
+  drop_p : float;  (* loss probability per inter-DC message *)
+  dup_p : float;  (* duplication probability *)
+  degrade_p : float;  (* probability of transient extra delay *)
+  degrade_extra_us : int;  (* max extra delay when degraded *)
+}
+
+(* The acceptance regime of the nemesis experiments: ≥5% loss, some
+   duplication, occasional multi-millisecond gray delays. *)
+let default_spec =
+  { drop_p = 0.05; dup_p = 0.01; degrade_p = 0.02; degrade_extra_us = 20_000 }
+
+(* A spec with every rate at zero: partitions and per-link degradations
+   can still be injected, but steady-state links behave perfectly. *)
+let clean_spec =
+  { drop_p = 0.0; dup_p = 0.0; degrade_p = 0.0; degrade_extra_us = 0 }
+
+type t = {
+  dcs : int;
+  mutable drop_p : float;
+  mutable dup_p : float;
+  mutable degrade_p : float;
+  mutable degrade_extra_us : int;
+  cut : bool array array;  (* cut.(a).(b): link a<->b partitioned *)
+  link_extra_us : int array array;  (* pinned gray delay per directed link *)
+  mutable partitions_cut : int;  (* how many partitions were ever injected *)
+}
+
+let check_pair t a b name =
+  if a < 0 || a >= t.dcs || b < 0 || b >= t.dcs then
+    invalid_arg (name ^ ": no such data center")
+
+let check_prob p name =
+  if p < 0.0 || p > 1.0 then invalid_arg (name ^ ": probability outside [0,1]")
+
+let of_spec ~dcs (spec : spec) =
+  if dcs <= 0 then invalid_arg "Faults.of_spec: no data centers";
+  check_prob spec.drop_p "Faults.of_spec drop_p";
+  check_prob spec.dup_p "Faults.of_spec dup_p";
+  check_prob spec.degrade_p "Faults.of_spec degrade_p";
+  {
+    dcs;
+    drop_p = spec.drop_p;
+    dup_p = spec.dup_p;
+    degrade_p = spec.degrade_p;
+    degrade_extra_us = spec.degrade_extra_us;
+    cut = Array.make_matrix dcs dcs false;
+    link_extra_us = Array.make_matrix dcs dcs 0;
+    partitions_cut = 0;
+  }
+
+let create ~dcs = of_spec ~dcs clean_spec
+
+let set_drop t p =
+  check_prob p "Faults.set_drop";
+  t.drop_p <- p
+
+let set_dup t p =
+  check_prob p "Faults.set_dup";
+  t.dup_p <- p
+
+let set_degrade t ~p ~extra_us =
+  check_prob p "Faults.set_degrade";
+  if extra_us < 0 then invalid_arg "Faults.set_degrade: negative delay";
+  t.degrade_p <- p;
+  t.degrade_extra_us <- extra_us
+
+let drop_p t = t.drop_p
+let dup_p t = t.dup_p
+
+(* ------------------------------------------------------------------ *)
+(* Partitions: bidirectional cuts between DC pairs, heal-able.          *)
+
+let partition t a b =
+  check_pair t a b "Faults.partition";
+  if a <> b && not t.cut.(a).(b) then begin
+    t.cut.(a).(b) <- true;
+    t.cut.(b).(a) <- true;
+    t.partitions_cut <- t.partitions_cut + 1
+  end
+
+let heal t a b =
+  check_pair t a b "Faults.heal";
+  t.cut.(a).(b) <- false;
+  t.cut.(b).(a) <- false
+
+let heal_all t =
+  for a = 0 to t.dcs - 1 do
+    for b = 0 to t.dcs - 1 do
+      t.cut.(a).(b) <- false
+    done
+  done
+
+let partitioned t a b =
+  check_pair t a b "Faults.partitioned";
+  t.cut.(a).(b)
+
+let any_partition t =
+  let found = ref false in
+  for a = 0 to t.dcs - 1 do
+    for b = a + 1 to t.dcs - 1 do
+      if t.cut.(a).(b) then found := true
+    done
+  done;
+  !found
+
+let partitions_injected t = t.partitions_cut
+
+(* ------------------------------------------------------------------ *)
+(* Gray links: a pinned extra delay on a directed link, heal-able.      *)
+
+let degrade_link t ~src ~dst ~extra_us =
+  check_pair t src dst "Faults.degrade_link";
+  if extra_us < 0 then invalid_arg "Faults.degrade_link: negative delay";
+  t.link_extra_us.(src).(dst) <- extra_us
+
+let clear_degrade t ~src ~dst =
+  check_pair t src dst "Faults.clear_degrade";
+  t.link_extra_us.(src).(dst) <- 0
+
+let link_extra_us t ~src ~dst = t.link_extra_us.(src).(dst)
+
+(* ------------------------------------------------------------------ *)
+(* Per-message verdict. Drawn once per physical transmission attempt
+   (including retransmissions), never for intra-DC traffic.             *)
+
+type verdict =
+  | Deliver of { extra_us : int; duplicate : bool }
+  | Cut  (* the link is partitioned *)
+  | Lost  (* random loss *)
+
+let judge t rng ~src ~dst =
+  if src = dst then Deliver { extra_us = 0; duplicate = false }
+  else if t.cut.(src).(dst) then Cut
+  else if t.drop_p > 0.0 && Sim.Rng.float rng 1.0 < t.drop_p then Lost
+  else
+    let extra =
+      t.link_extra_us.(src).(dst)
+      +
+      if
+        t.degrade_p > 0.0 && t.degrade_extra_us > 0
+        && Sim.Rng.float rng 1.0 < t.degrade_p
+      then 1 + Sim.Rng.int rng t.degrade_extra_us
+      else 0
+    in
+    let duplicate = t.dup_p > 0.0 && Sim.Rng.float rng 1.0 < t.dup_p in
+    Deliver { extra_us = extra; duplicate }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>faults: drop=%.3f dup=%.3f degrade=%.3f/%dus@," t.drop_p
+    t.dup_p t.degrade_p t.degrade_extra_us;
+  for a = 0 to t.dcs - 1 do
+    for b = a + 1 to t.dcs - 1 do
+      if t.cut.(a).(b) then Fmt.pf ppf "  partition dc%d <-> dc%d@," a b
+    done
+  done;
+  Fmt.pf ppf "@]"

@@ -1,11 +1,8 @@
 (* Message transport between simulated nodes.
 
-   Models exactly what the paper's system model assumes (§2) plus the
-   resources its evaluation exercises (§8):
+   Models the paper's system model (§2) plus the resources its evaluation
+   exercises (§8):
 
-   - reliable FIFO channels between any two nodes: per-(src, dst) delivery
-     times are monotone, messages between correct data centers are always
-     delivered;
    - WAN latency from the deployment topology, plus bounded uniform jitter;
    - per-node CPU: a node processes one message at a time; each message
      has a service cost (microseconds) charged to the node, so nodes
@@ -15,10 +12,35 @@
      receives from the moment of the crash (§2 considers only whole-DC
      failures).
 
+   Channel reliability comes in two regimes:
+
+   - Without faults (the default), channels are reliable FIFO: per-(src,
+     dst) delivery times are monotone and messages between correct data
+     centers are always delivered — the idealised network the paper's
+     happy-path evaluation assumes.
+   - With a [Faults.t] installed ([enable_faults] / [set_faults]),
+     inter-DC links become lossy: messages can be dropped, duplicated,
+     delayed (gray links) or cut off by heal-able partitions. The
+     transport then runs a sequence-numbered ack/retransmission layer
+     per (src, dst) channel — cumulative acks, timeout with exponential
+     backoff, receiver-side reordering and dedup — restoring exactly-once
+     FIFO *eventual* delivery, which is all the paper's model promises.
+     Intra-DC links stay reliable (the WAN is the adversary).
+
+   Dropped messages are counted by cause (DC crash, random loss,
+   partition) and optionally reported to a [Sim.Trace.t].
+
    The module is parametric in the message type: the protocol layer
    instantiates it with its own message variant. *)
 
 type addr = int
+
+type drop_cause = Crash | Loss | Partition
+
+let drop_cause_name = function
+  | Crash -> "crash"
+  | Loss -> "loss"
+  | Partition -> "partition"
 
 type 'm node = {
   addr : addr;
@@ -30,6 +52,27 @@ type 'm node = {
   mutable busy_us : int;
 }
 
+(* Sender half of a reliable channel. [unacked] holds sent-but-unacked
+   messages in ascending sequence order; the retransmission timer walks it
+   with exponential backoff until a cumulative ack clears it. *)
+type 'm tx_flow = {
+  mutable next_seq : int;
+  mutable unacked : (int * 'm) list;
+  base_rto_us : int;
+  mutable rto_us : int;
+  mutable timer_armed : bool;
+  mutable dup_acks : int;
+  mutable in_recovery : bool;
+}
+
+(* Receiver half: next in-order sequence number plus an out-of-order
+   buffer. Anything below [expected] (or already buffered) is a duplicate
+   and is suppressed. *)
+type 'm rx_flow = {
+  mutable expected : int;
+  ooo : (int, 'm) Hashtbl.t;
+}
+
 type 'm t = {
   eng : Sim.Engine.t;
   topo : Topology.t;
@@ -38,9 +81,24 @@ type 'm t = {
   mutable node_count : int;
   mutable failed : bool array;
   fifo : (int * int, int) Hashtbl.t;  (* (src, dst) -> last arrival time *)
+  mutable faults : Faults.t option;
+  tx_flows : (int * int, 'm tx_flow) Hashtbl.t;
+  rx_flows : (int * int, 'm rx_flow) Hashtbl.t;
+  mutable trace : Sim.Trace.t;
   mutable sent : int;
-  mutable dropped : int;
+  mutable dropped_crash : int;
+  mutable dropped_loss : int;
+  mutable dropped_partition : int;
+  mutable retransmissions : int;
+  mutable acks_sent : int;
+  mutable dups_suppressed : int;
 }
+
+(* Retransmission backoff is capped at the failure detector's suspicion
+   timeout: a healed link then catches up on its backlog before Ω can
+   falsely re-suspect the peer, at the price of a few more (dropped)
+   probes while a long partition lasts. *)
+let rto_cap_us = 500_000
 
 let create eng topo =
   {
@@ -51,12 +109,45 @@ let create eng topo =
     node_count = 0;
     failed = Array.make (Topology.dcs topo) false;
     fifo = Hashtbl.create 1024;
+    faults = None;
+    tx_flows = Hashtbl.create 256;
+    rx_flows = Hashtbl.create 256;
+    trace = Sim.Trace.disabled;
     sent = 0;
-    dropped = 0;
+    dropped_crash = 0;
+    dropped_loss = 0;
+    dropped_partition = 0;
+    retransmissions = 0;
+    acks_sent = 0;
+    dups_suppressed = 0;
   }
 
 let topology t = t.topo
 let engine t = t.eng
+
+(* Install a fault model: switches inter-DC channels to the lossy
+   transport with the ack/retransmission layer. Idempotent. *)
+let set_faults t f = t.faults <- Some f
+
+let enable_faults t =
+  match t.faults with
+  | Some f -> f
+  | None ->
+      let f = Faults.create ~dcs:(Topology.dcs t.topo) in
+      t.faults <- Some f;
+      f
+
+let faults t = t.faults
+let set_trace t trace = t.trace <- trace
+
+let count_drop t cause ~src_dc ~dst_dc =
+  (match cause with
+  | Crash -> t.dropped_crash <- t.dropped_crash + 1
+  | Loss -> t.dropped_loss <- t.dropped_loss + 1
+  | Partition -> t.dropped_partition <- t.dropped_partition + 1);
+  if Sim.Trace.enabled t.trace then
+    Sim.Trace.emitf t.trace ~source:"net" ~kind:"drop" "%s dc%d->dc%d"
+      (drop_cause_name cause) src_dc dst_dc
 
 let register t ~dc ~cost handler =
   if dc < 0 || dc >= Topology.dcs t.topo then
@@ -87,6 +178,15 @@ let fail_dc t dc =
     invalid_arg "Network.fail_dc: no such data center";
   t.failed.(dc) <- true
 
+(* Base one-way transit time of a physical transmission, jitter included. *)
+let transit_us t ~src_dc ~dst_dc =
+  let base = Topology.one_way t.topo ~src:src_dc ~dst:dst_dc in
+  let jitter =
+    let j = Topology.jitter_us t.topo in
+    if j = 0 then 0 else Sim.Rng.int t.rng (j + 1)
+  in
+  base + jitter
+
 (* Process a message at its destination node: serialize on the node's CPU
    and run the handler once the service time has been paid. *)
 let process t dst_node msg =
@@ -102,30 +202,206 @@ let process t dst_node msg =
         dst_node.handler msg
       end)
 
+(* ------------------------------------------------------------------ *)
+(* Reliable (default) path: FIFO channels, no loss between live DCs.    *)
+
+let direct_send t ~src_node ~dst_node msg =
+  let now = Sim.Engine.now t.eng in
+  let arrival = now + transit_us t ~src_dc:src_node.dc ~dst_dc:dst_node.dc in
+  (* FIFO per channel: never deliver before an earlier send's arrival. *)
+  let key = (src_node.addr, dst_node.addr) in
+  let arrival =
+    match Hashtbl.find_opt t.fifo key with
+    | Some last when arrival <= last -> last + 1
+    | _ -> arrival
+  in
+  Hashtbl.replace t.fifo key arrival;
+  Sim.Engine.schedule_at t.eng ~time:arrival (fun () ->
+      if t.failed.(dst_node.dc) then
+        count_drop t Crash ~src_dc:src_node.dc ~dst_dc:dst_node.dc
+      else process t dst_node msg)
+
+(* ------------------------------------------------------------------ *)
+(* Lossy path: ack/retransmission layer over faulty inter-DC links.     *)
+
+let tx_flow t ~src ~dst =
+  match Hashtbl.find_opt t.tx_flows (src, dst) with
+  | Some fl -> fl
+  | None ->
+      let src_dc = (node t src).dc and dst_dc = (node t dst).dc in
+      (* initial timeout: a full round trip plus jitter and slack *)
+      let base_rto =
+        (2 * Topology.one_way t.topo ~src:src_dc ~dst:dst_dc)
+        + (2 * Topology.jitter_us t.topo)
+        + 10_000
+      in
+      let fl =
+        {
+          next_seq = 0;
+          unacked = [];
+          base_rto_us = base_rto;
+          rto_us = base_rto;
+          timer_armed = false;
+          dup_acks = 0;
+          in_recovery = false;
+        }
+      in
+      Hashtbl.replace t.tx_flows (src, dst) fl;
+      fl
+
+let rx_flow t ~src ~dst =
+  match Hashtbl.find_opt t.rx_flows (src, dst) with
+  | Some rx -> rx
+  | None ->
+      let rx = { expected = 0; ooo = Hashtbl.create 8 } in
+      Hashtbl.replace t.rx_flows (src, dst) rx;
+      rx
+
+(* Cumulative ack for channel (src, dst): everything up to [upto] has
+   been received in order. Acks traverse the same faulty links but cost
+   no CPU at the sender (pure transport bookkeeping). *)
+let rec send_ack t ~src ~dst ~upto =
+  let src_node = node t src and dst_node = node t dst in
+  (* the ack travels dst -> src *)
+  match t.faults with
+  | None -> ()
+  | Some f -> (
+      match Faults.judge f t.rng ~src:dst_node.dc ~dst:src_node.dc with
+      | Faults.Cut | Faults.Lost -> ()  (* lost acks just delay the sender *)
+      | Faults.Deliver { extra_us; _ } ->
+          t.acks_sent <- t.acks_sent + 1;
+          let delay =
+            transit_us t ~src_dc:dst_node.dc ~dst_dc:src_node.dc + extra_us
+          in
+          Sim.Engine.schedule t.eng ~delay (fun () ->
+              if not t.failed.(src_node.dc) then
+                match Hashtbl.find_opt t.tx_flows (src, dst) with
+                | None -> ()
+                | Some fl ->
+                    let before = fl.unacked in
+                    fl.unacked <-
+                      List.filter (fun (s, _) -> s > upto) fl.unacked;
+                    if List.compare_lengths fl.unacked before <> 0 then begin
+                      (* progress resets the backoff and ends recovery *)
+                      fl.rto_us <- fl.base_rto_us;
+                      fl.dup_acks <- 0;
+                      fl.in_recovery <- false
+                    end
+                    else if fl.unacked <> [] && not fl.in_recovery then begin
+                      (* duplicate cumulative ack: the receiver sees
+                         packets beyond a sequence gap — a lost message,
+                         or fresh sends landing right after a partition
+                         heals. After three duplicates, retransmit the
+                         missing head immediately rather than waiting
+                         out the backed-off timeout (TCP fast
+                         retransmit); the reset timer resends the rest
+                         of the window if the gap is wider than one.
+                         The [in_recovery] latch allows one fast
+                         retransmit per stall: resends arrive as a burst
+                         of further duplicate acks, which must not
+                         trigger resends of their own. *)
+                      fl.dup_acks <- fl.dup_acks + 1;
+                      if fl.dup_acks >= 3 then begin
+                        fl.dup_acks <- 0;
+                        fl.in_recovery <- true;
+                        fl.rto_us <- fl.base_rto_us;
+                        match fl.unacked with
+                        | (s, m) :: _ ->
+                            t.retransmissions <- t.retransmissions + 1;
+                            transmit t f ~src ~dst s m
+                        | [] -> ()
+                      end
+                    end))
+
+(* A data packet reached the destination: deduplicate, deliver in order,
+   flush the out-of-order buffer, and ack cumulatively. *)
+and deliver_data t ~src ~dst seq msg =
+  let src_node = node t src and dst_node = node t dst in
+  if t.failed.(dst_node.dc) then
+    count_drop t Crash ~src_dc:src_node.dc ~dst_dc:dst_node.dc
+  else begin
+    let rx = rx_flow t ~src ~dst in
+    if seq < rx.expected || Hashtbl.mem rx.ooo seq then
+      t.dups_suppressed <- t.dups_suppressed + 1
+    else if seq = rx.expected then begin
+      process t dst_node msg;
+      rx.expected <- rx.expected + 1;
+      let continue = ref true in
+      while !continue do
+        match Hashtbl.find_opt rx.ooo rx.expected with
+        | Some m ->
+            Hashtbl.remove rx.ooo rx.expected;
+            process t dst_node m;
+            rx.expected <- rx.expected + 1
+        | None -> continue := false
+      done
+    end
+    else Hashtbl.replace rx.ooo seq msg;
+    send_ack t ~src ~dst ~upto:(rx.expected - 1)
+  end
+
+(* One physical transmission attempt of (seq, msg) on channel (src, dst):
+   the fault model decides loss, partition, gray delay and duplication. *)
+and transmit t f ~src ~dst seq msg =
+  let src_dc = (node t src).dc and dst_dc = (node t dst).dc in
+  match Faults.judge f t.rng ~src:src_dc ~dst:dst_dc with
+  | Faults.Cut -> count_drop t Partition ~src_dc ~dst_dc
+  | Faults.Lost -> count_drop t Loss ~src_dc ~dst_dc
+  | Faults.Deliver { extra_us; duplicate } ->
+      let deliver_after delay =
+        Sim.Engine.schedule t.eng ~delay (fun () ->
+            deliver_data t ~src ~dst seq msg)
+      in
+      deliver_after (transit_us t ~src_dc ~dst_dc + extra_us);
+      if duplicate then deliver_after (transit_us t ~src_dc ~dst_dc + extra_us)
+
+let rec arm_timer t f ~src ~dst fl =
+  if (not fl.timer_armed) && fl.unacked <> [] then begin
+    fl.timer_armed <- true;
+    Sim.Engine.schedule t.eng ~delay:fl.rto_us (fun () ->
+        fl.timer_armed <- false;
+        if fl.unacked <> [] then begin
+          let src_dc = (node t src).dc and dst_dc = (node t dst).dc in
+          if t.failed.(src_dc) then fl.unacked <- []
+          else if t.failed.(dst_dc) then begin
+            (* the peer crashed: everything buffered is lost with it *)
+            List.iter
+              (fun _ -> count_drop t Crash ~src_dc ~dst_dc)
+              fl.unacked;
+            fl.unacked <- []
+          end
+          else begin
+            List.iter
+              (fun (seq, msg) ->
+                t.retransmissions <- t.retransmissions + 1;
+                transmit t f ~src ~dst seq msg)
+              fl.unacked;
+            fl.rto_us <- min (2 * fl.rto_us) rto_cap_us;
+            arm_timer t f ~src ~dst fl
+          end
+        end)
+  end
+
+let reliable_send t f ~src ~dst msg =
+  let fl = tx_flow t ~src ~dst in
+  let seq = fl.next_seq in
+  fl.next_seq <- seq + 1;
+  fl.unacked <- fl.unacked @ [ (seq, msg) ];
+  transmit t f ~src ~dst seq msg;
+  arm_timer t f ~src ~dst fl
+
+(* ------------------------------------------------------------------ *)
+
 let send t ~src ~dst msg =
   let src_node = node t src and dst_node = node t dst in
   if t.failed.(src_node.dc) || t.failed.(dst_node.dc) then
-    t.dropped <- t.dropped + 1
+    count_drop t Crash ~src_dc:src_node.dc ~dst_dc:dst_node.dc
   else begin
     t.sent <- t.sent + 1;
-    let now = Sim.Engine.now t.eng in
-    let base = Topology.one_way t.topo ~src:src_node.dc ~dst:dst_node.dc in
-    let jitter =
-      let j = Topology.jitter_us t.topo in
-      if j = 0 then 0 else Sim.Rng.int t.rng (j + 1)
-    in
-    let arrival = now + base + jitter in
-    (* FIFO per channel: never deliver before an earlier send's arrival. *)
-    let key = (src, dst) in
-    let arrival =
-      match Hashtbl.find_opt t.fifo key with
-      | Some last when arrival <= last -> last + 1
-      | _ -> arrival
-    in
-    Hashtbl.replace t.fifo key arrival;
-    Sim.Engine.schedule_at t.eng ~time:arrival (fun () ->
-        if t.failed.(dst_node.dc) then t.dropped <- t.dropped + 1
-        else process t dst_node msg)
+    match t.faults with
+    | Some f when src_node.dc <> dst_node.dc ->
+        reliable_send t f ~src ~dst msg
+    | _ -> direct_send t ~src_node ~dst_node msg
   end
 
 (* Deliver a message a node sends to itself: no network hop, but the
@@ -135,7 +411,22 @@ let send_self t ~node:addr msg =
   if not t.failed.(n.dc) then process t n msg
 
 let messages_sent t = t.sent
-let messages_dropped t = t.dropped
+
+let messages_dropped t =
+  t.dropped_crash + t.dropped_loss + t.dropped_partition
+
+let dropped_crash t = t.dropped_crash
+let dropped_loss t = t.dropped_loss
+let dropped_partition t = t.dropped_partition
+let retransmissions t = t.retransmissions
+let acks_sent t = t.acks_sent
+let duplicates_suppressed t = t.dups_suppressed
+
+(* In-flight reliable-layer backlog: messages sent but not yet
+   acknowledged across all channels (0 once the network is quiescent). *)
+let unacked_backlog t =
+  Hashtbl.fold (fun _ fl acc -> acc + List.length fl.unacked) t.tx_flows 0
+
 let node_processed t addr = (node t addr).processed
 let node_busy_us t addr = (node t addr).busy_us
 

@@ -1,10 +1,24 @@
-(** Message transport between simulated nodes: reliable FIFO channels with
-    WAN latency and jitter, per-node CPU (service-time) modelling, and
+(** Message transport between simulated nodes: FIFO channels with WAN
+    latency and jitter, per-node CPU (service-time) modelling, and
     whole-data-center crash failures — the system model of UniStore §2.
+
+    Channels are perfectly reliable by default. Installing a {!Faults.t}
+    ({!enable_faults} / {!set_faults}) makes inter-DC links lossy
+    (drop / duplicate / gray delay / heal-able partitions) and switches
+    those links to a sequence-numbered ack/retransmission layer that
+    restores exactly-once FIFO {e eventual} delivery — the guarantee the
+    paper's eventual-delivery links actually provide. Intra-DC traffic
+    stays reliable and direct.
 
     Parametric in the message type. *)
 
 type addr = int
+
+(** Why a message was dropped: destination (or source) DC crashed, random
+    link loss, or a network partition. *)
+type drop_cause = Crash | Loss | Partition
+
+val drop_cause_name : drop_cause -> string
 
 type 'm t
 
@@ -27,14 +41,50 @@ val fail_dc : 'm t -> int -> unit
 
 (** Send a message. Per-(src,dst) delivery order is FIFO; latency is the
     topology's one-way delay plus jitter; processing at the destination is
-    serialized on its CPU. Silently dropped if either end's DC failed. *)
+    serialized on its CPU. Silently dropped if either end's DC failed.
+    With faults installed, inter-DC messages ride the retransmission
+    layer: they may arrive late (after retries) but arrive exactly once,
+    in order, unless a DC crashes or a partition never heals. *)
 val send : 'm t -> src:addr -> dst:addr -> 'm -> unit
 
 (** Local delivery to self: no network hop, service cost still charged. *)
 val send_self : 'm t -> node:addr -> 'm -> unit
 
+(** {1 Fault injection} *)
+
+(** Install a fresh all-clean fault model (or return the existing one):
+    from now on inter-DC links go through the lossy transport. *)
+val enable_faults : 'm t -> Faults.t
+
+val set_faults : 'm t -> Faults.t -> unit
+val faults : 'm t -> Faults.t option
+
+(** Report drops (with their cause) to a trace. *)
+val set_trace : 'm t -> Sim.Trace.t -> unit
+
+(** {1 Statistics} *)
+
 val messages_sent : 'm t -> int
+
+(** Total drops, all causes (= crash + loss + partition). *)
 val messages_dropped : 'm t -> int
+
+val dropped_crash : 'm t -> int
+val dropped_loss : 'm t -> int
+val dropped_partition : 'm t -> int
+
+(** Physical re-sends performed by the reliable layer. *)
+val retransmissions : 'm t -> int
+
+val acks_sent : 'm t -> int
+
+(** Receiver-side duplicates discarded (retransmit races and [dup_p]). *)
+val duplicates_suppressed : 'm t -> int
+
+(** Messages sent on lossy channels not yet acknowledged; 0 when the
+    network is quiescent. *)
+val unacked_backlog : 'm t -> int
+
 val node_processed : 'm t -> addr -> int
 val node_busy_us : 'm t -> addr -> int
 

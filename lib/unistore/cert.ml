@@ -83,6 +83,10 @@ type t = {
   mutable decided_max_lc : int;
   (* committed but not yet delivered, sorted by ascending strong ts *)
   mutable undelivered : Msg.decided_strong list;
+  (* strong timestamp up to which decided transactions may have been
+     garbage-collected: snapshots below it can no longer be certified
+     soundly *)
+  mutable pruned_below : int;
   mutable last_delivered : int;
   mutable last_sent : int;  (* leader: highest DELIVER timestamp issued *)
   mutable last_ts : int;  (* leader: last proposed strong timestamp *)
@@ -111,6 +115,7 @@ let create ctx ~leader_dc =
     decided_join = None;
     decided_max_lc = 0;
     undelivered = [];
+    pruned_below = 0;
     last_delivered = 0;
     last_sent = 0;
     last_ts = 0;
@@ -123,6 +128,7 @@ let create ctx ~leader_dc =
 let is_leader t = t.status = Leader
 let status t = t.status
 let trusted t = t.trusted
+let ballot t = t.ballot
 let prepared_count t = Hashtbl.length t.prepared
 let decided_count t = Hashtbl.length t.decided
 let last_delivered t = t.last_delivered
@@ -380,6 +386,18 @@ let handle_prepare_strong t ~rid ~caller ~coord ~tid ~origin ~wbuff ~ops
                     t.last_ts <- ts;
                     let vote, lc =
                       certification_check t ~tid ~ops ~snap ~lc
+                    in
+                    (* a snapshot whose strong entry is below the prune
+                       floor may miss conflicting committed transactions
+                       that were already garbage-collected: refuse it
+                       (the coordinator retries with a fresher
+                       snapshot). A transaction with no operations at
+                       this group (a dummy heartbeat) conflicts with
+                       nothing, so any snapshot certifies it. *)
+                    let vote =
+                      vote
+                      && (t.ctx.x_ops_slice ops = []
+                         || Vc.strong snap >= t.pruned_below)
                     in
                     (* The check and the leader's own accept must be one
                        atomic step: a self-addressed ACCEPT is delivered
@@ -647,6 +665,27 @@ let retry_stale t ~older_than_us =
       t.prepared
   end
 
+(* Ω told us [dc] is down: immediately re-certify every prepared
+   transaction originating there, instead of waiting for the RETRY
+   timer. An accepted-but-undecided transaction whose coordinator
+   crashed blocks DELIVER for every later strong timestamp in its
+   group, which freezes the data center-wide stable vector and with it
+   every new snapshot — re-running the 2PC from here decides it either
+   way. Safe under false suspicion: decisions are unique per
+   transaction, so a duplicate certification is absorbed. *)
+let retry_suspected t ~dc =
+  if t.status = Leader then
+    Hashtbl.iter
+      (fun tid (p : Msg.prepared_strong) ->
+        if p.Msg.ps_origin = dc then begin
+          Hashtbl.replace t.prepared_at tid (t.ctx.x_now ());
+          t.ctx.x_certify ~caller:Msg.Normal ~tid ~origin:p.Msg.ps_origin
+            ~wbuff:p.Msg.ps_wbuff ~ops:p.Msg.ps_ops ~snap:p.Msg.ps_snap
+            ~lc:p.Msg.ps_lc
+            ~k:(fun _ -> ())
+        end)
+      t.prepared
+
 (* Garbage-collect committed transactions whose strong timestamp is so
    far below the delivery frontier that every live snapshot contains
    them (they can no longer cause an abort or a Lamport bump; snapshots
@@ -654,6 +693,7 @@ let retry_stale t ~older_than_us =
    periods, which [keep_after] must dominate). *)
 let prune_decided t ~keep_after =
   if keep_after > 0 then begin
+    if keep_after > t.pruned_below then t.pruned_below <- keep_after;
     let stale =
       Hashtbl.fold
         (fun tid (d : Msg.decided_strong) acc ->

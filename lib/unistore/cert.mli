@@ -63,6 +63,10 @@ val status : t -> status
 (** The data center this member's Ω failure detector currently trusts. *)
 val trusted : t -> int
 
+(** Current ballot; advances past its initial value only when leadership
+    has been contested (Algorithm A10). *)
+val ballot : t -> int
+
 val prepared_count : t -> int
 val decided_count : t -> int
 
@@ -79,6 +83,12 @@ val set_trusted : t -> int -> unit
 (** RETRY (Algorithm A9 line 37): re-certify prepared transactions whose
     coordinator went silent. *)
 val retry_stale : t -> older_than_us:int -> unit
+
+(** Eager RETRY on Ω suspicion: re-certify every prepared transaction
+    originating at the suspected DC, so an orphaned 2PC cannot block
+    delivery until the staleness timer fires. Safe under false
+    suspicion (decisions are unique per transaction). *)
+val retry_suspected : t -> dc:int -> unit
 
 (** Garbage-collect decided transactions below the delivery frontier
     that every live snapshot already contains. *)

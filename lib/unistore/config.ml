@@ -123,7 +123,9 @@ type t = {
   broadcast_period_us : int;  (* BROADCAST_VECS period (5 ms in §8) *)
   strong_heartbeat_us : int;  (* dummy strong transaction period *)
   clock_skew_us : int;  (* max absolute per-replica clock skew *)
-  detection_delay_us : int;  (* failure detector reaction time *)
+  detection_delay_us : int;  (* Ω suspicion timeout: silence before suspect *)
+  fd_period_us : int;  (* Ω heartbeat broadcast / check period *)
+  link_faults : Net.Faults.spec option;  (* lossy inter-DC links (nemesis) *)
   costs : costs;
   seed : int;
   use_hlc : bool;  (* hybrid logical clocks instead of physical waits (§9) *)
@@ -136,13 +138,24 @@ let default ?(topo = Net.Topology.three_dcs ()) ?(partitions = 8) ?(f = 1)
     ?(mode = Unistore) ?(conflict = Serializable) ?(leader_dc = 0)
     ?(propagate_period_us = 5_000) ?(broadcast_period_us = 5_000)
     ?(strong_heartbeat_us = 10_000) ?(clock_skew_us = 1_000)
-    ?(detection_delay_us = 500_000) ?(costs = default_costs) ?(seed = 42)
+    ?(detection_delay_us = 500_000) ?(fd_period_us = 100_000)
+    ?link_faults ?(costs = default_costs) ?(seed = 42)
     ?(use_hlc = false) ?(trace_enabled = false) ?(record_history = false)
     ?(measure_visibility = false) () =
   let dcs = Net.Topology.dcs topo in
   if 2 * f + 1 > dcs && not (f + 1 <= dcs && f > 0) then
     invalid_arg "Config.default: need at least f+1 data centers";
   if f < 0 || f >= dcs then invalid_arg "Config.default: bad f";
+  (* Certification quorums are f+1 members. Two quorums intersect only
+     when dcs <= 2f+1; without intersection, a false suspicion can
+     install a second leader whose quorum is disjoint from the old one,
+     and the two decide independently (split brain). Crash-only runs
+     never contest a live leader's ballot, so the tighter bound is
+     required only when links can lie. *)
+  if link_faults <> None && dcs > (2 * f) + 1 then
+    invalid_arg
+      "Config.default: with link faults, need dcs <= 2f+1 so that \
+       certification quorums intersect under false suspicion";
   if leader_dc < 0 || leader_dc >= dcs then
     invalid_arg "Config.default: bad leader";
   if partitions <= 0 then invalid_arg "Config.default: bad partitions";
@@ -158,6 +171,8 @@ let default ?(topo = Net.Topology.three_dcs ()) ?(partitions = 8) ?(f = 1)
     strong_heartbeat_us;
     clock_skew_us;
     detection_delay_us;
+    fd_period_us;
+    link_faults;
     costs;
     seed;
     use_hlc;

@@ -70,7 +70,12 @@ type t = {
   broadcast_period_us : int;  (** BROADCAST_VECS period (5 ms in §8) *)
   strong_heartbeat_us : int;  (** dummy strong transaction period *)
   clock_skew_us : int;  (** max absolute per-replica clock skew *)
-  detection_delay_us : int;  (** failure-detector reaction time *)
+  detection_delay_us : int;
+      (** Ω suspicion timeout: a DC silent for this long is suspected *)
+  fd_period_us : int;  (** Ω heartbeat broadcast / check period *)
+  link_faults : Net.Faults.spec option;
+      (** install lossy inter-DC links with these rates (nemesis runs);
+          [None] keeps the network perfectly reliable *)
   costs : costs;
   seed : int;
   use_hlc : bool;
@@ -100,6 +105,8 @@ val default :
   ?strong_heartbeat_us:int ->
   ?clock_skew_us:int ->
   ?detection_delay_us:int ->
+  ?fd_period_us:int ->
+  ?link_faults:Net.Faults.spec ->
   ?costs:costs ->
   ?seed:int ->
   ?use_hlc:bool ->

@@ -1,0 +1,149 @@
+(* Heartbeat-based Ω failure detector (one instance per deployment, one
+   detector node per data center).
+
+   Replaces the oracle that previously wired [System.fail_dc] straight to
+   [Replica.suspect]: each DC now runs a detector node that broadcasts
+   [Msg.Fd_ping] to its peers every [fd_period_us] and suspects any DC it
+   has not heard from for [detection_delay_us]. Suspicion is a *local,
+   fallible* judgement — a transient partition or a gray link produces
+   false suspicions, which is precisely the regime Ω permits: eventually,
+   once the network stabilises, correct DCs stop being suspected
+   ([unsuspect] fires when their pings resume) and all observers converge
+   on trusting the same leader.
+
+   The detector only observes and notifies; what trust means is the
+   replicas' business ([Replica.suspect] / [Replica.unsuspect] and the
+   certification ballot machinery). *)
+
+module Network = Net.Network
+module Engine = Sim.Engine
+
+(* One observer's view of the world. *)
+type view = {
+  last_heard : int array;  (* dc -> time of the last ping received *)
+  suspected : bool array;
+}
+
+type t = {
+  cfg : Config.t;
+  eng : Engine.t;
+  net : Msg.t Network.t;
+  addrs : Msg.addr array;  (* detector node of each DC *)
+  views : view array;  (* indexed by observer DC *)
+  trace : Sim.Trace.t;
+  on_suspect : observer:int -> dc:int -> unit;
+  on_restore : observer:int -> dc:int -> unit;
+  mutable suspicions : int;
+  mutable false_suspicions : int;  (* suspected a DC that had not crashed *)
+  mutable restorations : int;
+}
+
+let suspected t ~observer ~dc = t.views.(observer).suspected.(dc)
+
+(* The leader this observer's Ω outputs: first non-suspected DC starting
+   from the configured home leader (same rule as [Replica.preferred_leader],
+   evaluated on the detector's view). *)
+let preferred t ~observer =
+  let n = Config.dcs t.cfg in
+  let home = t.cfg.Config.leader_dc in
+  let v = t.views.(observer) in
+  let rec go k =
+    if k >= n then home
+    else
+      let dc = (home + k) mod n in
+      if v.suspected.(dc) then go (k + 1) else dc
+  in
+  go 0
+
+let suspicions t = t.suspicions
+let false_suspicions t = t.false_suspicions
+let restorations t = t.restorations
+
+let mark_suspected t ~observer ~dc =
+  let v = t.views.(observer) in
+  if not v.suspected.(dc) then begin
+    v.suspected.(dc) <- true;
+    t.suspicions <- t.suspicions + 1;
+    if not (Network.dc_failed t.net dc) then
+      t.false_suspicions <- t.false_suspicions + 1;
+    Sim.Trace.emitf t.trace ~source:"fd" ~kind:"suspect"
+      "dc%d suspects dc%d%s" observer dc
+      (if Network.dc_failed t.net dc then "" else " (falsely)");
+    t.on_suspect ~observer ~dc
+  end
+
+let heard_from t ~observer ~dc =
+  let v = t.views.(observer) in
+  v.last_heard.(dc) <- Engine.now t.eng;
+  if v.suspected.(dc) then begin
+    v.suspected.(dc) <- false;
+    t.restorations <- t.restorations + 1;
+    Sim.Trace.emitf t.trace ~source:"fd" ~kind:"unsuspect"
+      "dc%d rehabilitates dc%d" observer dc;
+    t.on_restore ~observer ~dc
+  end
+
+let handle t ~observer msg =
+  match msg with
+  | Msg.Fd_ping { from_dc } -> heard_from t ~observer ~dc:from_dc
+  | _ -> ()  (* detector nodes receive only pings *)
+
+let create cfg eng net ~trace ~on_suspect ~on_restore =
+  let dcs = Config.dcs cfg in
+  let t =
+    {
+      cfg;
+      eng;
+      net;
+      addrs = Array.make dcs (-1);
+      views =
+        Array.init dcs (fun _ ->
+            {
+              last_heard = Array.make dcs 0;
+              suspected = Array.make dcs false;
+            });
+      trace;
+      on_suspect;
+      on_restore;
+      suspicions = 0;
+      false_suspicions = 0;
+      restorations = 0;
+    }
+  in
+  for dc = 0 to dcs - 1 do
+    t.addrs.(dc) <-
+      Network.register net ~dc
+        ~cost:(Msg.cost cfg.Config.costs)
+        (fun msg -> handle t ~observer:dc msg)
+  done;
+  let period = cfg.Config.fd_period_us in
+  let timeout = cfg.Config.detection_delay_us in
+  for dc = 0 to dcs - 1 do
+    (* stagger DCs so pings do not cross the WAN in lock-step *)
+    let phase = 1 + (dc * period / dcs) in
+    Engine.every eng ~period ~phase (fun () ->
+        if Network.dc_failed t.net dc then false
+        else begin
+          for peer = 0 to dcs - 1 do
+            if peer <> dc then
+              Network.send net ~src:t.addrs.(dc) ~dst:t.addrs.(peer)
+                (Msg.Fd_ping { from_dc = dc })
+          done;
+          true
+        end);
+    Engine.every eng ~period ~phase:(phase + (period / 2)) (fun () ->
+        if Network.dc_failed t.net dc then false
+        else begin
+          let v = t.views.(dc) in
+          let now = Engine.now eng in
+          for peer = 0 to dcs - 1 do
+            if
+              peer <> dc
+              && (not v.suspected.(peer))
+              && now - v.last_heard.(peer) > timeout
+            then mark_suspected t ~observer:dc ~dc:peer
+          done;
+          true
+        end)
+  done;
+  t

@@ -1,0 +1,36 @@
+(** Heartbeat-based Ω failure detector.
+
+    One detector node per data center: it broadcasts {!Msg.Fd_ping} to
+    its peers every [fd_period_us] and suspects any DC silent for longer
+    than [detection_delay_us]. Suspicion is local and fallible (transient
+    partitions produce false suspicions); when pings resume the DC is
+    rehabilitated. [on_suspect] / [on_restore] fire on each observer's
+    transitions — {!System} wires them to {!Replica.suspect} /
+    {!Replica.unsuspect}. *)
+
+type t
+
+val create :
+  Config.t ->
+  Sim.Engine.t ->
+  Msg.t Net.Network.t ->
+  trace:Sim.Trace.t ->
+  on_suspect:(observer:int -> dc:int -> unit) ->
+  on_restore:(observer:int -> dc:int -> unit) ->
+  t
+
+(** Does [observer]'s Ω currently suspect [dc]? *)
+val suspected : t -> observer:int -> dc:int -> bool
+
+(** The leader [observer]'s Ω outputs: first non-suspected DC starting
+    from the configured home leader. *)
+val preferred : t -> observer:int -> int
+
+(** Total suspicion transitions (including re-suspicions). *)
+val suspicions : t -> int
+
+(** Suspicions of DCs that had not actually crashed. *)
+val false_suspicions : t -> int
+
+(** Rehabilitations (a suspected DC's pings resumed). *)
+val restorations : t -> int

@@ -139,6 +139,8 @@ type t =
       from : addr;
     }
   | New_state_ack of { b : int; from : addr }
+  (* ---- Ω failure detector ------------------------------------------- *)
+  | Fd_ping of { from_dc : int }
 
 (* Service cost of a message (CPU microseconds at the processing node). *)
 let cost (c : Config.costs) = function
@@ -170,6 +172,7 @@ let cost (c : Config.costs) = function
   | Nack _ | New_leader _ | New_leader_ack _ | New_state _ | New_state_ack _
     ->
       c.c_base
+  | Fd_ping _ -> c.c_vec
 
 (* Cost profile of the REDBLUE centralized service nodes: certification
    there runs against every concurrent strong transaction in the system,
@@ -217,3 +220,4 @@ let kind = function
   | New_leader_ack _ -> "new_leader_ack"
   | New_state _ -> "new_state"
   | New_state_ack _ -> "new_state_ack"
+  | Fd_ping _ -> "fd_ping"

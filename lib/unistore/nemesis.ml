@@ -1,0 +1,145 @@
+(* Nemesis: scheduled fault injection against a running deployment.
+
+   A schedule is a list of (time, event) pairs — crash a DC, cut or heal
+   a partition, degrade or restore a link, change the loss rate — that
+   the driver injects while the workload runs. Schedules are either
+   scripted (tests pin exact adversities) or generated from a seed
+   ([random_schedule]), so every nemesis run replays deterministically.
+
+   The adversary is bounded the way the paper's model demands: at most
+   [f] DCs crash, and a [Heal_all] event ends the schedule, after which
+   the network is reliable again — the regime in which UniStore promises
+   that pending strong transactions decide and all correct DCs
+   converge. *)
+
+module Network = Net.Network
+module Engine = Sim.Engine
+module Rng = Sim.Rng
+
+type event =
+  | Crash_dc of int  (* permanent whole-DC failure *)
+  | Partition of int * int  (* cut the bidirectional link between DCs *)
+  | Heal of int * int
+  | Heal_all  (* heal every partition and restore every degraded link *)
+  | Degrade of { src : int; dst : int; extra_us : int }  (* gray link *)
+  | Restore of { src : int; dst : int }
+  | Set_drop of float  (* change the steady-state loss rate *)
+
+type step = { at_us : int; ev : event }
+
+type schedule = step list
+
+let pp_event ppf = function
+  | Crash_dc dc -> Fmt.pf ppf "crash dc%d" dc
+  | Partition (a, b) -> Fmt.pf ppf "partition dc%d <-> dc%d" a b
+  | Heal (a, b) -> Fmt.pf ppf "heal dc%d <-> dc%d" a b
+  | Heal_all -> Fmt.pf ppf "heal all"
+  | Degrade { src; dst; extra_us } ->
+      Fmt.pf ppf "degrade dc%d -> dc%d (+%dus)" src dst extra_us
+  | Restore { src; dst } -> Fmt.pf ppf "restore dc%d -> dc%d" src dst
+  | Set_drop p -> Fmt.pf ppf "set drop %.3f" p
+
+let pp_step ppf { at_us; ev } = Fmt.pf ppf "%8dus %a" at_us pp_event ev
+
+(* Inject one event now. *)
+let inject_event sys ev =
+  let net = System.network sys in
+  let trace = System.trace sys in
+  let faults =
+    match System.faults sys with
+    | Some f -> f
+    | None -> Network.enable_faults net
+  in
+  Sim.Trace.emitf trace ~source:"nemesis" ~kind:"inject" "%a" pp_event ev;
+  match ev with
+  | Crash_dc dc -> System.fail_dc sys dc
+  | Partition (a, b) -> Net.Faults.partition faults a b
+  | Heal (a, b) -> Net.Faults.heal faults a b
+  | Heal_all ->
+      Net.Faults.heal_all faults;
+      let dcs = Net.Topology.dcs (Network.topology net) in
+      for src = 0 to dcs - 1 do
+        for dst = 0 to dcs - 1 do
+          Net.Faults.clear_degrade faults ~src ~dst
+        done
+      done
+  | Degrade { src; dst; extra_us } ->
+      Net.Faults.degrade_link faults ~src ~dst ~extra_us
+  | Restore { src; dst } -> Net.Faults.clear_degrade faults ~src ~dst
+  | Set_drop p -> Net.Faults.set_drop faults p
+
+(* Schedule every step of [sched] onto the system's engine. Call before
+   [System.run]. *)
+let inject sys (sched : schedule) =
+  (* a partition can make a live leader falsely suspected, so the
+     contested-ballot safety bound applies (see Config.default): two
+     f+1 certification quorums must intersect *)
+  let cfg = System.cfg sys in
+  if
+    List.exists
+      (fun { ev; _ } -> match ev with Partition _ -> true | _ -> false)
+      sched
+    && Config.dcs cfg > (2 * cfg.Config.f) + 1
+  then
+    invalid_arg
+      "Nemesis.inject: partitions with dcs > 2f+1 allow split-brain \
+       certification; raise f or shrink the topology";
+  let eng = System.engine sys in
+  List.iter
+    (fun { at_us; ev } ->
+      Engine.schedule_at eng ~time:at_us (fun () -> inject_event sys ev))
+    sched
+
+(* ------------------------------------------------------------------ *)
+(* Seeded random schedules.                                             *)
+
+(* Crash at most [max_crashes] DCs (never the majority — the paper's
+   bound is f), cut and heal a few transient partitions, degrade a few
+   links, and finish with [Heal_all] before [horizon_us] so liveness
+   assertions apply. The same seed always yields the same schedule. *)
+let random_schedule ~seed ~dcs ~horizon_us ?(max_crashes = 1)
+    ?(max_partitions = 2) ?(max_degrades = 2) () =
+  if dcs < 2 then invalid_arg "Nemesis.random_schedule: need at least 2 DCs";
+  if horizon_us <= 0 then invalid_arg "Nemesis.random_schedule: bad horizon";
+  let rng = Rng.create (seed lxor 0x4e454d) in
+  (* faults start in the second quarter-to-5/8ths of the run: the system
+     warms up first, nothing new begins after the final heal, and
+     everything settles before the horizon *)
+  let lo = horizon_us / 4 and hi = 3 * horizon_us / 8 in
+  let t () = lo + Rng.int rng (max 1 hi) in
+  let steps = ref [] in
+  let push at_us ev = steps := { at_us; ev } :: !steps in
+  (* transient partitions, each healing after a bounded interval *)
+  let n_parts = if max_partitions <= 0 then 0 else Rng.int rng (max_partitions + 1) in
+  for _ = 1 to n_parts do
+    let a = Rng.int rng dcs in
+    let b = (a + 1 + Rng.int rng (dcs - 1)) mod dcs in
+    let start = t () in
+    let len = horizon_us / 16 + Rng.int rng (max 1 (horizon_us / 8)) in
+    push start (Partition (a, b));
+    push (start + len) (Heal (a, b))
+  done;
+  (* gray links *)
+  let n_deg = if max_degrades <= 0 then 0 else Rng.int rng (max_degrades + 1) in
+  for _ = 1 to n_deg do
+    let src = Rng.int rng dcs in
+    let dst = (src + 1 + Rng.int rng (dcs - 1)) mod dcs in
+    let start = t () in
+    let len = horizon_us / 16 + Rng.int rng (max 1 (horizon_us / 8)) in
+    push start (Degrade { src; dst; extra_us = 5_000 + Rng.int rng 45_000 });
+    push (start + len) (Restore { src; dst })
+  done;
+  (* crashes: distinct DCs, at most max_crashes, never all *)
+  let n_crash = min max_crashes (dcs - 1) in
+  let n_crash = if n_crash <= 0 then 0 else Rng.int rng (n_crash + 1) in
+  let crashed = Array.make dcs false in
+  for _ = 1 to n_crash do
+    let dc = Rng.int rng dcs in
+    if not crashed.(dc) then begin
+      crashed.(dc) <- true;
+      push (t ()) (Crash_dc dc)
+    end
+  done;
+  (* final heal, comfortably before the horizon *)
+  push (3 * horizon_us / 4) Heal_all;
+  List.sort (fun s1 s2 -> compare s1.at_us s2.at_us) !steps

@@ -1,0 +1,45 @@
+(** Nemesis: scheduled fault injection against a running deployment.
+
+    A schedule is a time-ordered list of adversities — DC crashes,
+    heal-able partitions, gray links, loss-rate changes — injected while
+    the workload runs. Schedules are scripted or seeded-random, and
+    replay deterministically. End schedules with [Heal_all] so the
+    liveness assertions (pending strong transactions decide, correct DCs
+    converge) apply. *)
+
+type event =
+  | Crash_dc of int  (** permanent whole-DC failure *)
+  | Partition of int * int  (** cut the bidirectional link between DCs *)
+  | Heal of int * int
+  | Heal_all  (** heal every partition, restore every degraded link *)
+  | Degrade of { src : int; dst : int; extra_us : int }  (** gray link *)
+  | Restore of { src : int; dst : int }
+  | Set_drop of float  (** change the steady-state loss rate *)
+
+type step = { at_us : int; ev : event }
+type schedule = step list
+
+val pp_event : Format.formatter -> event -> unit
+val pp_step : Format.formatter -> step -> unit
+
+(** Inject one event immediately. Enables the network fault model on
+    first use if the configuration did not install one. *)
+val inject_event : System.t -> event -> unit
+
+(** Schedule every step onto the system's engine (call before
+    {!System.run}). *)
+val inject : System.t -> schedule -> unit
+
+(** Deterministic seeded schedule: at most [max_crashes] DC crashes
+    (default 1), up to [max_partitions] transient partitions (default 2)
+    and [max_degrades] gray links (default 2), all within the middle of
+    the run, closed by [Heal_all] at 3/4 of [horizon_us]. *)
+val random_schedule :
+  seed:int ->
+  dcs:int ->
+  horizon_us:int ->
+  ?max_crashes:int ->
+  ?max_partitions:int ->
+  ?max_degrades:int ->
+  unit ->
+  schedule

@@ -210,6 +210,13 @@ let set_env t env = t.env <- env
 let addr t = t.addr
 let oplog t = t.oplog
 let known_vec t = t.known_vec
+
+(* Coordinator-side strong certifications still awaiting a decision,
+   dummy strong heartbeats (origin = -1) excluded. *)
+let pending_strong t =
+  Hashtbl.fold
+    (fun _ pc acc -> if pc.p_done || pc.p_origin = -1 then acc else acc + 1)
+    t.pending_cert 0
 let stable_vec t = t.stable_vec
 let stable_matrix_dbg t = t.stable_matrix
 let uniform_vec t = t.uniform_vec
@@ -1009,24 +1016,52 @@ let strong_heartbeat t =
 (* ------------------------------------------------------------------ *)
 (* Failure handling: Ω updates and forwarding activation.               *)
 
+(* Ω's leader choice: the first non-suspected DC in the fixed order
+   starting from the configured home leader. Every replica applies the
+   same rule, so once suspicions agree, trust agrees — and when a falsely
+   suspected preferred DC is rehabilitated, everyone re-trusts it, which
+   (via Nack / recover at a higher ballot) converges leadership back. *)
+let preferred_leader t =
+  let n = dcs t in
+  let home = t.cfg.Config.leader_dc in
+  let rec go k =
+    if k >= n then home  (* everything suspected: keep Ω pointed home *)
+    else
+      let dc = (home + k) mod n in
+      if List.mem dc t.suspected then go (k + 1) else dc
+  in
+  go 0
+
+let retarget_trust t =
+  let preferred = preferred_leader t in
+  Array.fill t.trusted_view 0 (Array.length t.trusted_view) preferred;
+  match t.cert with
+  | Some c when Cert.trusted c <> preferred -> Cert.set_trusted c preferred
+  | _ -> ()
+
 let suspect t failed_dc =
-  if not (List.mem failed_dc t.suspected) then begin
+  if failed_dc <> t.dc && not (List.mem failed_dc t.suspected) then begin
     t.suspected <- failed_dc :: t.suspected;
     Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"suspect"
-      "dc%d failed; forwarding its transactions" failed_dc;
-    (* move Ω for every group led by the failed DC to the first live DC *)
-    let next_live =
-      let rec go i = if List.mem i t.suspected then go (i + 1) else i in
-      go 0
-    in
-    Array.iteri
-      (fun g trusted ->
-        if List.mem trusted t.suspected then t.trusted_view.(g) <- next_live)
-      (Array.copy t.trusted_view);
+      "dc%d suspected; forwarding its transactions" failed_dc;
+    retarget_trust t;
+    (* eagerly finish 2PCs the suspected DC was coordinating: an
+       orphaned accepted-but-undecided transaction blocks delivery of
+       every later strong timestamp in its group *)
     match t.cert with
-    | Some c when Cert.trusted c <> t.trusted_view.(t.part) ->
-        Cert.set_trusted c t.trusted_view.(t.part)
+    | Some c when Cert.is_leader c -> Cert.retry_suspected c ~dc:failed_dc
     | _ -> ()
+  end
+
+(* Rehabilitation: Ω stopped suspecting [dc] (heartbeats resumed after a
+   partition heal or a false suspicion). Forwarding on its behalf stops
+   and trust is recomputed, possibly handing leadership back. *)
+let unsuspect t dc =
+  if List.mem dc t.suspected then begin
+    t.suspected <- List.filter (fun d -> d <> dc) t.suspected;
+    Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"unsuspect"
+      "dc%d rehabilitated" dc;
+    retarget_trust t
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1099,8 +1134,19 @@ let start_timers t ~phase =
           (match t.cert with
           | Some c ->
               Cert.retry_stale c ~older_than_us:(4 * cert_retry_us);
-              Cert.prune_decided c
-                ~keep_after:(Cert.last_delivered c - 1_500_000)
+              (* Prune only below every live sibling's delivered strong
+                 frontier (the strong slot of its gossiped knownVec): a
+                 member cut off by a partition — even one falsely
+                 suspected — must still find the decisions it missed in
+                 the group's decided logs when it rejoins, and NEW_STATE
+                 cannot resurrect a pruned entry. Crashed DCs never
+                 rejoin, so they do not hold the floor. *)
+              let floor = ref (Cert.last_delivered c) in
+              for i = 0 to dcs t - 1 do
+                if i <> t.dc && not (Network.dc_failed t.net i) then
+                  floor := min !floor (Vc.strong t.global_matrix.(i))
+              done;
+              Cert.prune_decided c ~keep_after:(!floor - 1_500_000)
           | None -> ());
           true
         end
@@ -1146,6 +1192,7 @@ let handle t msg =
   | Msg.R_started _ | Msg.R_value _ | Msg.R_committed _ | Msg.R_strong _
   | Msg.R_ok _ ->
       ()  (* client-bound replies never reach replicas *)
+  | Msg.Fd_ping _ -> ()  (* heartbeats are handled by Detector nodes *)
   | ( Msg.Prepare_strong _ | Msg.Accept _ | Msg.Decision _
     | Msg.Learn_decision _ | Msg.Deliver _ | Msg.Unknown_tx _ | Msg.Nack _
     | Msg.New_leader _ | Msg.New_leader_ack _ | Msg.New_state _

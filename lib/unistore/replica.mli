@@ -51,6 +51,15 @@ val handle : t -> Msg.t -> unit
     leaders led by it and start forwarding its transactions (§5.5). *)
 val suspect : t -> int -> unit
 
+(** Ω rehabilitation: heartbeats from [dc] resumed (partition heal or
+    false suspicion); stop forwarding for it and recompute trust, which
+    can hand leadership back to the preferred DC. *)
+val unsuspect : t -> int -> unit
+
+(** The DC this replica's Ω currently trusts: the first non-suspected DC
+    starting from the configured leader. *)
+val preferred_leader : t -> int
+
 (** Coordinator-side certification (Algorithm A7): submit to every
     involved group leader, collect quorums of ACCEPT_ACKs, broadcast the
     decision, pass the result to [k]. *)
@@ -72,6 +81,11 @@ val strong_heartbeat : t -> unit
 (** {2 State accessors (tests, benches, convergence checks)} *)
 
 val oplog : t -> Store.Oplog.t
+
+(** Strong certifications this replica coordinates that are still
+    awaiting a decision (dummy heartbeats excluded). *)
+val pending_strong : t -> int
+
 val known_vec : t -> Vclock.Vc.t
 val stable_vec : t -> Vclock.Vc.t
 val uniform_vec : t -> Vclock.Vc.t

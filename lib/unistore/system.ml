@@ -29,6 +29,7 @@ type t = {
   replicas : Replica.t array array;  (* [dc].(partition) *)
   addrs : Msg.addr array array;
   rb_certs : (Cert.t * Msg.addr) array;  (* REDBLUE service nodes, per DC *)
+  detector : Detector.t;
   mutable clients : Client.t list;
   mutable next_client : int;
 }
@@ -124,7 +125,11 @@ let make_rb_certs cfg eng net ~addrs ~rng ~certify_of_dc =
   Array.init dcs (fun dc ->
       match cert_refs.(dc) with
       | Some c -> (c, rb_addrs.(dc))
-      | None -> assert false)
+      | None ->
+          failwith
+            (Fmt.str
+               "System.make_rb_certs: no certification service built for dc%d"
+               dc))
 
 let create cfg =
   let eng = Engine.create ~seed:cfg.Config.seed () in
@@ -137,6 +142,14 @@ let create cfg =
       ~clock:(fun () -> Engine.now eng)
       ~enabled:cfg.Config.trace_enabled ()
   in
+  Network.set_trace net trace;
+  (* lossy inter-DC links (nemesis runs): installs the fault model and
+     switches inter-DC channels to the ack/retransmission transport *)
+  (match cfg.Config.link_faults with
+  | Some spec ->
+      Network.set_faults net
+        (Net.Faults.of_spec ~dcs:(Config.dcs cfg) spec)
+  | None -> ());
   let dcs = Config.dcs cfg in
   let partitions = cfg.Config.partitions in
   let replicas =
@@ -234,11 +247,45 @@ let create cfg =
             if not (Network.dc_failed net dc) then begin
               if Cert.is_leader c then
                 Cert.retry_stale c ~older_than_us:2_400_000;
-              Cert.prune_decided c
-                ~keep_after:(Cert.last_delivered c - 1_500_000)
+              (* as in Replica: no service may prune a decision some
+                 live (possibly partitioned) peer has yet to deliver *)
+              let floor = ref (Cert.last_delivered c) in
+              Array.iteri
+                (fun dc' (c', _) ->
+                  if dc' <> dc && not (Network.dc_failed net dc') then
+                    floor := min !floor (Cert.last_delivered c'))
+                rb_certs;
+              Cert.prune_decided c ~keep_after:(!floor - 1_500_000)
             end)
           rb_certs;
         true);
+  (* the Ω failure detector: heartbeats + timeout suspicion, notifying
+     each observer DC's replicas (and the REDBLUE service) of suspicion
+     and rehabilitation transitions *)
+  let retarget_rb observer =
+    if Config.centralized_cert cfg then begin
+      let c, _ = rb_certs.(observer) in
+      let pref = Replica.preferred_leader replicas.(observer).(0) in
+      if Cert.trusted c <> pref then Cert.set_trusted c pref
+    end
+  in
+  let on_suspect ~observer ~dc =
+    if not (Network.dc_failed net observer) then begin
+      Array.iter (fun r -> Replica.suspect r dc) replicas.(observer);
+      retarget_rb observer;
+      if Config.centralized_cert cfg then begin
+        let c, _ = rb_certs.(observer) in
+        if Cert.is_leader c then Cert.retry_suspected c ~dc
+      end
+    end
+  in
+  let on_restore ~observer ~dc =
+    if not (Network.dc_failed net observer) then begin
+      Array.iter (fun r -> Replica.unsuspect r dc) replicas.(observer);
+      retarget_rb observer
+    end
+  in
+  let detector = Detector.create cfg eng net ~trace ~on_suspect ~on_restore in
   {
     cfg;
     eng;
@@ -248,6 +295,7 @@ let create cfg =
     replicas;
     addrs;
     rb_certs;
+    detector;
     clients = [];
     next_client = 0;
   }
@@ -290,25 +338,26 @@ let spawn_client t ~dc body =
 (* ------------------------------------------------------------------ *)
 (* Failure injection and the Ω failure detector.                        *)
 
-let fail_dc t dc =
-  Network.fail_dc t.net dc;
-  Engine.schedule t.eng ~delay:t.cfg.Config.detection_delay_us (fun () ->
-      Array.iteri
-        (fun d row ->
-          if not (Network.dc_failed t.net d) then
-            Array.iter (fun r -> Replica.suspect r dc) row)
-        t.replicas;
-      if Config.centralized_cert t.cfg then begin
-        let rec first_live d =
-          if Network.dc_failed t.net d then first_live (d + 1) else d
-        in
-        let new_leader = first_live 0 in
-        Array.iteri
-          (fun d (c, _) ->
-            if (not (Network.dc_failed t.net d)) && Cert.trusted c = dc then
-              Cert.set_trusted c new_leader)
-          t.rb_certs
-      end)
+(* Crash a whole DC. Detection is no longer an oracle: the Ω detector
+   notices the silence (within detection_delay_us + a ping period) and
+   notifies each surviving DC independently. *)
+let fail_dc t dc = Network.fail_dc t.net dc
+
+let detector t = t.detector
+
+let faults t = Network.faults t.net
+
+(* Strong transactions still awaiting a certification decision at
+   coordinators of live DCs (dummy heartbeats excluded). Zero after
+   quiescence = no strong transaction is stuck pending. *)
+let pending_strong t =
+  let total = ref 0 in
+  Array.iteri
+    (fun dc row ->
+      if not (Network.dc_failed t.net dc) then
+        Array.iter (fun r -> total := !total + Replica.pending_strong r) row)
+    t.replicas;
+  !total
 
 (* ------------------------------------------------------------------ *)
 (* Running and measurement.                                             *)
@@ -346,11 +395,15 @@ let check_convergence t =
           (fun dc ->
             let log = Replica.oplog t.replicas.(dc).(part) in
             let keys = List.sort compare (Store.Oplog.keys log) in
-            if keys <> ref_keys then
+            if keys <> ref_keys then begin
+              let missing l l' = List.filter (fun k -> not (List.mem k l')) l in
               errors :=
-                Fmt.str "partition %d: dc%d and dc%d store different key sets"
-                  part ref_dc dc
+                Fmt.str "partition %d: dc%d and dc%d store different key sets (dc%d-only: %a; dc%d-only: %a)"
+                  part ref_dc dc ref_dc
+                  Fmt.(list ~sep:comma int) (missing ref_keys keys)
+                  dc Fmt.(list ~sep:comma int) (missing keys ref_keys)
                 :: !errors
+            end
             else
               List.iter
                 (fun key ->

@@ -50,10 +50,23 @@ val new_client : t -> dc:int -> Client.t
 val spawn_client : t -> dc:int -> (Client.t -> unit) -> Client.t
 
 (** Crash a whole data center (§2): its nodes stop sending and
-    receiving; after the configured detection delay, the failure
-    detector notifies survivors, which re-elect Paxos leaders and start
-    forwarding the failed DC's transactions. *)
+    receiving. The heartbeat-based Ω detector notices the silence
+    (within [detection_delay_us] plus a ping period) and notifies each
+    surviving DC, which re-elects Paxos leaders and starts forwarding
+    the failed DC's transactions. *)
 val fail_dc : t -> int -> unit
+
+(** The deployment's Ω failure detector. *)
+val detector : t -> Detector.t
+
+(** The network fault model, when [Config.link_faults] installed one
+    (partitions and degradations are injected through it). *)
+val faults : t -> Net.Faults.t option
+
+(** Strong transactions awaiting a certification decision at live-DC
+    coordinators (dummy heartbeats excluded); 0 after quiescence means
+    no strong transaction is stuck. *)
+val pending_strong : t -> int
 
 (** Execute the simulation up to the given simulated time. *)
 val run : t -> until:int -> unit

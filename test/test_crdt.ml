@@ -150,6 +150,12 @@ let convergence_test name which =
           pair (list_size (int_range 0 20) (gen_tagged which)) (int_bound 1000)))
     (fun (ops, seed) ->
       ignore gen_op;
+      (* tags are unique in the real system ((origin, lc) names one op);
+         the generator can repeat a tag with a different payload, which no
+         deterministic tie-break can order — drop such duplicates *)
+      let ops =
+        List.sort_uniq (fun (_, t1, _) (_, t2, _) -> compare t1 t2) ops
+      in
       let shuffled =
         let arr = Array.of_list ops in
         Sim.Rng.shuffle (Sim.Rng.create seed) arr;

@@ -25,5 +25,6 @@ let () =
       ("checker", Test_checker.suite);
       ("abstract-exec", Test_abstract_exec.suite);
       ("workloads", Test_workloads.suite);
+      ("nemesis", Test_nemesis.suite);
       ("properties", Test_properties.suite);
     ]

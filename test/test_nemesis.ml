@@ -1,0 +1,247 @@
+(* Nemesis end-to-end: a RUBiS workload survives a seeded adversity
+   schedule — steady packet loss and duplication, a transient partition
+   (long enough to cause a false suspicion and a rehabilitation), and a
+   whole-DC crash — and the run still satisfies PoR, converges across
+   the surviving DCs after the final heal, and leaves no strong
+   transaction pending. The whole scenario is reproducible from its
+   seed: two runs produce identical histories. *)
+
+module U = Unistore
+module Client = U.Client
+module Fiber = Sim.Fiber
+module Rubis = Workload.Rubis
+module Network = Net.Network
+
+let seed = 2021
+
+(* The scripted adversity schedule. The dc1<->dc2 cut lasts 1.4s, far
+   beyond the 500ms detection delay, so both sides falsely suspect each
+   other and rehabilitate after the heal. dc4 crashes for good. *)
+let schedule : U.Nemesis.schedule =
+  [
+    { U.Nemesis.at_us = 800_000; ev = U.Nemesis.Partition (1, 2) };
+    { at_us = 1_600_000; ev = U.Nemesis.Crash_dc 4 };
+    { at_us = 2_200_000; ev = U.Nemesis.Heal (1, 2) };
+    { at_us = 4_000_000; ev = U.Nemesis.Heal_all };
+  ]
+
+type outcome = {
+  o_txns : (int * int * int * int) list;  (* cl, sq, strong ts, commit *)
+  o_committed : int;
+  o_strong : int;
+  o_false_susp : int;
+  o_restorations : int;
+  o_dropped_loss : int;
+  o_dropped_partition : int;
+  o_dropped_crash : int;
+  o_retransmissions : int;
+  o_dups : int;
+  o_pending_strong : int;
+}
+
+let run_scenario () =
+  let sys =
+    Util.make_system
+      ~topo:(Net.Topology.n_dcs 5)
+      ~partitions:3 ~f:2 ~conflict:Rubis.conflict_spec ~seed
+      ~link_faults:Net.Faults.default_spec ()
+  in
+  let spec =
+    {
+      Rubis.default_spec with
+      n_items = 300;
+      n_users = 1_000;
+      n_regions = 10;
+      n_categories = 5;
+      think_time_us = 60_000;
+    }
+  in
+  Rubis.populate sys spec;
+  U.Nemesis.inject sys schedule;
+  let stop () = U.System.now sys >= 6_000_000 in
+  for i = 0 to 5 do
+    ignore
+      (U.System.spawn_client sys ~dc:(i mod 5) (fun c ->
+           Rubis.client_body spec ~stop c))
+  done;
+  Util.run sys ~until:8_000_000;
+  Util.assert_por sys;
+  Util.assert_convergence sys;
+  let h = U.System.history sys in
+  let det = U.System.detector sys in
+  let net = U.System.network sys in
+  {
+    o_txns =
+      List.sort compare
+        (List.map
+           (fun (r : U.History.txn_record) ->
+             ( r.h_tid.U.Types.cl,
+               r.h_tid.U.Types.sq,
+               Vclock.Vc.strong r.h_vec,
+               r.h_commit_us ))
+           (U.History.txns h));
+    o_committed = U.History.committed_total h;
+    o_strong = U.History.committed_strong h;
+    o_false_susp = U.Detector.false_suspicions det;
+    o_restorations = U.Detector.restorations det;
+    o_dropped_loss = Network.dropped_loss net;
+    o_dropped_partition = Network.dropped_partition net;
+    o_dropped_crash = Network.dropped_crash net;
+    o_retransmissions = Network.retransmissions net;
+    o_dups = Network.duplicates_suppressed net;
+    o_pending_strong = U.System.pending_strong sys;
+  }
+
+let test_nemesis_rubis () =
+  let o = run_scenario () in
+  Alcotest.(check bool) "a real workload ran" true (o.o_committed > 50);
+  Alcotest.(check bool) "strong transactions committed" true (o.o_strong > 0);
+  Alcotest.(check int) "no strong transaction left pending" 0
+    o.o_pending_strong;
+  Alcotest.(check bool) "the partition caused a false suspicion" true
+    (o.o_false_susp >= 1);
+  Alcotest.(check bool) "the heal caused a rehabilitation" true
+    (o.o_restorations >= 1);
+  Alcotest.(check bool) "lossy links dropped messages" true
+    (o.o_dropped_loss > 0);
+  Alcotest.(check bool) "the partition cut messages" true
+    (o.o_dropped_partition > 0);
+  Alcotest.(check bool) "the crash dropped messages" true
+    (o.o_dropped_crash > 0);
+  Alcotest.(check bool) "losses were retransmitted" true
+    (o.o_retransmissions > 0);
+  Alcotest.(check bool) "duplicates were suppressed" true (o.o_dups > 0)
+
+let test_nemesis_deterministic () =
+  let o1 = run_scenario () and o2 = run_scenario () in
+  Alcotest.(check bool) "identical histories" true (o1.o_txns = o2.o_txns);
+  Alcotest.(check int) "identical drop counts" o1.o_dropped_loss
+    o2.o_dropped_loss;
+  Alcotest.(check int) "identical retransmission counts"
+    o1.o_retransmissions o2.o_retransmissions;
+  Alcotest.(check int) "identical suspicion stats" o1.o_false_susp
+    o2.o_false_susp
+
+(* Spurious re-election (Algorithm A10 under a false suspicion): a
+   partition separates the leader DC from a quorum of followers, so the
+   preferred successor dc1 falsely suspects dc0 and claims the group
+   through a contested ballot while dc0 still believes it leads. The
+   stale leader can no longer gather an accept quorum, so no decision is
+   ever taken at two ballots. After the heal, rehabilitation points Ω
+   back at dc0, whose member reclaims the group at a yet higher ballot
+   (Nack / recover), and every strong transaction that stalled during
+   the partition resolves exactly once. *)
+let test_spurious_reelection () =
+  let dcs = 5 in
+  let sys =
+    Util.make_system ~topo:(Net.Topology.n_dcs dcs) ~partitions:1 ~f:2
+      ~seed:7 ()
+  in
+  let keys = Array.init dcs (fun dc -> 300 + dc) in
+  Array.iter (fun k -> U.System.preload sys k (Crdt.Ctr_add 0)) keys;
+  U.Nemesis.inject sys
+    [
+      { U.Nemesis.at_us = 600_000; ev = U.Nemesis.Partition (0, 1) };
+      { at_us = 600_000; ev = U.Nemesis.Partition (0, 2) };
+      { at_us = 600_000; ev = U.Nemesis.Partition (0, 3) };
+      { at_us = 2_600_000; ev = U.Nemesis.Heal_all };
+    ];
+  let commits = Array.make dcs 0 in
+  for dc = 0 to dcs - 1 do
+    ignore
+      (U.System.spawn_client sys ~dc (fun c ->
+           while U.System.now sys < 5_000_000 do
+             Client.start c ~strong:true;
+             Client.update c keys.(dc) (Crdt.Ctr_add 1);
+             (match Client.commit c with
+             | `Committed _ -> commits.(dc) <- commits.(dc) + 1
+             | `Aborted -> ());
+             Fiber.sleep 150_000
+           done))
+  done;
+  let cert_of dc =
+    match U.Replica.cert (U.System.replica sys ~dc ~part:0) with
+    | Some c -> c
+    | None -> Alcotest.fail "replica has no certification member"
+  in
+  (* probe the usurper while the partition is still up *)
+  let mid = ref None in
+  Sim.Engine.schedule (U.System.engine sys) ~delay:2_400_000 (fun () ->
+      let c1 = cert_of 1 in
+      mid := Some (U.Cert.status c1, U.Cert.ballot c1));
+  Util.run sys ~until:12_000_000;
+  Util.assert_por sys;
+  Util.assert_convergence sys;
+  (match !mid with
+  | None -> Alcotest.fail "mid-partition probe did not run"
+  | Some (st, b) ->
+      Alcotest.(check bool) "dc1 contested the group (ballot advanced)" true
+        (b >= 1);
+      Alcotest.(check string) "dc1 led at the contested ballot" "leader"
+        (U.Cert.status_name st));
+  let det = U.System.detector sys in
+  Alcotest.(check bool) "the suspicion was false" true
+    (U.Detector.false_suspicions det >= 1);
+  Alcotest.(check bool) "dc0 was rehabilitated after the heal" true
+    (U.Detector.restorations det >= 1);
+  Alcotest.(check bool) "dc0 reclaimed leadership" true
+    (U.Cert.is_leader (cert_of 0));
+  Alcotest.(check bool) "at a ballot above the contested one" true
+    (U.Cert.ballot (cert_of 0) > 1);
+  Alcotest.(check int) "no strong transaction left pending" 0
+    (U.System.pending_strong sys);
+  for dc = 0 to dcs - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "dc%d committed strong transactions" dc)
+      true
+      (commits.(dc) >= 1)
+  done;
+  (* exactly-once: read every counter back and compare with the number
+     of commits its owner observed *)
+  let final = Array.make dcs (-1) in
+  ignore
+    (U.System.spawn_client sys ~dc:2 (fun c ->
+         Client.start c;
+         Array.iteri (fun i k -> final.(i) <- Client.read_int c k) keys;
+         ignore (Client.commit c)));
+  Util.run sys ~until:13_000_000;
+  for dc = 0 to dcs - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "dc%d's increments were applied exactly once" dc)
+      commits.(dc)
+      final.(dc)
+  done
+
+let test_random_schedule () =
+  let s1 = U.Nemesis.random_schedule ~seed:7 ~dcs:5 ~horizon_us:8_000_000 ()
+  and s2 = U.Nemesis.random_schedule ~seed:7 ~dcs:5 ~horizon_us:8_000_000 () in
+  Alcotest.(check bool) "same seed, same schedule" true (s1 = s2);
+  let s3 = U.Nemesis.random_schedule ~seed:8 ~dcs:5 ~horizon_us:8_000_000 () in
+  Alcotest.(check bool) "different seed, different schedule" true (s1 <> s3);
+  (* sorted by time, ends with a heal_all inside the horizon *)
+  let times = List.map (fun s -> s.U.Nemesis.at_us) s1 in
+  Alcotest.(check bool) "sorted" true (times = List.sort compare times);
+  Alcotest.(check bool) "ends healed" true
+    (List.exists (fun s -> s.U.Nemesis.ev = U.Nemesis.Heal_all) s1);
+  let crashes =
+    List.length
+      (List.filter
+         (fun s ->
+           match s.U.Nemesis.ev with U.Nemesis.Crash_dc _ -> true | _ -> false)
+         s1)
+  in
+  Alcotest.(check bool) "at most one crash by default" true (crashes <= 1)
+
+let suite =
+  [
+    Alcotest.test_case
+      "RUBiS survives loss, a partition, a false suspicion and a DC crash"
+      `Slow test_nemesis_rubis;
+    Alcotest.test_case "nemesis runs replay deterministically from the seed"
+      `Slow test_nemesis_deterministic;
+    Alcotest.test_case
+      "false suspicion of the leader forces a contested ballot" `Slow
+      test_spurious_reelection;
+    Alcotest.test_case "random schedules are seeded and well-formed" `Quick
+      test_random_schedule;
+  ]

@@ -248,6 +248,65 @@ let test_strong_survives_mixed_causal_traffic () =
   Util.assert_por sys;
   Util.assert_convergence sys
 
+(* Crash the Paxos leader DC while a strong transaction's 2PC is in
+   flight. Whatever the crash timing relative to the PREPARE / ACCEPT /
+   DECISION legs, the increment must be exactly-once: the coordinator's
+   verdict matches the state every surviving DC converges to, and a
+   transaction never both commits and aborts. The detector notices the
+   crash, dc1 takes over the certification groups (Algorithm A10), and
+   the coordinator's retry drives the transaction to a decision. *)
+let leader_crash_run ~crash_offset_us =
+  let sys = Util.make_system ~topo:(Net.Topology.n_dcs 5) ~partitions:3 () in
+  U.System.preload sys 9 (Crdt.Ctr_add 0);
+  let verdict = ref `Pending in
+  ignore
+    (U.System.spawn_client sys ~dc:2 (fun c ->
+         Fiber.sleep 20_000;
+         Client.start c ~strong:true;
+         Client.update c 9 (Crdt.Ctr_add 1);
+         match Client.commit c with
+         | `Committed _ -> verdict := `Committed
+         | `Aborted -> verdict := `Aborted));
+  Sim.Engine.schedule (U.System.engine sys)
+    ~delay:(20_000 + crash_offset_us) (fun () -> U.System.fail_dc sys 0);
+  Util.run sys ~until:15_000_000;
+  (* read the counter back at every surviving DC *)
+  let finals = ref [] in
+  for dc = 1 to 4 do
+    ignore
+      (U.System.spawn_client sys ~dc (fun c ->
+           Client.start c;
+           finals := (dc, Client.read_int c 9) :: !finals;
+           ignore (Client.commit c)))
+  done;
+  Util.run sys ~until:16_000_000;
+  (!verdict, !finals)
+
+let test_leader_crash_mid_certification () =
+  (* offsets chosen to land the crash on different legs of the 2PC:
+     before the PREPARE reaches Virginia, during certification, during
+     the ACCEPT round, and around the DECISION *)
+  List.iter
+    (fun crash_offset_us ->
+      let verdict, finals = leader_crash_run ~crash_offset_us in
+      let expected =
+        match verdict with
+        | `Committed -> 1
+        | `Aborted -> 0
+        | `Pending ->
+            Alcotest.failf "offset %dus: strong commit never resolved"
+              crash_offset_us
+      in
+      List.iter
+        (fun (dc, v) ->
+          Alcotest.(check int)
+            (Fmt.str "offset %dus: dc%d agrees with the %s verdict"
+               crash_offset_us dc
+               (if expected = 1 then "commit" else "abort"))
+            expected v)
+        finals)
+    [ 0; 30_000; 60_000; 90_000; 120_000 ]
+
 let suite =
   [
     Alcotest.test_case "overdraft anomaly under causal (§1)" `Quick
@@ -266,6 +325,8 @@ let suite =
       test_redblue_mode;
     Alcotest.test_case "strong timestamps distinct (Property 5)" `Slow
       test_strong_lamport_order_matches_certification;
+    Alcotest.test_case "leader crash mid-certification is exactly-once"
+      `Slow test_leader_crash_mid_certification;
     Alcotest.test_case "strong txns wait for uniform dependencies" `Quick
       test_strong_survives_mixed_causal_traffic;
   ]
