@@ -46,8 +46,11 @@ let period_point ~period_us =
   let vis_p90 =
     (* delay of Californian updates at Virginia *)
     match U.History.visibility_samples h ~observer:0 ~origin:1 with
-    | Some s when Sim.Stats.count s > 0 -> Sim.Stats.percentile s 90.0 /. 1000.0
-    | _ -> nan
+    | Some s -> (
+        match Sim.Stats.percentile_opt s 90.0 with
+        | Some v -> v /. 1000.0
+        | None -> nan)
+    | None -> nan
   in
   (thr, vis_p90)
 
@@ -56,16 +59,25 @@ let broadcast_period () =
     "Ablation — stableVec exchange period: throughput vs visibility (§8.3 \
      claim)";
   Fmt.pr "  %-12s %12s %18s@." "period (ms)" "thr (tx/s)" "vis p90 Ca→Va (ms)";
-  List.iter
-    (fun period_us ->
-      let thr, vis = period_point ~period_us in
-      Fmt.pr "  %-12.0f %12.0f %18.1f@."
-        (float_of_int period_us /. 1000.0)
-        thr vis)
-    [ 2_000; 5_000; 20_000; 50_000 ];
+  let points =
+    List.map
+      (fun period_us ->
+        let thr, vis = period_point ~period_us in
+        Fmt.pr "  %-12.0f %12.0f %18.1f@."
+          (float_of_int period_us /. 1000.0)
+          thr vis;
+        Sim.Json.Obj
+          [
+            ("period_us", Sim.Json.Int period_us);
+            ("throughput_tx_s", Sim.Json.Float thr);
+            ("visibility_p90_ms", Sim.Json.Float vis);
+          ])
+      [ 2_000; 5_000; 20_000; 50_000 ]
+  in
   Common.note
     "expected: larger periods buy background-message savings and cost \
-     visibility delay"
+     visibility delay";
+  points
 
 (* --- clock skew: causal latency sensitivity ------------------------- *)
 
@@ -95,8 +107,9 @@ let skew_point ?(use_hlc = false) ~skew_us () =
   U.System.run sys ~until:(warmup + window + 100_000);
   let h = U.System.history sys in
   let lat =
-    let s = U.History.latency_causal h in
-    if Sim.Stats.count s = 0 then nan else Sim.Stats.mean s /. 1000.0
+    match Sim.Stats.mean_opt (U.History.latency_causal h) with
+    | Some m -> m /. 1000.0
+    | None -> nan
   in
   let check =
     U.Checker.check ~preloads:(U.History.preloads h) cfg (U.History.txns h)
@@ -108,19 +121,35 @@ let clock_skew () =
     "Ablation — clock skew: physical vs hybrid clocks (§2, §9)";
   Fmt.pr "  %-12s %22s %22s %10s@." "skew (ms)" "physical: lat (ms)"
     "hybrid: lat (ms)" "PoR holds";
-  List.iter
-    (fun skew_us ->
-      let lat_p, ok_p = skew_point ~skew_us () in
-      let lat_h, ok_h = skew_point ~use_hlc:true ~skew_us () in
-      Fmt.pr "  %-12.0f %22.2f %22.2f %10b@."
-        (float_of_int skew_us /. 1000.0)
-        lat_p lat_h (ok_p && ok_h))
-    [ 0; 1_000; 10_000; 50_000 ];
+  let points =
+    List.map
+      (fun skew_us ->
+        let lat_p, ok_p = skew_point ~skew_us () in
+        let lat_h, ok_h = skew_point ~use_hlc:true ~skew_us () in
+        Fmt.pr "  %-12.0f %22.2f %22.2f %10b@."
+          (float_of_int skew_us /. 1000.0)
+          lat_p lat_h (ok_p && ok_h);
+        Sim.Json.Obj
+          [
+            ("skew_us", Sim.Json.Int skew_us);
+            ("physical_lat_ms", Sim.Json.Float lat_p);
+            ("hybrid_lat_ms", Sim.Json.Float lat_h);
+            ("por_holds", Sim.Json.Bool (ok_p && ok_h));
+          ])
+      [ 0; 1_000; 10_000; 50_000 ]
+  in
   Common.note
     "expected: with physical clocks latency grows with skew (commits and \
      reads wait for clocks to catch up); hybrid clocks merge timestamps \
-     instead and stay flat; PoR holds in every configuration"
+     instead and stay flat; PoR holds in every configuration";
+  points
 
 let run () =
-  broadcast_period ();
-  clock_skew ()
+  let period_points = broadcast_period () in
+  let skew_points = clock_skew () in
+  Common.emit_artifact ~name:"ablations"
+    (Sim.Json.Obj
+       [
+         ("broadcast_period", Sim.Json.List period_points);
+         ("clock_skew", Sim.Json.List skew_points);
+       ])

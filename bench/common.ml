@@ -25,8 +25,9 @@ type result = {
 }
 
 let mean_ms samples =
-  if Sim.Stats.count samples = 0 then 0.0
-  else Sim.Stats.mean samples /. 1000.0
+  match Sim.Stats.mean_opt samples with
+  | Some m -> m /. 1000.0
+  | None -> 0.0
 
 let collect sys ~mode ~clients =
   let h = U.System.history sys in
@@ -98,6 +99,66 @@ let run_rubis ~mode ?(think_time_us = 20_000) ~topo ~partitions ~clients
   done;
   U.System.run sys ~until:(stop_at + 50_000);
   collect sys ~mode ~clients
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable artifacts (--json <dir>).                            *)
+
+(* Destination directory for BENCH_*.json artifacts; [None] (the
+   default) disables writing. Set by main.exe's [--json <dir>] flag. *)
+let json_dir : string option ref = ref None
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let artifact_path ~prefix ~name =
+  match !json_dir with
+  | None -> None
+  | Some dir ->
+      mkdir_p dir;
+      Some (Filename.concat dir (Fmt.str "%s_%s.json" prefix name))
+
+let write_json path json =
+  let oc = open_out path in
+  output_string oc (Sim.Json.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc
+
+(* Write [json] as [BENCH_<name>.json] under the [--json] directory (a
+   no-op when the flag was not given). *)
+let emit_artifact ~name json =
+  match artifact_path ~prefix:"BENCH" ~name with
+  | None -> ()
+  | Some path ->
+      write_json path json;
+      Fmt.pr "  [json: %s]@." path
+
+(* Write a Chrome-trace export as [TRACE_<name>.json]. *)
+let emit_trace ~name trace =
+  match artifact_path ~prefix:"TRACE" ~name with
+  | None -> ()
+  | Some path ->
+      write_json path (Sim.Trace.chrome_json trace);
+      Fmt.pr "  [json: %s]@." path
+
+(* JSON view of one sweep point (the same fields [pp_result] prints). *)
+let result_json r =
+  Sim.Json.Obj
+    [
+      ("mode", Sim.Json.String (U.Config.mode_name r.r_mode));
+      ("clients", Sim.Json.Int r.r_clients);
+      ("throughput_tx_s", Sim.Json.Float r.r_throughput);
+      ("lat_all_ms", Sim.Json.Float r.r_lat_all_ms);
+      ("lat_causal_ms", Sim.Json.Float r.r_lat_causal_ms);
+      ("lat_strong_ms", Sim.Json.Float r.r_lat_strong_ms);
+      ("abort_pct", Sim.Json.Float r.r_abort_pct);
+      ("committed", Sim.Json.Int r.r_committed);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Printing.                                                             *)

@@ -29,6 +29,7 @@ let run () =
     "CAUSAL is the upper bound; latencies: UNISTORE ~16.5 ms vs STRONG ~80.4 ms";
   Common.hr ();
   let peaks = Hashtbl.create 4 in
+  let points = ref [] in
   List.iter
     (fun mode ->
       Fmt.pr "@.  [%s]@." (U.Config.mode_name mode);
@@ -39,6 +40,7 @@ let run () =
               ~partitions ~clients ~warmup_us:300_000 ~window_us:800_000 ()
           in
           Common.pp_result r;
+          points := Common.result_json r :: !points;
           let best =
             match Hashtbl.find_opt peaks mode with
             | Some p -> max p r.Common.r_throughput
@@ -62,4 +64,15 @@ let run () =
     (pct (peak U.Config.Unistore) (peak U.Config.Strong));
   Fmt.pr
     "  CAUSAL vs UNISTORE:  %+.0f%%  (paper: UNISTORE pays ~45%% vs CAUSAL)@."
-    (pct (peak U.Config.Causal_only) (peak U.Config.Unistore))
+    (pct (peak U.Config.Causal_only) (peak U.Config.Unistore));
+  Common.emit_artifact ~name:"fig3"
+    (Sim.Json.Obj
+       [
+         ("points", Sim.Json.List (List.rev !points));
+         ( "peak_tx_s",
+           Sim.Json.Obj
+             (List.map
+                (fun m ->
+                  (U.Config.mode_name m, Sim.Json.Float (peak m)))
+                modes) );
+       ])

@@ -37,7 +37,7 @@ let run_point ~contended ~partitions ~ratio =
     ~clients:(clients_for ~partitions ~ratio)
     ~spec ~warmup_us:300_000 ~window_us:700_000 ()
 
-let run_variant ~contended title =
+let run_variant ?artifact ~contended title =
   Common.section title;
   Fmt.pr "  %-10s" "machines";
   Array.iter (fun r -> Fmt.pr "  strong=%3.0f%%" (100.0 *. r)) strong_ratios;
@@ -55,6 +55,29 @@ let run_variant ~contended title =
         strong_ratios;
       Fmt.pr "@.")
     machine_counts;
+  (match artifact with
+  | None -> ()
+  | Some name ->
+      let points =
+        Array.to_list machine_counts
+        |> List.concat_map (fun machines ->
+               Array.to_list strong_ratios
+               |> List.map (fun ratio ->
+                      Sim.Json.Obj
+                        [
+                          ("machines", Sim.Json.Int machines);
+                          ("strong_ratio", Sim.Json.Float ratio);
+                          ( "throughput_tx_s",
+                            Sim.Json.Float
+                              (Hashtbl.find table (machines, ratio)) );
+                        ]))
+      in
+      Common.emit_artifact ~name
+        (Sim.Json.Obj
+           [
+             ("contended", Sim.Json.Bool contended);
+             ("points", Sim.Json.List points);
+           ]));
   table
 
 let scaling_deviation table ~ratio =
@@ -72,7 +95,7 @@ let scaling_deviation table ~ratio =
 
 let run () =
   let top =
-    run_variant ~contended:false
+    run_variant ~artifact:"fig4a" ~contended:false
       "Figure 4 (top) — scalability, uniform access (peak tx/s)"
   in
   Fmt.pr "  deviation from linear scaling at 0%% strong: %.1f%% (paper: \
@@ -95,10 +118,19 @@ let run () =
   Fmt.pr "  average drop with 10%% strong txns: %.1f%% (paper: ~25.7%%)@."
     drop;
   let bottom =
-    run_variant ~contended:true
+    run_variant ~artifact:"fig4b" ~contended:true
       "Figure 4 (bottom) — scalability under contention (20% of strong txns \
        hit one partition)"
   in
   Fmt.pr "  deviation from linear scaling at 10%% strong: %.1f%% (paper: \
           ~17.2%% under contention vs ~9.8%% without)@."
-    (scaling_deviation bottom ~ratio:0.1)
+    (scaling_deviation bottom ~ratio:0.1);
+  Common.emit_artifact ~name:"fig4"
+    (Sim.Json.Obj
+       [
+         ( "uniform_deviation_pct",
+           Sim.Json.Float (scaling_deviation top ~ratio:0.0) );
+         ("strong10_drop_pct", Sim.Json.Float drop);
+         ( "contended_deviation_pct",
+           Sim.Json.Float (scaling_deviation bottom ~ratio:0.1) );
+       ])

@@ -31,7 +31,7 @@ let run () =
     "Figure 5 — cost of tracking uniformity: CUREFT vs UNIFORM, 3-5 DCs";
   Fmt.pr "  %-6s %14s %14s %8s %16s@." "DCs" "cureft (tx/s)"
     "uniform (tx/s)" "drop" "uniform tx/s/DC";
-  let drops = ref [] in
+  let drops = ref [] and rows = ref [] in
   List.iter
     (fun dcs ->
       let cure = run_point ~mode:U.Config.Cure_ft ~dcs in
@@ -42,6 +42,15 @@ let run () =
         else 0.0
       in
       drops := drop :: !drops;
+      rows :=
+        Sim.Json.Obj
+          [
+            ("dcs", Sim.Json.Int dcs);
+            ("cureft_tx_s", Sim.Json.Float cure.Common.r_throughput);
+            ("uniform_tx_s", Sim.Json.Float unif.Common.r_throughput);
+            ("drop_pct", Sim.Json.Float drop);
+          ]
+        :: !rows;
       Fmt.pr "  %-6d %14.0f %14.0f %7.1f%% %16.0f@." dcs
         cure.Common.r_throughput unif.Common.r_throughput drop
         (unif.Common.r_throughput /. float_of_int dcs))
@@ -52,4 +61,10 @@ let run () =
   in
   Fmt.pr "  average uniformity cost: %.1f%% (paper: ~8.0%%, ~10.6%% at 5 \
           DCs)@."
-    avg
+    avg;
+  Common.emit_artifact ~name:"fig5"
+    (Sim.Json.Obj
+       [
+         ("rows", Sim.Json.List (List.rev !rows));
+         ("avg_drop_pct", Sim.Json.Float avg);
+       ])

@@ -43,6 +43,7 @@ let run () =
   done;
   U.System.run sys ~until:(stop_at + 500_000);
   let h = U.System.history sys in
+  let pcts = [ 10.0; 25.0; 50.0; 75.0; 90.0; 99.0 ] in
   let report ~observer name paper =
     match U.History.visibility_samples h ~observer ~origin:california with
     | Some s when Sim.Stats.count s > 0 ->
@@ -53,8 +54,32 @@ let run () =
           (fun p ->
             Fmt.pr "    p%-5.0f %8.1f@." p
               (Sim.Stats.percentile s p /. 1000.0))
-          [ 10.0; 25.0; 50.0; 75.0; 90.0; 99.0 ]
-    | _ -> Fmt.pr "  California -> %s: no samples@." name
+          pcts;
+        Sim.Json.Obj
+          [
+            ("observer", Sim.Json.String name);
+            ("samples", Sim.Json.Int (Sim.Stats.count s));
+            ( "delay_ms",
+              Sim.Json.Obj
+                (List.map
+                   (fun p ->
+                     ( Fmt.str "p%.0f" p,
+                       Sim.Json.Float (Sim.Stats.percentile s p /. 1000.0) ))
+                   pcts) );
+          ]
+    | _ ->
+        Fmt.pr "  California -> %s: no samples@." name;
+        Sim.Json.Obj
+          [
+            ("observer", Sim.Json.String name);
+            ("samples", Sim.Json.Int 0);
+          ]
   in
-  report ~observer:brazil "brazil" "~5 ms at p90 (best case)";
-  report ~observer:virginia "virginia" "~92 ms at p90 (worst case)"
+  let j_brazil = report ~observer:brazil "brazil" "~5 ms at p90 (best case)" in
+  let j_virginia =
+    report ~observer:virginia "virginia" "~92 ms at p90 (worst case)"
+  in
+  Common.emit_artifact ~name:"fig6"
+    (Sim.Json.Obj
+       [ ("origin", Sim.Json.String "california");
+         ("observers", Sim.Json.List [ j_brazil; j_virginia ]) ])

@@ -4,7 +4,11 @@
    paper's evaluation (§8) and runs the Bechamel microbenchmarks;
    individual artefacts can be selected by name:
 
-     main.exe [fig3|tab-latency|fig4a|fig4b|fig5|fig6|scenarios|nemesis|micro]... *)
+     main.exe [--json <dir>] [fig3|tab-latency|fig4a|fig4b|fig5|fig6|scenarios|nemesis|micro]...
+
+   `--json <dir>` additionally writes one machine-readable
+   BENCH_<name>.json per artefact (plus TRACE_<name>.json Chrome-trace
+   exports where a run records a trace) into <dir>. *)
 
 let artefacts =
   [
@@ -14,14 +18,14 @@ let artefacts =
       fun () ->
         Common.timed "fig4a" (fun () ->
             ignore
-              (Fig4.run_variant ~contended:false
+              (Fig4.run_variant ~artifact:"fig4a" ~contended:false
                  "Figure 4 (top) — scalability, uniform access (peak tx/s)"))
     );
     ( "fig4b",
       fun () ->
         Common.timed "fig4b" (fun () ->
             ignore
-              (Fig4.run_variant ~contended:true
+              (Fig4.run_variant ~artifact:"fig4b" ~contended:true
                  "Figure 4 (bottom) — scalability under contention")) );
     ("fig4", fun () -> Common.timed "fig4" Fig4.run);
     ("fig5", fun () -> Common.timed "fig5" Fig5.run);
@@ -36,11 +40,23 @@ let default_sequence =
   [ "scenarios"; "nemesis"; "tab-latency"; "fig6"; "fig5"; "ablations";
     "micro"; "fig3"; "fig4" ]
 
+(* Strip [--json <dir>] (setting [Common.json_dir]) and return the
+   remaining artefact names. *)
+let rec parse_args = function
+  | [] -> []
+  | "--json" :: dir :: rest ->
+      Common.json_dir := Some dir;
+      parse_args rest
+  | [ "--json" ] ->
+      Fmt.epr "--json requires a directory argument@.";
+      exit 1
+  | arg :: rest -> arg :: parse_args rest
+
 let () =
   let requested =
-    match Array.to_list Sys.argv with
-    | [] | [ _ ] -> default_sequence
-    | _ :: args -> args
+    match parse_args (List.tl (Array.to_list Sys.argv)) with
+    | [] -> default_sequence
+    | args -> args
   in
   Fmt.pr
     "UniStore evaluation harness (simulated EC2 deployment; see \

@@ -98,6 +98,7 @@ let run () =
     in
     Analyze.all ols Instance.monotonic_clock raw
   in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -105,7 +106,19 @@ let run () =
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Fmt.pr "  %-40s %10.1f ns/run@." name est
+          | Some [ est ] ->
+              estimates := (name, est) :: !estimates;
+              Fmt.pr "  %-40s %10.1f ns/run@." name est
           | _ -> Fmt.pr "  %-40s (no estimate)@." name)
         analysis)
-    benchmarks
+    benchmarks;
+  (* note: ns/run values are wall-clock measurements, not deterministic *)
+  Common.emit_artifact ~name:"micro"
+    (Sim.Json.Obj
+       [
+         ( "ns_per_run",
+           Sim.Json.Obj
+             (List.map
+                (fun (name, est) -> (name, Sim.Json.Float est))
+                (List.sort compare !estimates)) );
+       ])

@@ -82,6 +82,34 @@ let run () =
   in
   if U.Checker.ok result then Common.note "PoR: %a" U.Checker.pp_result result
   else Common.note "PoR FAILED: %a" U.Checker.pp_result result;
-  match U.System.check_convergence sys with
+  let divergences = U.System.check_convergence sys in
+  (match divergences with
   | [] -> Common.note "correct DCs converged after the final heal"
-  | errs -> List.iter (Common.note "DIVERGENCE: %s") errs
+  | errs -> List.iter (Common.note "DIVERGENCE: %s") errs);
+  Common.emit_artifact ~name:"nemesis"
+    (Sim.Json.Obj
+       [
+         ("report", U.Report.of_system ~name:"nemesis" sys);
+         ( "drops",
+           Sim.Json.Obj
+             [
+               ("crash", Sim.Json.Int (Network.dropped_crash net));
+               ("loss", Sim.Json.Int (Network.dropped_loss net));
+               ("partition", Sim.Json.Int (Network.dropped_partition net));
+             ] );
+         ("retransmissions", Sim.Json.Int (Network.retransmissions net));
+         ( "duplicates_suppressed",
+           Sim.Json.Int (Network.duplicates_suppressed net) );
+         ( "detector",
+           Sim.Json.Obj
+             [
+               ("suspicions", Sim.Json.Int (U.Detector.suspicions det));
+               ( "false_suspicions",
+                 Sim.Json.Int (U.Detector.false_suspicions det) );
+               ("restorations", Sim.Json.Int (U.Detector.restorations det));
+             ] );
+         ("pending_strong", Sim.Json.Int (U.System.pending_strong sys));
+         ("por_holds", Sim.Json.Bool (U.Checker.ok result));
+         ("converged", Sim.Json.Bool (divergences = []));
+       ]);
+  Common.emit_trace ~name:"nemesis" (U.System.trace sys)

@@ -27,16 +27,19 @@ let fig1 () =
         "t=%6dus  California fails: t1 reached Virginia but not Frankfurt"
         (U.System.now sys);
       U.System.fail_dc sys 1);
+  let forwarded = ref false in
   ignore
     (U.System.spawn_client sys ~dc:2 (fun c ->
          let rec poll () =
            Client.start c;
            let v = Client.read_int c 1 in
            ignore (Client.commit c);
-           if v = 42 then
+           if v = 42 then begin
+             forwarded := true;
              Common.note
                "t=%6dus  t1 visible at Frankfurt via forwarding from Virginia"
                (U.System.now sys)
+           end
            else begin
              Fiber.sleep 100_000;
              poll ()
@@ -44,9 +47,16 @@ let fig1 () =
          in
          poll ()));
   U.System.run sys ~until:8_000_000;
-  match U.System.check_convergence sys with
-  | [] -> Common.note "correct DCs converged: Eventual Visibility holds"
-  | errs -> List.iter (Common.note "DIVERGENCE: %s") errs
+  let converged =
+    match U.System.check_convergence sys with
+    | [] ->
+        Common.note "correct DCs converged: Eventual Visibility holds";
+        true
+    | errs ->
+        List.iter (Common.note "DIVERGENCE: %s") errs;
+        false
+  in
+  (!forwarded, converged)
 
 let fig2 () =
   Common.section "Figure 2 — strong transactions wait for uniform \
@@ -77,6 +87,7 @@ let fig2 () =
              Common.note "t=%6dus  California fails immediately afterwards"
                (U.System.now sys)
          | `Aborted -> Common.note "t2 aborted (unexpected)")));
+  let live = ref false in
   ignore
     (U.System.spawn_client sys ~dc:2 (fun c ->
          Fiber.sleep 2_000_000;
@@ -86,6 +97,7 @@ let fig2 () =
            Client.update c 2 (Crdt.Reg_write 3);
            match Client.commit c with
            | `Committed _ ->
+               live := true;
                Common.note
                  "t=%6dus  t3 (strong, conflicts with t2) committed at \
                   Frankfurt having observed t2's write (%d) — liveness \
@@ -100,10 +112,33 @@ let fig2 () =
          in
          attempt 0));
   U.System.run sys ~until:15_000_000;
-  match U.System.check_convergence sys with
-  | [] -> Common.note "correct DCs converged"
-  | errs -> List.iter (Common.note "DIVERGENCE: %s") errs
+  let converged =
+    match U.System.check_convergence sys with
+    | [] ->
+        Common.note "correct DCs converged";
+        true
+    | errs ->
+        List.iter (Common.note "DIVERGENCE: %s") errs;
+        false
+  in
+  (!live, converged)
 
 let run () =
-  fig1 ();
-  fig2 ()
+  let fwd, conv1 = fig1 () in
+  let live, conv2 = fig2 () in
+  Common.emit_artifact ~name:"scenarios"
+    (Sim.Json.Obj
+       [
+         ( "fig1",
+           Sim.Json.Obj
+             [
+               ("forwarding_visible", Sim.Json.Bool fwd);
+               ("converged", Sim.Json.Bool conv1);
+             ] );
+         ( "fig2",
+           Sim.Json.Obj
+             [
+               ("strong_liveness", Sim.Json.Bool live);
+               ("converged", Sim.Json.Bool conv2);
+             ] );
+       ])

@@ -14,9 +14,9 @@ let clients = 600
 let think_time_us = 100_000  (* moderate load, well below saturation *)
 
 let pct_or_zero s p =
-  if Sim.Stats.count s = 0 then 0.0 else Sim.Stats.percentile s p /. 1000.0
+  match Sim.Stats.percentile_opt s p with Some v -> v /. 1000.0 | None -> 0.0
 
-let mean_ms s = if Sim.Stats.count s = 0 then 0.0 else Sim.Stats.mean s /. 1000.0
+let mean_ms = Common.mean_ms
 
 let run () =
   Common.section "Table (§8.1) — RUBiS latency by transaction type";
@@ -52,6 +52,11 @@ let run () =
   site 1 "california" "—";
   site 2 "frankfurt" "93.2 ms (furthest from leader)";
   Common.hr ();
+  (* Where strong latency goes: per-phase breakdown from the lifecycle
+     instrumentation, plus how far uniformity lags behind delivery. *)
+  Fmt.pr "%a" U.Report.pp_phase_breakdown uni.Common.r_sys;
+  Fmt.pr "%a" U.Report.pp_uniformity_lag uni.Common.r_sys;
+  Common.hr ();
   let strong_sys =
     Common.run_rubis ~mode:U.Config.Strong ~think_time_us ~topo ~partitions
       ~clients ~warmup_us:500_000 ~window_us:2_000_000 ()
@@ -68,4 +73,25 @@ let run () =
     (if uni_avg > 0.0 then strong_avg /. uni_avg else 0.0);
   Fmt.pr "  abort rates: UNISTORE %.3f%%, REDBLUE %.3f%% (paper: 0.027%% vs \
           0.12%%)@."
-    uni.Common.r_abort_pct redblue.Common.r_abort_pct
+    uni.Common.r_abort_pct redblue.Common.r_abort_pct;
+  let by_label =
+    List.filter_map
+      (fun label ->
+        match U.History.latency_by_label h label with
+        | Some s when Sim.Stats.count s > 0 ->
+            Some (Sim.Json.Obj
+                [
+                  ("label", Sim.Json.String label);
+                  ("latency", U.Report.latency_json s);
+                ])
+        | _ -> None)
+      (U.History.labels h)
+  in
+  Common.emit_artifact ~name:"tab_latency"
+    (Sim.Json.Obj
+       [
+         ("unistore", U.Report.of_system ~name:"tab-latency" uni.Common.r_sys);
+         ("by_label", Sim.Json.List by_label);
+         ("strong", Common.result_json strong_sys);
+         ("redblue", Common.result_json redblue);
+       ])

@@ -73,6 +73,31 @@ type 'm rx_flow = {
   ooo : (int, 'm) Hashtbl.t;
 }
 
+(* Optional instrumentation sink. When installed, the transport feeds a
+   metrics registry: per-message-kind and per-DC-link traffic counters
+   (messages and estimated bytes), reliable-layer counters
+   (retransmits, fast retransmits, duplicate acks, suppressed
+   duplicates, acks), drops by cause, and per-link backlog gauges.
+   Handle lookups are cached here so the per-message cost is a hash hit
+   plus an increment; with no meter installed the cost is one branch. *)
+type 'm meter = {
+  reg : Sim.Metrics.t;
+  kind_of : 'm -> string;
+  size_of : 'm -> int;  (* estimated wire bytes *)
+  by_kind_sent : (string, Sim.Metrics.counter * Sim.Metrics.counter) Hashtbl.t;
+  by_kind_recv : (string, Sim.Metrics.counter) Hashtbl.t;
+  by_link : (int * int, Sim.Metrics.counter * Sim.Metrics.counter) Hashtbl.t;
+  by_link_backlog : (int * int, Sim.Metrics.gauge) Hashtbl.t;
+  m_retransmit : Sim.Metrics.counter;
+  m_fast_retransmit : Sim.Metrics.counter;
+  m_dup_ack : Sim.Metrics.counter;
+  m_dup_suppressed : Sim.Metrics.counter;
+  m_ack : Sim.Metrics.counter;
+  m_drop_crash : Sim.Metrics.counter;
+  m_drop_loss : Sim.Metrics.counter;
+  m_drop_partition : Sim.Metrics.counter;
+}
+
 type 'm t = {
   eng : Sim.Engine.t;
   topo : Topology.t;
@@ -85,6 +110,7 @@ type 'm t = {
   tx_flows : (int * int, 'm tx_flow) Hashtbl.t;
   rx_flows : (int * int, 'm rx_flow) Hashtbl.t;
   mutable trace : Sim.Trace.t;
+  mutable meter : 'm meter option;
   mutable sent : int;
   mutable dropped_crash : int;
   mutable dropped_loss : int;
@@ -113,6 +139,7 @@ let create eng topo =
     tx_flows = Hashtbl.create 256;
     rx_flows = Hashtbl.create 256;
     trace = Sim.Trace.disabled;
+    meter = None;
     sent = 0;
     dropped_crash = 0;
     dropped_loss = 0;
@@ -140,11 +167,102 @@ let enable_faults t =
 let faults t = t.faults
 let set_trace t trace = t.trace <- trace
 
+let set_meter t reg ~kind_of ~size_of =
+  let c ?labels name = Sim.Metrics.counter reg ?labels name in
+  t.meter <-
+    Some
+      {
+        reg;
+        kind_of;
+        size_of;
+        by_kind_sent = Hashtbl.create 64;
+        by_kind_recv = Hashtbl.create 64;
+        by_link = Hashtbl.create 32;
+        by_link_backlog = Hashtbl.create 32;
+        m_retransmit = c "net_retransmits_total";
+        m_fast_retransmit = c "net_fast_retransmits_total";
+        m_dup_ack = c "net_dup_acks_total";
+        m_dup_suppressed = c "net_dups_suppressed_total";
+        m_ack = c "net_acks_total";
+        m_drop_crash = c ~labels:[ ("cause", "crash") ] "net_dropped_total";
+        m_drop_loss = c ~labels:[ ("cause", "loss") ] "net_dropped_total";
+        m_drop_partition =
+          c ~labels:[ ("cause", "partition") ] "net_dropped_total";
+      }
+
+(* Cached (counter, bytes-counter) per message kind / DC link. *)
+let meter_kind_sent m kind =
+  match Hashtbl.find_opt m.by_kind_sent kind with
+  | Some pair -> pair
+  | None ->
+      let labels = [ ("kind", kind) ] in
+      let pair =
+        ( Sim.Metrics.counter m.reg ~labels "net_sent_total",
+          Sim.Metrics.counter m.reg ~labels "net_sent_bytes" )
+      in
+      Hashtbl.replace m.by_kind_sent kind pair;
+      pair
+
+let meter_kind_recv m kind =
+  match Hashtbl.find_opt m.by_kind_recv kind with
+  | Some ctr -> ctr
+  | None ->
+      let ctr =
+        Sim.Metrics.counter m.reg ~labels:[ ("kind", kind) ] "net_received_total"
+      in
+      Hashtbl.replace m.by_kind_recv kind ctr;
+      ctr
+
+let link_labels ~src_dc ~dst_dc =
+  [ ("src_dc", string_of_int src_dc); ("dst_dc", string_of_int dst_dc) ]
+
+let meter_link m ~src_dc ~dst_dc =
+  match Hashtbl.find_opt m.by_link (src_dc, dst_dc) with
+  | Some pair -> pair
+  | None ->
+      let labels = link_labels ~src_dc ~dst_dc in
+      let pair =
+        ( Sim.Metrics.counter m.reg ~labels "net_link_sent_total",
+          Sim.Metrics.counter m.reg ~labels "net_link_sent_bytes" )
+      in
+      Hashtbl.replace m.by_link (src_dc, dst_dc) pair;
+      pair
+
+let meter_backlog m ~src_dc ~dst_dc =
+  match Hashtbl.find_opt m.by_link_backlog (src_dc, dst_dc) with
+  | Some g -> g
+  | None ->
+      let g =
+        Sim.Metrics.gauge m.reg
+          ~labels:(link_labels ~src_dc ~dst_dc)
+          "net_flow_backlog"
+      in
+      Hashtbl.replace m.by_link_backlog (src_dc, dst_dc) g;
+      g
+
+(* Backlog delta on the (src_dc, dst_dc) gauge; the gauge also tracks
+   its all-time maximum, the peak flow-buffer depth. *)
+let meter_backlog_add t ~src_dc ~dst_dc delta =
+  match t.meter with
+  | None -> ()
+  | Some m ->
+      if delta <> 0 then
+        Sim.Metrics.gauge_add (meter_backlog m ~src_dc ~dst_dc)
+          (float_of_int delta)
+
 let count_drop t cause ~src_dc ~dst_dc =
   (match cause with
   | Crash -> t.dropped_crash <- t.dropped_crash + 1
   | Loss -> t.dropped_loss <- t.dropped_loss + 1
   | Partition -> t.dropped_partition <- t.dropped_partition + 1);
+  (match t.meter with
+  | None -> ()
+  | Some m ->
+      Sim.Metrics.incr
+        (match cause with
+        | Crash -> m.m_drop_crash
+        | Loss -> m.m_drop_loss
+        | Partition -> m.m_drop_partition));
   if Sim.Trace.enabled t.trace then
     Sim.Trace.emitf t.trace ~source:"net" ~kind:"drop" "%s dc%d->dc%d"
       (drop_cause_name cause) src_dc dst_dc
@@ -199,6 +317,9 @@ let process t dst_node msg =
   Sim.Engine.schedule_at t.eng ~time:finish (fun () ->
       if not t.failed.(dst_node.dc) then begin
         dst_node.processed <- dst_node.processed + 1;
+        (match t.meter with
+        | None -> ()
+        | Some m -> Sim.Metrics.incr (meter_kind_recv m (m.kind_of msg)));
         dst_node.handler msg
       end)
 
@@ -270,6 +391,9 @@ let rec send_ack t ~src ~dst ~upto =
       | Faults.Cut | Faults.Lost -> ()  (* lost acks just delay the sender *)
       | Faults.Deliver { extra_us; _ } ->
           t.acks_sent <- t.acks_sent + 1;
+          (match t.meter with
+          | None -> ()
+          | Some m -> Sim.Metrics.incr m.m_ack);
           let delay =
             transit_us t ~src_dc:dst_node.dc ~dst_dc:src_node.dc + extra_us
           in
@@ -278,11 +402,14 @@ let rec send_ack t ~src ~dst ~upto =
                 match Hashtbl.find_opt t.tx_flows (src, dst) with
                 | None -> ()
                 | Some fl ->
-                    let before = fl.unacked in
+                    let before = List.length fl.unacked in
                     fl.unacked <-
                       List.filter (fun (s, _) -> s > upto) fl.unacked;
-                    if List.compare_lengths fl.unacked before <> 0 then begin
+                    let after = List.length fl.unacked in
+                    if after <> before then begin
                       (* progress resets the backoff and ends recovery *)
+                      meter_backlog_add t ~src_dc:src_node.dc
+                        ~dst_dc:dst_node.dc (after - before);
                       fl.rto_us <- fl.base_rto_us;
                       fl.dup_acks <- 0;
                       fl.in_recovery <- false
@@ -301,6 +428,9 @@ let rec send_ack t ~src ~dst ~upto =
                          of further duplicate acks, which must not
                          trigger resends of their own. *)
                       fl.dup_acks <- fl.dup_acks + 1;
+                      (match t.meter with
+                      | None -> ()
+                      | Some m -> Sim.Metrics.incr m.m_dup_ack);
                       if fl.dup_acks >= 3 then begin
                         fl.dup_acks <- 0;
                         fl.in_recovery <- true;
@@ -308,6 +438,11 @@ let rec send_ack t ~src ~dst ~upto =
                         match fl.unacked with
                         | (s, m) :: _ ->
                             t.retransmissions <- t.retransmissions + 1;
+                            (match t.meter with
+                            | None -> ()
+                            | Some mt ->
+                                Sim.Metrics.incr mt.m_retransmit;
+                                Sim.Metrics.incr mt.m_fast_retransmit);
                             transmit t f ~src ~dst s m
                         | [] -> ()
                       end
@@ -321,8 +456,12 @@ and deliver_data t ~src ~dst seq msg =
     count_drop t Crash ~src_dc:src_node.dc ~dst_dc:dst_node.dc
   else begin
     let rx = rx_flow t ~src ~dst in
-    if seq < rx.expected || Hashtbl.mem rx.ooo seq then
-      t.dups_suppressed <- t.dups_suppressed + 1
+    if seq < rx.expected || Hashtbl.mem rx.ooo seq then begin
+      t.dups_suppressed <- t.dups_suppressed + 1;
+      match t.meter with
+      | None -> ()
+      | Some m -> Sim.Metrics.incr m.m_dup_suppressed
+    end
     else if seq = rx.expected then begin
       process t dst_node msg;
       rx.expected <- rx.expected + 1;
@@ -362,18 +501,25 @@ let rec arm_timer t f ~src ~dst fl =
         fl.timer_armed <- false;
         if fl.unacked <> [] then begin
           let src_dc = (node t src).dc and dst_dc = (node t dst).dc in
-          if t.failed.(src_dc) then fl.unacked <- []
+          if t.failed.(src_dc) then begin
+            meter_backlog_add t ~src_dc ~dst_dc (-List.length fl.unacked);
+            fl.unacked <- []
+          end
           else if t.failed.(dst_dc) then begin
             (* the peer crashed: everything buffered is lost with it *)
             List.iter
               (fun _ -> count_drop t Crash ~src_dc ~dst_dc)
               fl.unacked;
+            meter_backlog_add t ~src_dc ~dst_dc (-List.length fl.unacked);
             fl.unacked <- []
           end
           else begin
             List.iter
               (fun (seq, msg) ->
                 t.retransmissions <- t.retransmissions + 1;
+                (match t.meter with
+                | None -> ()
+                | Some m -> Sim.Metrics.incr m.m_retransmit);
                 transmit t f ~src ~dst seq msg)
               fl.unacked;
             fl.rto_us <- min (2 * fl.rto_us) rto_cap_us;
@@ -387,6 +533,7 @@ let reliable_send t f ~src ~dst msg =
   let seq = fl.next_seq in
   fl.next_seq <- seq + 1;
   fl.unacked <- fl.unacked @ [ (seq, msg) ];
+  meter_backlog_add t ~src_dc:(node t src).dc ~dst_dc:(node t dst).dc 1;
   transmit t f ~src ~dst seq msg;
   arm_timer t f ~src ~dst fl
 
@@ -398,6 +545,18 @@ let send t ~src ~dst msg =
     count_drop t Crash ~src_dc:src_node.dc ~dst_dc:dst_node.dc
   else begin
     t.sent <- t.sent + 1;
+    (match t.meter with
+    | None -> ()
+    | Some m ->
+        let bytes = m.size_of msg in
+        let kind_msgs, kind_bytes = meter_kind_sent m (m.kind_of msg) in
+        Sim.Metrics.incr kind_msgs;
+        Sim.Metrics.incr ~by:bytes kind_bytes;
+        let link_msgs, link_bytes =
+          meter_link m ~src_dc:src_node.dc ~dst_dc:dst_node.dc
+        in
+        Sim.Metrics.incr link_msgs;
+        Sim.Metrics.incr ~by:bytes link_bytes);
     match t.faults with
     | Some f when src_node.dc <> dst_node.dc ->
         reliable_send t f ~src ~dst msg

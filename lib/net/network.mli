@@ -62,6 +62,21 @@ val faults : 'm t -> Faults.t option
 (** Report drops (with their cause) to a trace. *)
 val set_trace : 'm t -> Sim.Trace.t -> unit
 
+(** {1 Metrics} *)
+
+(** Install a metrics registry. The transport then maintains
+    per-message-kind send/receive counters and byte counts
+    ([net_sent_total], [net_sent_bytes], [net_received_total]), per-DC
+    link traffic ([net_link_sent_total], [net_link_sent_bytes]),
+    reliable-layer counters ([net_retransmits_total],
+    [net_fast_retransmits_total], [net_dup_acks_total],
+    [net_dups_suppressed_total], [net_acks_total]), drops by cause
+    ([net_dropped_total]) and per-link flow-buffer depth gauges
+    ([net_flow_backlog], with tracked maxima). [kind_of] names a
+    message; [size_of] estimates its wire size in bytes. *)
+val set_meter :
+  'm t -> Sim.Metrics.t -> kind_of:('m -> string) -> size_of:('m -> int) -> unit
+
 (** {1 Statistics} *)
 
 val messages_sent : 'm t -> int

@@ -1,0 +1,39 @@
+(** Minimal JSON values: deterministic printing for machine-readable
+    artefacts (metrics snapshots, bench outputs, Chrome traces) and a
+    strict parser used by tests to validate generated documents. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact single-line rendering. NaN/infinite floats render as
+    [null]. *)
+val to_string : t -> string
+
+(** Indented rendering with a trailing newline (artefact files). *)
+val to_string_pretty : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+exception Parse_error of string
+
+(** Strict parse of a complete document; raises {!Parse_error}. *)
+val of_string : string -> t
+
+val of_string_opt : string -> t option
+
+(** Object field lookup ([None] on non-objects and missing keys). *)
+val member : string -> t -> t option
+
+val to_list_opt : t -> t list option
+
+(** Numeric projection: accepts both [Int] and [Float]. *)
+val to_float_opt : t -> float option
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option

@@ -54,6 +54,11 @@ let mean s =
   done;
   !sum /. float_of_int s.len
 
+(* Total variants: harness code reporting possibly-empty sample sets
+   uses these instead of guarding every call site with a count check. *)
+let percentile_opt s p = if s.len = 0 then None else Some (percentile s p)
+let mean_opt s = if s.len = 0 then None else Some (mean s)
+
 let min_value s =
   if s.len = 0 then invalid_arg "Stats.min_value: empty sample set";
   ensure_sorted s;

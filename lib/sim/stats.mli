@@ -13,6 +13,12 @@ val percentile : sample_set -> float -> float
 
 val median : sample_set -> float
 val mean : sample_set -> float
+
+(** Total variants of {!percentile} and {!mean}: [None] on an empty
+    sample set instead of raising. *)
+val percentile_opt : sample_set -> float -> float option
+
+val mean_opt : sample_set -> float option
 val min_value : sample_set -> int
 val max_value : sample_set -> int
 

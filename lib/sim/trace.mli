@@ -2,7 +2,8 @@
     log with simulated timestamps, filters, and a text timeline. *)
 
 type event = {
-  ev_time : int;
+  ev_time : int;  (** simulated microseconds; a span's start time *)
+  ev_dur : int;  (** span duration; 0 for instant events *)
   ev_source : string;
   ev_kind : string;
   ev_detail : string;
@@ -19,6 +20,11 @@ val disabled : t
 
 val enabled : t -> bool
 val emit : t -> source:string -> kind:string -> string -> unit
+
+(** Record a duration event covering [\[start, now\]] (transaction
+    phases, certification waits). *)
+val emit_span : t -> source:string -> kind:string -> start:int -> string -> unit
+
 val emitf : t -> source:string -> kind:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
 val length : t -> int
 
@@ -35,3 +41,11 @@ val dump : ?source:string -> ?kind:string -> Format.formatter -> t -> unit
 
 (** Event counts per kind, most frequent first. *)
 val summary : t -> (string * int) list
+
+(** The trace as a Chrome trace-event document (Perfetto-loadable): one
+    named track per distinct [ev_source]; spans as duration events,
+    instants as instant events. *)
+val chrome_json : t -> Json.t
+
+(** Write {!chrome_json} compactly to a formatter. *)
+val to_chrome : Format.formatter -> t -> unit

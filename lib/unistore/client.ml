@@ -19,6 +19,14 @@ type t = {
   net : Msg.t Network.t;
   cfg : Config.t;
   history : History.t;
+  trace : Sim.Trace.t;
+  trace_src : string;
+  (* cached metrics handles (shared, interned in the system registry) *)
+  h_phase_execute : Sim.Metrics.histogram;
+  h_lat_causal : Sim.Metrics.histogram;
+  h_lat_strong : Sim.Metrics.histogram;
+  c_committed : Sim.Metrics.counter;
+  c_aborted : Sim.Metrics.counter;
   rng : Sim.Rng.t;
   mutable dc : int;
   mutable addr : Msg.addr;
@@ -46,7 +54,7 @@ and cur = {
 
 exception Aborted
 
-let create ~id ~eng ~net ~cfg ~history ~dc ~replicas_of_dc =
+let create ~id ~eng ~net ~cfg ~history ~trace ~metrics ~dc ~replicas_of_dc =
   let t =
     {
       id;
@@ -54,6 +62,22 @@ let create ~id ~eng ~net ~cfg ~history ~dc ~replicas_of_dc =
       net;
       cfg;
       history;
+      trace;
+      trace_src = Fmt.str "client %d" id;
+      h_phase_execute =
+        Sim.Metrics.histogram metrics
+          ~labels:[ ("phase", "execute") ]
+          "strong_phase_us";
+      h_lat_causal =
+        Sim.Metrics.histogram metrics
+          ~labels:[ ("class", "causal") ]
+          "txn_latency_us";
+      h_lat_strong =
+        Sim.Metrics.histogram metrics
+          ~labels:[ ("class", "strong") ]
+          "txn_latency_us";
+      c_committed = Sim.Metrics.counter metrics "txn_committed_total";
+      c_aborted = Sim.Metrics.counter metrics "txn_aborted_total";
       rng = Sim.Rng.split (Engine.rng eng) ~id:(id + 1_000_000);
       dc;
       addr = -1;
@@ -198,18 +222,34 @@ let commit t =
   t.cur <- None;
   if c.c_strong then begin
     t.lc <- t.lc + 1;
+    (* execute phase of the lifecycle: START until the commit request
+       leaves the client (reads, updates, coordinator round trips) *)
+    let commit_req_us = Engine.now t.eng in
+    Sim.Metrics.observe t.h_phase_execute (commit_req_us - c.c_start_us);
+    if Sim.Trace.enabled t.trace then
+      Sim.Trace.emit_span t.trace ~source:t.trace_src ~kind:"execute"
+        ~start:c.c_start_us
+        (Fmt.str "%a %s" Types.tid_pp c.c_tid c.c_label);
     match
       call t c.c_coord (fun req ->
           Msg.C_commit_strong { client = t.addr; req; tid = c.c_tid; lc = t.lc })
     with
     | Msg.R_strong { dec; vec; lc; _ } ->
+        Sim.Metrics.observe t.h_lat_strong (Engine.now t.eng - c.c_start_us);
+        if Sim.Trace.enabled t.trace then
+          Sim.Trace.emit_span t.trace ~source:t.trace_src
+            ~kind:(if dec then "txn-strong" else "txn-aborted")
+            ~start:c.c_start_us
+            (Fmt.str "%a %s" Types.tid_pp c.c_tid c.c_label);
         if dec then begin
+          Sim.Metrics.incr t.c_committed;
           t.past <- vec;
           t.lc <- max t.lc lc;
           record t c ~vec ~lc;
           `Committed vec
         end
         else begin
+          Sim.Metrics.incr t.c_aborted;
           History.aborted t.history;
           `Aborted
         end
@@ -222,6 +262,12 @@ let commit t =
           Msg.C_commit_causal { client = t.addr; req; tid = c.c_tid; lc = t.lc })
     with
     | Msg.R_committed { vec; _ } ->
+        Sim.Metrics.observe t.h_lat_causal (Engine.now t.eng - c.c_start_us);
+        Sim.Metrics.incr t.c_committed;
+        if Sim.Trace.enabled t.trace then
+          Sim.Trace.emit_span t.trace ~source:t.trace_src ~kind:"txn-causal"
+            ~start:c.c_start_us
+            (Fmt.str "%a %s" Types.tid_pp c.c_tid c.c_label);
         t.past <- vec;
         record t c ~vec ~lc:t.lc;
         `Committed vec

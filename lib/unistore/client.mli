@@ -20,6 +20,8 @@ val create :
   net:Msg.t Net.Network.t ->
   cfg:Config.t ->
   history:History.t ->
+  trace:Sim.Trace.t ->
+  metrics:Sim.Metrics.t ->
   dc:int ->
   replicas_of_dc:(int -> Msg.addr array) ->
   t

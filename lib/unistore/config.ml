@@ -126,6 +126,7 @@ type t = {
   detection_delay_us : int;  (* Ω suspicion timeout: silence before suspect *)
   fd_period_us : int;  (* Ω heartbeat broadcast / check period *)
   link_faults : Net.Faults.spec option;  (* lossy inter-DC links (nemesis) *)
+  metrics_probe_us : int;  (* period of the uniformity-lag / queue probes *)
   costs : costs;
   seed : int;
   use_hlc : bool;  (* hybrid logical clocks instead of physical waits (§9) *)
@@ -139,7 +140,8 @@ let default ?(topo = Net.Topology.three_dcs ()) ?(partitions = 8) ?(f = 1)
     ?(propagate_period_us = 5_000) ?(broadcast_period_us = 5_000)
     ?(strong_heartbeat_us = 10_000) ?(clock_skew_us = 1_000)
     ?(detection_delay_us = 500_000) ?(fd_period_us = 100_000)
-    ?link_faults ?(costs = default_costs) ?(seed = 42)
+    ?link_faults ?(metrics_probe_us = 10_000) ?(costs = default_costs)
+    ?(seed = 42)
     ?(use_hlc = false) ?(trace_enabled = false) ?(record_history = false)
     ?(measure_visibility = false) () =
   let dcs = Net.Topology.dcs topo in
@@ -173,6 +175,7 @@ let default ?(topo = Net.Topology.three_dcs ()) ?(partitions = 8) ?(f = 1)
     detection_delay_us;
     fd_period_us;
     link_faults;
+    metrics_probe_us;
     costs;
     seed;
     use_hlc;

@@ -76,6 +76,9 @@ type t = {
   link_faults : Net.Faults.spec option;
       (** install lossy inter-DC links with these rates (nemesis runs);
           [None] keeps the network perfectly reliable *)
+  metrics_probe_us : int;
+      (** period of the periodic metrics probes (uniformity lag,
+          pending-certification queue depth); [0] disables them *)
   costs : costs;
   seed : int;
   use_hlc : bool;
@@ -107,6 +110,7 @@ val default :
   ?detection_delay_us:int ->
   ?fd_period_us:int ->
   ?link_faults:Net.Faults.spec ->
+  ?metrics_probe_us:int ->
   ?costs:costs ->
   ?seed:int ->
   ?use_hlc:bool ->

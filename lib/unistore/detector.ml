@@ -36,6 +36,10 @@ type t = {
   mutable suspicions : int;
   mutable false_suspicions : int;  (* suspected a DC that had not crashed *)
   mutable restorations : int;
+  (* the same transitions, in the metrics registry *)
+  m_suspicions : Sim.Metrics.counter;
+  m_false_suspicions : Sim.Metrics.counter;
+  m_restorations : Sim.Metrics.counter;
 }
 
 let suspected t ~observer ~dc = t.views.(observer).suspected.(dc)
@@ -64,8 +68,11 @@ let mark_suspected t ~observer ~dc =
   if not v.suspected.(dc) then begin
     v.suspected.(dc) <- true;
     t.suspicions <- t.suspicions + 1;
-    if not (Network.dc_failed t.net dc) then
+    Sim.Metrics.incr t.m_suspicions;
+    if not (Network.dc_failed t.net dc) then begin
       t.false_suspicions <- t.false_suspicions + 1;
+      Sim.Metrics.incr t.m_false_suspicions
+    end;
     Sim.Trace.emitf t.trace ~source:"fd" ~kind:"suspect"
       "dc%d suspects dc%d%s" observer dc
       (if Network.dc_failed t.net dc then "" else " (falsely)");
@@ -78,6 +85,7 @@ let heard_from t ~observer ~dc =
   if v.suspected.(dc) then begin
     v.suspected.(dc) <- false;
     t.restorations <- t.restorations + 1;
+    Sim.Metrics.incr t.m_restorations;
     Sim.Trace.emitf t.trace ~source:"fd" ~kind:"unsuspect"
       "dc%d rehabilitates dc%d" observer dc;
     t.on_restore ~observer ~dc
@@ -88,7 +96,7 @@ let handle t ~observer msg =
   | Msg.Fd_ping { from_dc } -> heard_from t ~observer ~dc:from_dc
   | _ -> ()  (* detector nodes receive only pings *)
 
-let create cfg eng net ~trace ~on_suspect ~on_restore =
+let create cfg eng net ~trace ~metrics ~on_suspect ~on_restore =
   let dcs = Config.dcs cfg in
   let t =
     {
@@ -108,6 +116,10 @@ let create cfg eng net ~trace ~on_suspect ~on_restore =
       suspicions = 0;
       false_suspicions = 0;
       restorations = 0;
+      m_suspicions = Sim.Metrics.counter metrics "fd_suspicions_total";
+      m_false_suspicions =
+        Sim.Metrics.counter metrics "fd_false_suspicions_total";
+      m_restorations = Sim.Metrics.counter metrics "fd_restorations_total";
     }
   in
   for dc = 0 to dcs - 1 do

@@ -15,6 +15,7 @@ val create :
   Sim.Engine.t ->
   Msg.t Net.Network.t ->
   trace:Sim.Trace.t ->
+  metrics:Sim.Metrics.t ->
   on_suspect:(observer:int -> dc:int -> unit) ->
   on_restore:(observer:int -> dc:int -> unit) ->
   t

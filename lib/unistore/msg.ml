@@ -181,6 +181,81 @@ let cost_centralized (c : Config.costs) = function
   | Prepare_strong _ -> c.c_cert_centralized
   | m -> cost c m
 
+(* Estimated wire size in bytes, for the network meter's traffic
+   accounting. Scalars count 8 bytes, vector entries 8 each, list
+   elements a fixed per-record weight, plus a 16-byte envelope — the
+   sizes a compact binary codec would produce, so Replicate and
+   certification payloads dominate exactly as in the real system. *)
+let header_bytes = 16
+
+let vc_bytes (v : Vc.t) = 8 * Array.length v
+let writes_bytes ws = 8 + (24 * List.length ws)
+let opsmap_entry_bytes os = 8 + (16 * List.length os)
+
+let wbuff_bytes (w : Types.wbuff) =
+  List.fold_left (fun acc (_, ws) -> acc + 8 + writes_bytes ws) 8 w
+
+let opsmap_bytes (o : Types.opsmap) =
+  List.fold_left (fun acc (_, os) -> acc + 8 + opsmap_entry_bytes os) 8 o
+
+let tx_bytes (tx : Types.tx_rec) =
+  16 + writes_bytes tx.tx_writes + vc_bytes tx.tx_vec + 16
+
+let prepared_bytes (p : prepared_strong) =
+  48 + wbuff_bytes p.ps_wbuff + opsmap_bytes p.ps_ops + vc_bytes p.ps_snap
+
+let decided_bytes (d : decided_strong) =
+  40 + wbuff_bytes d.ds_wbuff + opsmap_bytes d.ds_ops + vc_bytes d.ds_vec
+
+let size_bytes = function
+  | C_start { past; _ } -> header_bytes + 24 + vc_bytes past
+  | C_read _ -> header_bytes + 32
+  | C_update _ -> header_bytes + 40
+  | C_commit_causal _ | C_commit_strong _ -> header_bytes + 24
+  | C_uniform_barrier { past; _ } | C_attach { past; _ } ->
+      header_bytes + 16 + vc_bytes past
+  | R_started { snap; _ } -> header_bytes + 24 + vc_bytes snap
+  | R_value _ -> header_bytes + 24
+  | R_committed { vec; _ } -> header_bytes + 8 + vc_bytes vec
+  | R_strong { vec; _ } -> header_bytes + 24 + vc_bytes vec
+  | R_ok _ -> header_bytes + 8
+  | Get_version { snap; _ } -> header_bytes + 32 + vc_bytes snap
+  | Version _ -> header_bytes + 32
+  | Prepare { writes; snap; _ } ->
+      header_bytes + 16 + writes_bytes writes + vc_bytes snap
+  | Prepare_ack _ -> header_bytes + 24
+  | Commit { vec; _ } -> header_bytes + 24 + vc_bytes vec
+  | Replicate { txs; _ } ->
+      List.fold_left (fun acc tx -> acc + tx_bytes tx) (header_bytes + 8) txs
+  | Heartbeat _ -> header_bytes + 16
+  | Kv_up { vec; _ } | Stablevec { vec; _ } | Knownvec_global { vec; _ } ->
+      header_bytes + 8 + vc_bytes vec
+  | Stable_down { vec } -> header_bytes + vc_bytes vec
+  | Prepare_strong { wbuff; ops; snap; _ } ->
+      header_bytes + 40 + wbuff_bytes wbuff + opsmap_bytes ops + vc_bytes snap
+  | Already_decided { vec; _ } -> header_bytes + 32 + vc_bytes vec
+  | Accept { wbuff; ops; snap; _ } ->
+      header_bytes + 56 + wbuff_bytes wbuff + opsmap_bytes ops + vc_bytes snap
+  | Accept_ack _ -> header_bytes + 56
+  | Unknown_tx _ -> header_bytes + 32
+  | Unknown_tx_ack _ -> header_bytes + 32
+  | Decision { vec; _ } | Learn_decision { vec; _ } ->
+      header_bytes + 32 + vc_bytes vec
+  | Deliver _ -> header_bytes + 16
+  | Push_updates { txs; _ } ->
+      List.fold_left (fun acc tx -> acc + tx_bytes tx) (header_bytes + 16) txs
+  | Nack _ | New_leader _ -> header_bytes + 16
+  | New_leader_ack { prepared; decided; _ } | New_state { prepared; decided; _ }
+    ->
+      List.fold_left
+        (fun acc p -> acc + prepared_bytes p)
+        (List.fold_left
+           (fun acc d -> acc + decided_bytes d)
+           (header_bytes + 24) decided)
+        prepared
+  | New_state_ack _ -> header_bytes + 16
+  | Fd_ping _ -> header_bytes + 8
+
 let kind = function
   | C_start _ -> "c_start"
   | C_read _ -> "c_read"

@@ -95,6 +95,14 @@ type t = {
   history : History.t;
   trace : Sim.Trace.t;
   trace_src : string;
+  (* cached metrics handles: strong-transaction phase breakdown and
+     remote-visibility delay (interned in the system-wide registry) *)
+  metrics : Sim.Metrics.t;
+  h_phase_uniform : Sim.Metrics.histogram;
+  h_phase_certify : Sim.Metrics.histogram;
+  h_visibility : Sim.Metrics.histogram;
+  c_strong_commit : Sim.Metrics.counter;
+  c_strong_abort : Sim.Metrics.counter;
   oplog : Store.Oplog.t;
   (* --- §5.1 metadata ------------------------------------------------ *)
   known_vec : Vc.t;
@@ -159,7 +167,7 @@ let observe_clock t ts =
 
 let now t = Engine.now t.eng
 
-let create cfg eng net ~dc ~part ~uid ~skew ~history ~trace =
+let create cfg eng net ~dc ~part ~uid ~skew ~history ~trace ~metrics =
   let d = Config.dcs cfg in
   {
     cfg;
@@ -175,6 +183,18 @@ let create cfg eng net ~dc ~part ~uid ~skew ~history ~trace =
     history;
     trace;
     trace_src = Fmt.str "replica %d.%d" dc part;
+    metrics;
+    h_phase_uniform =
+      Sim.Metrics.histogram metrics
+        ~labels:[ ("phase", "uniform_wait") ]
+        "strong_phase_us";
+    h_phase_certify =
+      Sim.Metrics.histogram metrics
+        ~labels:[ ("phase", "certify") ]
+        "strong_phase_us";
+    h_visibility = Sim.Metrics.histogram metrics "visibility_delay_us";
+    c_strong_commit = Sim.Metrics.counter metrics "strong_committed_total";
+    c_strong_abort = Sim.Metrics.counter metrics "strong_aborted_total";
     oplog = Store.Oplog.create ();
     known_vec = Vc.create ~dcs:d;
     stable_vec = Vc.create ~dcs:d;
@@ -320,8 +340,10 @@ let flush_visibility t =
         pending := waiting;
         List.iter
           (fun (_, arrival) ->
+            let delay_us = now t - arrival in
+            Sim.Metrics.observe t.h_visibility delay_us;
             History.visibility_delay t.history ~observer:t.dc ~origin
-              ~delay_us:(now t - arrival))
+              ~delay_us)
           visible
       end
     done
@@ -963,14 +985,32 @@ let handle_commit_strong t ~client ~req ~tid ~lc =
         ct.ct_ops;
       let ops = Hashtbl.fold (fun l os acc -> (l, os) :: acc) ops_by_part [] in
       Hashtbl.remove t.txns tid;
+      (* phase instrumentation: uniformity wait (arrival of the commit
+         request until the local snapshot is uniform), then certification
+         (submission until the decision lands back here) *)
+      let arrived_us = now t in
       wait_uniform_local t ~threshold:(Vc.get ct.ct_snap t.dc) (fun () ->
+          let uniform_us = now t in
+          Sim.Metrics.observe t.h_phase_uniform (uniform_us - arrived_us);
+          if Sim.Trace.enabled t.trace then
+            Sim.Trace.emit_span t.trace ~source:t.trace_src
+              ~kind:"uniform-wait" ~start:arrived_us
+              (Fmt.str "%a" Types.tid_pp tid);
           certify t ~caller:Msg.Normal ~tid ~origin:ct.ct_client_id ~wbuff
             ~ops ~snap:ct.ct_snap ~lc ~k:(fun result ->
+              Sim.Metrics.observe t.h_phase_certify (now t - uniform_us);
+              if Sim.Trace.enabled t.trace then
+                Sim.Trace.emit_span t.trace ~source:t.trace_src
+                  ~kind:"certify" ~start:uniform_us
+                  (Fmt.str "%a" Types.tid_pp tid);
               match result with
               | Cert.Decided (dec, vec, lc) ->
+                  Sim.Metrics.incr
+                    (if dec then t.c_strong_commit else t.c_strong_abort);
                   send t client (Msg.R_strong { req; dec; vec; lc })
               | Cert.Unknown ->
                   (* cannot happen for NORMAL callers; fail the commit *)
+                  Sim.Metrics.incr t.c_strong_abort;
                   send t client
                     (Msg.R_strong
                        { req; dec = false; vec = ct.ct_snap; lc })))

@@ -25,6 +25,7 @@ val create :
   skew:int ->
   history:History.t ->
   trace:Sim.Trace.t ->
+  metrics:Sim.Metrics.t ->
   t
 
 val dc_of : t -> int

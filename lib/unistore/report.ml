@@ -1,0 +1,173 @@
+(* Machine-readable run reports (BENCH_*.json artifacts).
+
+   One experiment run — a [System.t] driven to completion — renders to a
+   JSON document with the quantities every figure and table of the
+   evaluation is built from: throughput over the measurement window,
+   latency percentiles per transaction class, the abort rate, the
+   strong-transaction phase breakdown (execute / uniform_wait / certify,
+   from the metrics histograms the protocol instrumentation feeds), and
+   the full metrics snapshot. Everything in the document derives from
+   simulated time and deterministic counters, so a fixed seed produces a
+   byte-identical artifact — which is what the golden-file test pins
+   down and what makes the artifacts diffable across commits.
+
+   The harness ([bench/]) wraps these documents with per-artifact sweep
+   data; the text reporters ([pp_phase_breakdown], [pp_uniformity_lag])
+   print the same numbers human-readably. *)
+
+module Json = Sim.Json
+module Metrics = Sim.Metrics
+module Stats = Sim.Stats
+
+let ms_of_us v = v /. 1000.0
+
+let float_or_null = function
+  | None -> Json.Null
+  | Some v -> Json.Float v
+
+let ms_or_null o = float_or_null (Option.map ms_of_us o)
+
+(* Latency summary of a raw sample set (exact percentiles): count and
+   mean/p50/p90/p99 in milliseconds, null when there are no samples. *)
+let latency_json s =
+  Json.Obj
+    [
+      ("count", Json.Int (Stats.count s));
+      ("mean_ms", ms_or_null (Stats.mean_opt s));
+      ("p50_ms", ms_or_null (Stats.percentile_opt s 50.0));
+      ("p90_ms", ms_or_null (Stats.percentile_opt s 90.0));
+      ("p99_ms", ms_or_null (Stats.percentile_opt s 99.0));
+    ]
+
+(* The same summary for a streaming metrics histogram (bucketed
+   percentile estimates). *)
+let histogram_json h =
+  Json.Obj
+    [
+      ("count", Json.Int (Metrics.h_count h));
+      ("mean_ms", ms_or_null (Metrics.h_mean h));
+      ("p50_ms", ms_or_null (Metrics.h_percentile h 50.0));
+      ("p90_ms", ms_or_null (Metrics.h_percentile h 90.0));
+      ("p99_ms", ms_or_null (Metrics.h_percentile h 99.0));
+    ]
+
+(* Strong-transaction lifecycle order, not alphabetical. *)
+let phase_order = [ "execute"; "uniform_wait"; "certify" ]
+
+let phases_of reg =
+  let all = Metrics.histograms_matching reg "strong_phase_us" in
+  let named =
+    List.filter_map
+      (fun (labels, h) ->
+        Option.map (fun p -> (p, h)) (List.assoc_opt "phase" labels))
+      all
+  in
+  let listed =
+    List.filter_map
+      (fun p -> Option.map (fun h -> (p, h)) (List.assoc_opt p named))
+      phase_order
+  in
+  let rest =
+    List.filter (fun (p, _) -> not (List.mem p phase_order)) named
+  in
+  listed @ rest
+
+let phases_json reg =
+  Json.List
+    (List.map
+       (fun (phase, h) ->
+         match histogram_json h with
+         | Json.Obj fields ->
+             Json.Obj (("phase", Json.String phase) :: fields)
+         | j -> j)
+       (phases_of reg))
+
+let of_system ?(name = "run") sys =
+  let cfg = System.cfg sys in
+  let h = System.history sys in
+  let reg = System.metrics sys in
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("mode", Json.String (Config.mode_name cfg.Config.mode));
+      ("seed", Json.Int cfg.Config.seed);
+      ("simulated_us", Json.Int (System.now sys));
+      ( "throughput_tx_s",
+        float_or_null (History.throughput h) );
+      ("committed", Json.Int (History.committed_total h));
+      ("committed_strong", Json.Int (History.committed_strong h));
+      ("aborted_strong", Json.Int (History.aborted_strong h));
+      ("abort_rate_pct", Json.Float (100.0 *. History.abort_rate h));
+      ( "latency",
+        Json.Obj
+          [
+            ("all", latency_json (History.latency_all h));
+            ("causal", latency_json (History.latency_causal h));
+            ("strong", latency_json (History.latency_strong h));
+          ] );
+      ("strong_phases", phases_json reg);
+      ("metrics", Metrics.to_json reg);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Text reporters: the artifact's numbers for the harness output.      *)
+
+let pp_opt_ms ppf = function
+  | None -> Fmt.pf ppf "%8s" "-"
+  | Some v -> Fmt.pf ppf "%8.2f" (ms_of_us v)
+
+let pp_phase_breakdown ppf sys =
+  let reg = System.metrics sys in
+  match phases_of reg with
+  | [] -> ()
+  | phases ->
+      Fmt.pf ppf "  strong-transaction phase breakdown (ms):@.";
+      Fmt.pf ppf "    %-14s %8s %8s %8s %8s %8s@." "phase" "count" "mean"
+        "p50" "p90" "p99";
+      List.iter
+        (fun (phase, h) ->
+          Fmt.pf ppf "    %-14s %8d %a %a %a %a@." phase (Metrics.h_count h)
+            pp_opt_ms (Metrics.h_mean h) pp_opt_ms
+            (Metrics.h_percentile h 50.0)
+            pp_opt_ms
+            (Metrics.h_percentile h 90.0)
+            pp_opt_ms
+            (Metrics.h_percentile h 99.0))
+        phases
+
+let pp_uniformity_lag ppf sys =
+  let reg = System.metrics sys in
+  (match Metrics.histograms_matching reg "uniformity_lag_probe_us" with
+  | [ (_, h) ] when Metrics.h_count h > 0 ->
+      Fmt.pf ppf
+        "  uniformity lag (knownVec - uniformVec, probed every %d us): mean \
+         %a ms, p90 %a ms, max %a ms@."
+        (System.cfg sys).Config.metrics_probe_us pp_opt_ms (Metrics.h_mean h)
+        pp_opt_ms
+        (Metrics.h_percentile h 90.0)
+        pp_opt_ms
+        (Option.map float_of_int (Metrics.h_max h))
+  | _ -> ());
+  match Metrics.gauges_matching reg "uniformity_lag_us" with
+  | [] -> ()
+  | gauges ->
+      (* peak lag per DC, maximum over its partitions *)
+      let per_dc = Hashtbl.create 8 in
+      List.iter
+        (fun (labels, g) ->
+          match List.assoc_opt "dc" labels with
+          | None -> ()
+          | Some dc ->
+              let cur =
+                Option.value ~default:0.0 (Hashtbl.find_opt per_dc dc)
+              in
+              Hashtbl.replace per_dc dc (Float.max cur (Metrics.gauge_max g)))
+        gauges;
+      let dcs =
+        List.sort compare
+          (Hashtbl.fold (fun dc v acc -> (dc, v) :: acc) per_dc [])
+      in
+      Fmt.pf ppf "    peak lag per DC:%a@."
+        (Fmt.list ~sep:Fmt.nop (fun ppf (dc, v) ->
+             Fmt.pf ppf "  dc%s %.1f ms" dc (ms_of_us v)))
+        dcs

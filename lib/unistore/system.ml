@@ -26,6 +26,7 @@ type t = {
   net : Msg.t Network.t;
   history : History.t;
   trace : Sim.Trace.t;
+  metrics : Sim.Metrics.t;
   replicas : Replica.t array array;  (* [dc].(partition) *)
   addrs : Msg.addr array array;
   rb_certs : (Cert.t * Msg.addr) array;  (* REDBLUE service nodes, per DC *)
@@ -36,6 +37,7 @@ type t = {
 
 let cfg t = t.cfg
 let trace t = t.trace
+let metrics t = t.metrics
 let engine t = t.eng
 let network t = t.net
 let history t = t.history
@@ -143,6 +145,11 @@ let create cfg =
       ~enabled:cfg.Config.trace_enabled ()
   in
   Network.set_trace net trace;
+  (* one metrics registry per deployment; the network meter feeds it the
+     transport counters, replicas/clients the transaction-lifecycle
+     histograms, the detector its transition counters *)
+  let metrics = Sim.Metrics.create () in
+  Network.set_meter net metrics ~kind_of:Msg.kind ~size_of:Msg.size_bytes;
   (* lossy inter-DC links (nemesis runs): installs the fault model and
      switches inter-DC channels to the ack/retransmission transport *)
   (match cfg.Config.link_faults with
@@ -161,7 +168,7 @@ let create cfg =
             in
             Replica.create cfg eng net ~dc ~part
               ~uid:((dc * partitions) + part)
-              ~skew ~history ~trace))
+              ~skew ~history ~trace ~metrics))
   in
   let addrs =
     Array.map
@@ -285,13 +292,57 @@ let create cfg =
       retarget_rb observer
     end
   in
-  let detector = Detector.create cfg eng net ~trace ~on_suspect ~on_restore in
+  let detector =
+    Detector.create cfg eng net ~trace ~metrics ~on_suspect ~on_restore
+  in
+  (* periodic observability probes: per-partition uniformity lag
+     (knownVec minus uniformVec — how far behind the durable frontier
+     this replica's knowledge runs) and the depth of the
+     pending-certification queue per DC *)
+  if cfg.Config.metrics_probe_us > 0 then begin
+    let lbl_dc dc = ("dc", string_of_int dc) in
+    let lag_gauges =
+      Array.init dcs (fun dc ->
+          Array.init partitions (fun part ->
+              Sim.Metrics.gauge metrics
+                ~labels:[ lbl_dc dc; ("part", string_of_int part) ]
+                "uniformity_lag_us"))
+    in
+    let h_lag = Sim.Metrics.histogram metrics "uniformity_lag_probe_us" in
+    let pend_gauges =
+      Array.init dcs (fun dc ->
+          Sim.Metrics.gauge metrics ~labels:[ lbl_dc dc ]
+            "pending_certifications")
+    in
+    let period = cfg.Config.metrics_probe_us in
+    Engine.every eng ~period ~phase:(period / 2) (fun () ->
+        for dc = 0 to dcs - 1 do
+          if not (Network.dc_failed net dc) then begin
+            let pending = ref 0 in
+            for part = 0 to partitions - 1 do
+              let r = replicas.(dc).(part) in
+              let known = Replica.known_vec r
+              and uniform = Replica.uniform_vec r in
+              let lag = ref 0 in
+              for j = 0 to dcs - 1 do
+                lag := max !lag (Vc.get known j - Vc.get uniform j)
+              done;
+              Sim.Metrics.set lag_gauges.(dc).(part) (float_of_int !lag);
+              Sim.Metrics.observe h_lag !lag;
+              pending := !pending + Replica.pending_strong r
+            done;
+            Sim.Metrics.set pend_gauges.(dc) (float_of_int !pending)
+          end
+        done;
+        true)
+  end;
   {
     cfg;
     eng;
     net;
     history;
     trace;
+    metrics;
     replicas;
     addrs;
     rb_certs;
@@ -322,7 +373,8 @@ let new_client t ~dc =
   let id = t.next_client in
   t.next_client <- t.next_client + 1;
   let client =
-    Client.create ~id ~eng:t.eng ~net:t.net ~cfg:t.cfg ~history:t.history ~dc
+    Client.create ~id ~eng:t.eng ~net:t.net ~cfg:t.cfg ~history:t.history
+      ~trace:t.trace ~metrics:t.metrics ~dc
       ~replicas_of_dc:(fun dc -> t.addrs.(dc))
   in
   t.clients <- client :: t.clients;

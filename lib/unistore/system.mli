@@ -31,6 +31,14 @@ val history : t -> History.t
     [Config.trace_enabled] is set). *)
 val trace : t -> Sim.Trace.t
 
+(** The deployment's metrics registry: network traffic by kind and
+    link, retransmission-layer counters, strong-transaction phase
+    histograms ([strong_phase_us] with phases [execute],
+    [uniform_wait], [certify]), transaction latency/outcome metrics,
+    the uniformity-lag and pending-certification probes, and the Ω
+    detector's transition counters. *)
+val metrics : t -> Sim.Metrics.t
+
 (** Current simulated time (microseconds). *)
 val now : t -> int
 

@@ -7,6 +7,7 @@ let () =
       ("rng", Test_rng.suite);
       ("zipf", Test_zipf.suite);
       ("stats", Test_stats.suite);
+      ("metrics", Test_metrics.suite);
       ("engine", Test_engine.suite);
       ("fiber", Test_fiber.suite);
       ("vc", Test_vc.suite);
@@ -26,5 +27,6 @@ let () =
       ("abstract-exec", Test_abstract_exec.suite);
       ("workloads", Test_workloads.suite);
       ("nemesis", Test_nemesis.suite);
+      ("report", Test_report.suite);
       ("properties", Test_properties.suite);
     ]

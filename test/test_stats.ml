@@ -38,6 +38,20 @@ let test_empty_raises () =
     (Invalid_argument "Stats.mean: empty sample set") (fun () ->
       ignore (Sim.Stats.mean s))
 
+let test_opt_helpers () =
+  let s = Sim.Stats.create_samples () in
+  Alcotest.(check (option (float 0.001))) "empty mean" None
+    (Sim.Stats.mean_opt s);
+  Alcotest.(check (option (float 0.001))) "empty percentile" None
+    (Sim.Stats.percentile_opt s 50.0);
+  List.iter (Sim.Stats.add s) [ 10; 20; 30 ];
+  Alcotest.(check (option (float 0.001))) "mean" (Some 20.0)
+    (Sim.Stats.mean_opt s);
+  Alcotest.(check (option (float 0.001)))
+    "percentile agrees with exact"
+    (Some (Sim.Stats.percentile s 90.0))
+    (Sim.Stats.percentile_opt s 90.0)
+
 let test_cdf () =
   let s = Sim.Stats.create_samples () in
   for i = 1 to 1000 do
@@ -99,6 +113,7 @@ let suite =
     Alcotest.test_case "mean/min/max" `Quick test_mean_min_max;
     Alcotest.test_case "insertion after sorting" `Quick test_unsorted_insertion;
     Alcotest.test_case "empty set raises" `Quick test_empty_raises;
+    Alcotest.test_case "total (option) variants" `Quick test_opt_helpers;
     Alcotest.test_case "empirical CDF" `Quick test_cdf;
     Alcotest.test_case "counter honours its window" `Quick test_counter_window;
     Alcotest.test_case "throughput computation" `Quick test_throughput;

@@ -63,6 +63,64 @@ let test_summary () =
     [ ("commit", 3); ("deliver", 1) ]
     (Sim.Trace.summary tr)
 
+let test_growth_boundary () =
+  (* the backing array starts at 4096 and doubles up to capacity: filling
+     straight through the growth boundary loses nothing and keeps order *)
+  let tr = mk ~capacity:6000 (fun () -> 0) in
+  for i = 1 to 6000 do
+    Sim.Trace.emit tr ~source:"a" ~kind:"x" (string_of_int i)
+  done;
+  Alcotest.(check int) "all kept" 6000 (Sim.Trace.length tr);
+  Alcotest.(check int) "no drops" 0 (Sim.Trace.dropped tr);
+  (match Sim.Trace.events tr with
+  | first :: _ -> Alcotest.(check string) "order kept" "1" first.Sim.Trace.ev_detail
+  | [] -> Alcotest.fail "no events");
+  Sim.Trace.emit tr ~source:"a" ~kind:"x" "overflow";
+  Alcotest.(check int) "capped at capacity" 6000 (Sim.Trace.length tr);
+  Alcotest.(check int) "overflow dropped" 1 (Sim.Trace.dropped tr)
+
+let test_spans () =
+  let now = ref 50 in
+  let tr = mk (fun () -> !now) in
+  Sim.Trace.emit_span tr ~source:"c" ~kind:"certify" ~start:20 "tx";
+  (* a span whose clock ran backwards clamps to zero duration *)
+  Sim.Trace.emit_span tr ~source:"c" ~kind:"weird" ~start:90 "tx";
+  match Sim.Trace.events tr with
+  | [ s1; s2 ] ->
+      Alcotest.(check int) "span start" 20 s1.Sim.Trace.ev_time;
+      Alcotest.(check int) "span duration" 30 s1.Sim.Trace.ev_dur;
+      Alcotest.(check int) "clamped duration" 0 s2.Sim.Trace.ev_dur
+  | _ -> Alcotest.fail "expected two spans"
+
+let test_chrome_export () =
+  let now = ref 0 in
+  let tr = mk (fun () -> !now) in
+  Sim.Trace.emit tr ~source:"replica 0.0" ~kind:"commit" "t1";
+  now := 40;
+  Sim.Trace.emit_span tr ~source:"client 1" ~kind:"execute" ~start:10 "t2";
+  let j = Sim.Trace.chrome_json tr in
+  match Sim.Json.of_string_opt (Sim.Json.to_string j) with
+  | None -> Alcotest.fail "chrome export does not parse"
+  | Some parsed -> (
+      match
+        Option.bind (Sim.Json.member "traceEvents" parsed) Sim.Json.to_list_opt
+      with
+      | None -> Alcotest.fail "traceEvents missing"
+      | Some events ->
+          let phs =
+            List.filter_map
+              (fun e ->
+                Option.bind (Sim.Json.member "ph" e) Sim.Json.to_string_opt)
+              events
+          in
+          (* two thread-name metadata records, one instant, one span *)
+          Alcotest.(check int) "metadata per source" 2
+            (List.length (List.filter (String.equal "M") phs));
+          Alcotest.(check int) "one instant" 1
+            (List.length (List.filter (String.equal "i") phs));
+          Alcotest.(check int) "one duration event" 1
+            (List.length (List.filter (String.equal "X") phs)))
+
 (* End-to-end: a traced protocol run produces commit and replication
    events with plausible structure. *)
 let test_protocol_trace () =
@@ -100,6 +158,10 @@ let suite =
       test_disabled_is_noop;
     Alcotest.test_case "capacity bounds the log" `Quick test_capacity_drops;
     Alcotest.test_case "time-interval filter" `Quick test_between;
+    Alcotest.test_case "growth through the doubling boundary" `Quick
+      test_growth_boundary;
+    Alcotest.test_case "duration spans" `Quick test_spans;
+    Alcotest.test_case "chrome trace-event export" `Quick test_chrome_export;
     Alcotest.test_case "per-kind summary" `Quick test_summary;
     Alcotest.test_case "protocol runs leave a readable trace" `Quick
       test_protocol_trace;
