@@ -32,13 +32,14 @@ let artefacts =
     ("fig6", fun () -> Common.timed "fig6" Fig6.run);
     ("scenarios", fun () -> Common.timed "scenarios" Scenarios.run);
     ("nemesis", fun () -> Common.timed "nemesis" Nemesis_bench.run);
+    ("recovery", fun () -> Common.timed "recovery" Nemesis_bench.run_recovery);
     ("ablations", fun () -> Common.timed "ablations" Ablations.run);
     ("micro", fun () -> Common.timed "micro" Microbench.run);
   ]
 
 let default_sequence =
-  [ "scenarios"; "nemesis"; "tab-latency"; "fig6"; "fig5"; "ablations";
-    "micro"; "fig3"; "fig4" ]
+  [ "scenarios"; "nemesis"; "recovery"; "tab-latency"; "fig6"; "fig5";
+    "ablations"; "micro"; "fig3"; "fig4" ]
 
 (* Strip [--json <dir>] (setting [Common.json_dir]) and return the
    remaining artefact names. *)

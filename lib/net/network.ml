@@ -45,6 +45,10 @@ let drop_cause_name = function
 type 'm node = {
   addr : addr;
   dc : int;
+  (* client nodes are colocated with a DC for latency purposes only:
+     they are external sessions, not part of the DC's failure domain,
+     so they keep sending and receiving while the DC is crashed *)
+  client : bool;
   cost : 'm -> int;
   handler : 'm -> unit;
   mutable busy_until : int;
@@ -105,6 +109,8 @@ type 'm t = {
   mutable nodes : 'm node array;
   mutable node_count : int;
   mutable failed : bool array;
+  failed_at : int array;  (* crash time per DC, -1 when never/not failed *)
+  epochs : int array;  (* per-DC incarnation, bumped on recovery *)
   fifo : (int * int, int) Hashtbl.t;  (* (src, dst) -> last arrival time *)
   mutable faults : Faults.t option;
   tx_flows : (int * int, 'm tx_flow) Hashtbl.t;
@@ -134,6 +140,8 @@ let create eng topo =
     nodes = [||];
     node_count = 0;
     failed = Array.make (Topology.dcs topo) false;
+    failed_at = Array.make (Topology.dcs topo) (-1);
+    epochs = Array.make (Topology.dcs topo) 0;
     fifo = Hashtbl.create 1024;
     faults = None;
     tx_flows = Hashtbl.create 256;
@@ -267,12 +275,21 @@ let count_drop t cause ~src_dc ~dst_dc =
     Sim.Trace.emitf t.trace ~source:"net" ~kind:"drop" "%s dc%d->dc%d"
       (drop_cause_name cause) src_dc dst_dc
 
-let register t ~dc ~cost handler =
+let register t ?(client = false) ~dc ~cost handler =
   if dc < 0 || dc >= Topology.dcs t.topo then
     invalid_arg "Network.register: no such data center";
   let addr = t.node_count in
   let node =
-    { addr; dc; cost; handler; busy_until = 0; processed = 0; busy_us = 0 }
+    {
+      addr;
+      dc;
+      client;
+      cost;
+      handler;
+      busy_until = 0;
+      processed = 0;
+      busy_us = 0;
+    }
   in
   if t.node_count = Array.length t.nodes then begin
     let nodes = Array.make (max 64 (2 * t.node_count)) node in
@@ -291,10 +308,77 @@ let node t addr =
 let dc_of t addr = (node t addr).dc
 let dc_failed t dc = t.failed.(dc)
 
+(* A node is dead iff its DC crashed AND it belongs to the DC's failure
+   domain — client nodes are external and outlive the crash. *)
+let node_failed t n = t.failed.(n.dc) && not n.client
+
+(* Incarnation used for in-flight staleness checks. Client nodes never
+   lose state, so their incarnation is constant: a message between a
+   client and a live peer must survive the colocated DC's recovery
+   (which bumps the DC epoch to invalidate pre-crash traffic). *)
+let epoch_of t n = if n.client then 0 else t.epochs.(n.dc)
+
 let fail_dc t dc =
   if dc < 0 || dc >= Topology.dcs t.topo then
     invalid_arg "Network.fail_dc: no such data center";
-  t.failed.(dc) <- true
+  if not t.failed.(dc) then begin
+    t.failed.(dc) <- true;
+    t.failed_at.(dc) <- Sim.Engine.now t.eng
+  end
+
+let dc_failed_at t dc =
+  if dc < 0 || dc >= Topology.dcs t.topo then
+    invalid_arg "Network.dc_failed_at: no such data center";
+  if t.failed.(dc) then Some t.failed_at.(dc) else None
+
+(* Revive a crashed data center. Its nodes come back with no in-flight
+   state: every FIFO channel and reliable-layer flow touching the DC is
+   discarded on both sides, so post-recovery traffic starts fresh
+   sequence spaces in both directions (resetting only the tx side would
+   leave the peer's rx [expected] suppressing the fresh seq-0 sends as
+   duplicates). Messages buffered for the DC while it was down died with
+   the crash — the protocol layer's rejoin sync recovers the content. *)
+let recover_dc t dc =
+  if dc < 0 || dc >= Topology.dcs t.topo then
+    invalid_arg "Network.recover_dc: no such data center";
+  if t.failed.(dc) then begin
+    t.failed.(dc) <- false;
+    t.failed_at.(dc) <- -1;
+    (* new incarnation: anything still in flight from before the crash
+       (stale data packets, cumulative acks) is discarded on arrival *)
+    t.epochs.(dc) <- t.epochs.(dc) + 1;
+    (* client nodes kept their state through the crash: their channels
+       to live DCs are intact and must not be reset *)
+    let in_dc addr =
+      addr >= 0 && addr < t.node_count
+      && t.nodes.(addr).dc = dc
+      && not t.nodes.(addr).client
+    in
+    let stale tbl =
+      Hashtbl.fold
+        (fun ((src, dst) as key) _ acc ->
+          if in_dc src || in_dc dst then key :: acc else acc)
+        tbl []
+    in
+    List.iter (Hashtbl.remove t.fifo) (stale t.fifo);
+    List.iter
+      (fun ((src, dst) as key) ->
+        (match Hashtbl.find_opt t.tx_flows key with
+        | Some fl ->
+            if fl.unacked <> [] then
+              meter_backlog_add t ~src_dc:t.nodes.(src).dc
+                ~dst_dc:t.nodes.(dst).dc
+                (-List.length fl.unacked);
+            (* an armed retransmission timer still references this
+               record; emptying it makes the orphaned fire a no-op
+               instead of replaying stale sequence numbers into the
+               fresh flow's sequence space *)
+            fl.unacked <- []
+        | None -> ());
+        Hashtbl.remove t.tx_flows key)
+      (stale t.tx_flows);
+    List.iter (Hashtbl.remove t.rx_flows) (stale t.rx_flows)
+  end
 
 (* Base one-way transit time of a physical transmission, jitter included. *)
 let transit_us t ~src_dc ~dst_dc =
@@ -315,7 +399,7 @@ let process t dst_node msg =
   dst_node.busy_until <- finish;
   dst_node.busy_us <- dst_node.busy_us + cost;
   Sim.Engine.schedule_at t.eng ~time:finish (fun () ->
-      if not t.failed.(dst_node.dc) then begin
+      if not (node_failed t dst_node) then begin
         dst_node.processed <- dst_node.processed + 1;
         (match t.meter with
         | None -> ()
@@ -337,8 +421,10 @@ let direct_send t ~src_node ~dst_node msg =
     | _ -> arrival
   in
   Hashtbl.replace t.fifo key arrival;
+  let ep = (epoch_of t src_node, epoch_of t dst_node) in
   Sim.Engine.schedule_at t.eng ~time:arrival (fun () ->
-      if t.failed.(dst_node.dc) then
+      if ep <> (epoch_of t src_node, epoch_of t dst_node) then ()
+      else if node_failed t dst_node then
         count_drop t Crash ~src_dc:src_node.dc ~dst_dc:dst_node.dc
       else process t dst_node msg)
 
@@ -397,8 +483,12 @@ let rec send_ack t ~src ~dst ~upto =
           let delay =
             transit_us t ~src_dc:dst_node.dc ~dst_dc:src_node.dc + extra_us
           in
+          let ep = (epoch_of t src_node, epoch_of t dst_node) in
           Sim.Engine.schedule t.eng ~delay (fun () ->
-              if not t.failed.(src_node.dc) then
+              if
+                ep = (epoch_of t src_node, epoch_of t dst_node)
+                && not (node_failed t src_node)
+              then
                 match Hashtbl.find_opt t.tx_flows (src, dst) with
                 | None -> ()
                 | Some fl ->
@@ -452,7 +542,7 @@ let rec send_ack t ~src ~dst ~upto =
    flush the out-of-order buffer, and ack cumulatively. *)
 and deliver_data t ~src ~dst seq msg =
   let src_node = node t src and dst_node = node t dst in
-  if t.failed.(dst_node.dc) then
+  if node_failed t dst_node then
     count_drop t Crash ~src_dc:src_node.dc ~dst_dc:dst_node.dc
   else begin
     let rx = rx_flow t ~src ~dst in
@@ -482,14 +572,17 @@ and deliver_data t ~src ~dst seq msg =
 (* One physical transmission attempt of (seq, msg) on channel (src, dst):
    the fault model decides loss, partition, gray delay and duplication. *)
 and transmit t f ~src ~dst seq msg =
-  let src_dc = (node t src).dc and dst_dc = (node t dst).dc in
+  let src_node = node t src and dst_node = node t dst in
+  let src_dc = src_node.dc and dst_dc = dst_node.dc in
   match Faults.judge f t.rng ~src:src_dc ~dst:dst_dc with
   | Faults.Cut -> count_drop t Partition ~src_dc ~dst_dc
   | Faults.Lost -> count_drop t Loss ~src_dc ~dst_dc
   | Faults.Deliver { extra_us; duplicate } ->
+      let ep = (epoch_of t src_node, epoch_of t dst_node) in
       let deliver_after delay =
         Sim.Engine.schedule t.eng ~delay (fun () ->
-            deliver_data t ~src ~dst seq msg)
+            if ep = (epoch_of t src_node, epoch_of t dst_node) then
+              deliver_data t ~src ~dst seq msg)
       in
       deliver_after (transit_us t ~src_dc ~dst_dc + extra_us);
       if duplicate then deliver_after (transit_us t ~src_dc ~dst_dc + extra_us)
@@ -500,12 +593,13 @@ let rec arm_timer t f ~src ~dst fl =
     Sim.Engine.schedule t.eng ~delay:fl.rto_us (fun () ->
         fl.timer_armed <- false;
         if fl.unacked <> [] then begin
-          let src_dc = (node t src).dc and dst_dc = (node t dst).dc in
-          if t.failed.(src_dc) then begin
+          let src_node = node t src and dst_node = node t dst in
+          let src_dc = src_node.dc and dst_dc = dst_node.dc in
+          if node_failed t src_node then begin
             meter_backlog_add t ~src_dc ~dst_dc (-List.length fl.unacked);
             fl.unacked <- []
           end
-          else if t.failed.(dst_dc) then begin
+          else if node_failed t dst_node then begin
             (* the peer crashed: everything buffered is lost with it *)
             List.iter
               (fun _ -> count_drop t Crash ~src_dc ~dst_dc)
@@ -541,7 +635,7 @@ let reliable_send t f ~src ~dst msg =
 
 let send t ~src ~dst msg =
   let src_node = node t src and dst_node = node t dst in
-  if t.failed.(src_node.dc) || t.failed.(dst_node.dc) then
+  if node_failed t src_node || node_failed t dst_node then
     count_drop t Crash ~src_dc:src_node.dc ~dst_dc:dst_node.dc
   else begin
     t.sent <- t.sent + 1;
@@ -567,7 +661,7 @@ let send t ~src ~dst msg =
    service cost is still charged (the CPU does the work). *)
 let send_self t ~node:addr msg =
   let n = node t addr in
-  if not t.failed.(n.dc) then process t n msg
+  if not (node_failed t n) then process t n msg
 
 let messages_sent t = t.sent
 

@@ -29,8 +29,15 @@ val engine : 'm t -> Sim.Engine.t
 (** [register t ~dc ~cost handler] adds a node in data center [dc].
     [cost msg] is the CPU microseconds charged to the node per message;
     [handler] runs after the service time has been paid, unless the DC has
-    failed by then. *)
-val register : 'm t -> dc:int -> cost:('m -> int) -> ('m -> unit) -> addr
+    failed by then.
+
+    [~client:true] marks the node as an external client session that is
+    merely {e colocated} with [dc] for latency purposes: it is not part
+    of the DC's failure domain, so it keeps sending and receiving while
+    the DC is crashed (messages between it and the dead DC's own nodes
+    still drop), and its channels survive the DC's recovery. *)
+val register :
+  'm t -> ?client:bool -> dc:int -> cost:('m -> int) -> ('m -> unit) -> addr
 
 val dc_of : 'm t -> addr -> int
 val dc_failed : 'm t -> int -> bool
@@ -38,6 +45,18 @@ val dc_failed : 'm t -> int -> bool
 (** Crash a whole data center: from now on its nodes neither send nor
     receive, and in-flight messages to it are dropped. *)
 val fail_dc : 'm t -> int -> unit
+
+(** Simulated time at which the DC crashed; [None] if it is live. *)
+val dc_failed_at : 'm t -> int -> int option
+
+(** Revive a crashed data center with empty in-flight state: every FIFO
+    channel and reliable-layer flow touching the DC is discarded on both
+    sides (fresh sequence spaces in both directions), and anything still
+    in flight from before the crash is dropped on arrival. Messages the
+    DC missed while down are {e not} replayed — recovering the content is
+    the protocol layer's job (snapshot + log catch-up). No-op if the DC
+    is live. *)
+val recover_dc : 'm t -> int -> unit
 
 (** Send a message. Per-(src,dst) delivery order is FIFO; latency is the
     topology's one-way delay plus jitter; processing at the destination is

@@ -38,6 +38,11 @@ let append t key ~op ~vec ~tag =
 let entries t key =
   match Hashtbl.find_opt t.table key with None -> [] | Some l -> !l
 
+(* Discard every version (crash-recovery wipe before a snapshot install).
+   The lifetime [appended] counter is kept: it counts work done, not
+   state held. *)
+let clear t = Hashtbl.reset t.table
+
 let version_count t key = List.length (entries t key)
 let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.table []
 let appended t = t.appended

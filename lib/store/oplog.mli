@@ -14,6 +14,10 @@ val append : t -> Keyspace.key -> op:Crdt.op -> vec:Vclock.Vc.t -> tag:Crdt.tag 
 (** Entries for a key, newest (highest tag) first. *)
 val entries : t -> Keyspace.key -> entry list
 
+(** Discard every version (crash-recovery wipe before a snapshot
+    install); the lifetime {!appended} counter is preserved. *)
+val clear : t -> unit
+
 val version_count : t -> Keyspace.key -> int
 val keys : t -> Keyspace.key list
 

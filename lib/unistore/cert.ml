@@ -631,6 +631,51 @@ let start_restoring t =
                 restoring_done t))
       to_certify
 
+(* DC rejoin: re-enter the group after a crash. The member comes back in
+   [Recovering] with its delivery frontier seeded from the snapshot it
+   received ([delivered] = the cut vector's strong entry): [install_state]
+   will then queue only transactions above the snapshot for delivery, so
+   nothing in the snapshot is applied twice. The ballot is left alone —
+   the group's current ballot is at least the pre-crash one, so the
+   leader's [New_state {b}] passes the [b >= ballot] check. Until the
+   state arrives the member neither votes nor acks, which is exactly the
+   "catch up the decided log before voting" the rejoin needs. *)
+let begin_rejoin t ~delivered =
+  t.status <- Recovering;
+  t.last_delivered <- delivered;
+  t.last_sent <- delivered;
+  t.last_activity <- t.ctx.x_now ();
+  t.pruned_below <- max t.pruned_below delivered;
+  t.undelivered <- [];
+  t.do_not_wait <- [];
+  t.recovery_acks <- [];
+  t.state_acks <- [];
+  (* the crash destroyed this member's log state; pretending otherwise
+     would let a pre-crash entry leak into a recovery ack. What the group
+     decided comes back wholesale with [New_state]. *)
+  Hashtbl.reset t.prepared;
+  Hashtbl.reset t.prepared_at;
+  Hashtbl.reset t.decided;
+  Hashtbl.reset t.decided_by_key;
+  t.decided_join <- None;
+  t.decided_max_lc <- 0
+
+(* A rejoining member asks for the group state; only the leader answers
+   (with a targeted [New_state] under its current ballot — the same
+   message leader recovery broadcasts). If trust was stale the request
+   lands on a non-leader and dies; the rejoiner's retry loop re-sends to
+   whomever it trusts next. *)
+let handle_state_request t ~from =
+  if t.status = Leader then
+    t.ctx.x_send from
+      (Msg.New_state
+         {
+           b = t.ballot;
+           prepared = prepared_list t;
+           decided = decided_list t;
+           from = t.ctx.x_self ();
+         })
+
 let handle_new_state_ack t ~b ~from_dc =
   if t.status = Recovering && t.ballot = b then begin
     if not (List.mem from_dc t.state_acks) then
@@ -755,5 +800,8 @@ let handle t msg =
       true
   | Msg.New_state_ack { b; from } ->
       handle_new_state_ack t ~b ~from_dc:(t.ctx.x_dc_of from);
+      true
+  | Msg.State_request { from } ->
+      handle_state_request t ~from;
       true
   | _ -> false

@@ -94,6 +94,15 @@ val retry_suspected : t -> dc:int -> unit
     that every live snapshot already contains. *)
 val prune_decided : t -> keep_after:int -> unit
 
+(** DC rejoin after a crash: re-enter the group in [Recovering] with the
+    delivery frontier seeded at [delivered] (the strong entry of the
+    snapshot cut the rejoiner installed). The member then requests the
+    group state ({!Msg.State_request}); the leader's [New_state] reply
+    installs the decided/prepared log — queuing for delivery only
+    transactions above the snapshot — and moves the member to
+    [Follower], after which it votes again. *)
+val begin_rejoin : t -> delivered:int -> unit
+
 (** Dispatch a group message; [false] if the message is not for the
     certification service. *)
 val handle : t -> Msg.t -> bool

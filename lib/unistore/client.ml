@@ -21,6 +21,7 @@ type t = {
   history : History.t;
   trace : Sim.Trace.t;
   trace_src : string;
+  metrics : Sim.Metrics.t;
   (* cached metrics handles (shared, interned in the system registry) *)
   h_phase_execute : Sim.Metrics.histogram;
   h_lat_causal : Sim.Metrics.histogram;
@@ -35,7 +36,11 @@ type t = {
   mutable lc : int;
   mutable req : int;
   mutable sq : int;
-  pending : (int, Msg.t Ivar.t) Hashtbl.t;
+  (* which DCs a failover may target; installed by [System.new_client] *)
+  mutable dc_live : int -> bool;
+  (* a pending entry resolves to [Some reply], or [None] when failover
+     is enabled and the request timed out (its DC presumed crashed) *)
+  pending : (int, Msg.t option Ivar.t) Hashtbl.t;
   (* current transaction *)
   mutable cur : cur option;
 }
@@ -64,6 +69,7 @@ let create ~id ~eng ~net ~cfg ~history ~trace ~metrics ~dc ~replicas_of_dc =
       history;
       trace;
       trace_src = Fmt.str "client %d" id;
+      metrics;
       h_phase_execute =
         Sim.Metrics.histogram metrics
           ~labels:[ ("phase", "execute") ]
@@ -86,6 +92,7 @@ let create ~id ~eng ~net ~cfg ~history ~trace ~metrics ~dc ~replicas_of_dc =
       lc = 0;
       req = 0;
       sq = 0;
+      dc_live = (fun _ -> true);
       pending = Hashtbl.create 8;
       cur = None;
     }
@@ -108,10 +115,13 @@ let create ~id ~eng ~net ~cfg ~history ~trace ~metrics ~dc ~replicas_of_dc =
         | None -> ()
         | Some iv ->
             Hashtbl.remove t.pending req;
-            Ivar.fill eng iv msg)
+            Ivar.fill eng iv (Some msg))
   in
+  (* ~client:true — the session lives *near* the DC, not *in* it: a DC
+     crash must not kill the client, or it could never fail over *)
   t.addr <-
-    Network.register net ~dc ~cost:(Msg.cost cfg.Config.costs) handler;
+    Network.register net ~client:true ~dc ~cost:(Msg.cost cfg.Config.costs)
+      handler;
   t
 
 let id t = t.id
@@ -120,18 +130,85 @@ let past t = t.past
 let lamport t = t.lc
 let addr t = t.addr
 
-(* Round-trip to a replica; blocks the calling fiber. *)
-let call t dst msg_of_req =
+let set_dc_live t f = t.dc_live <- f
+
+let pick_coordinator t =
+  let replicas = t.replicas_of_dc t.dc in
+  replicas.(Sim.Rng.int t.rng (Array.length replicas))
+
+(* One round trip, without failover: blocks the calling fiber until the
+   reply, or — when failover is enabled ([client_failover_us] > 0) —
+   until the timeout, returning [None] (the request or its reply died
+   with a crashed DC; a reply arriving after the timeout is dropped). *)
+let call_raw t dst msg_of_req =
   t.req <- t.req + 1;
   let req = t.req in
   let iv = Ivar.create () in
   Hashtbl.replace t.pending req iv;
   Network.send t.net ~src:t.addr ~dst (msg_of_req req);
+  let timeout = t.cfg.Config.client_failover_us in
+  if timeout > 0 then
+    Engine.schedule t.eng ~delay:timeout (fun () ->
+        if Hashtbl.mem t.pending req then begin
+          Hashtbl.remove t.pending req;
+          Ivar.fill t.eng iv None
+        end);
   Fiber.await iv
 
-let pick_coordinator t =
-  let replicas = t.replicas_of_dc t.dc in
-  replicas.(Sim.Rng.int t.rng (Array.length replicas))
+let sleep t us =
+  let iv = Ivar.create () in
+  Engine.schedule t.eng ~delay:us (fun () -> Ivar.fill t.eng iv ());
+  Fiber.await iv
+
+(* DC failover: the session DC stopped answering, so presume it crashed
+   and migrate to a live DC that carries the causal past. The new
+   coordinator blocks the R_ok until its knownVec covers [pastVec]
+   (the CL_ATTACH wait), so causality holds across the switch. Caveat:
+   if the past references transactions the crashed DC never replicated,
+   that wait never completes — the sacrifice whole-DC crashes force. *)
+let rec failover t =
+  let dcs = Config.dcs t.cfg in
+  let rec pick k =
+    if k >= dcs then None
+    else
+      let dc = (t.dc + k) mod dcs in
+      if t.dc_live dc then Some dc else pick (k + 1)
+  in
+  match pick 1 with
+  | None ->
+      (* every other DC is down or still catching up: wait and retry *)
+      sleep t t.cfg.Config.client_failover_us;
+      failover t
+  | Some dc ->
+      Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"failover"
+        "dc%d -> dc%d" t.dc dc;
+      (* interned on first failover only, keeping crash-free runs'
+         metric snapshots (and golden artifacts) unchanged *)
+      Sim.Metrics.incr
+        (Sim.Metrics.counter t.metrics "client_failovers_total");
+      t.dc <- dc;
+      let dst = pick_coordinator t in
+      (match
+         call_raw t dst (fun req ->
+             Msg.C_failover { client = t.addr; req; past = t.past })
+       with
+      | Some (Msg.R_ok _) -> t.lc <- t.lc + 1
+      | Some m ->
+          invalid_arg ("Client.failover: unexpected reply " ^ Msg.kind m)
+      | None -> failover t)
+
+(* Round-trip to a replica; blocks the calling fiber. With failover
+   enabled, a timed-out request migrates the session to a live DC and
+   aborts the surrounding transaction ([run_txn] re-executes it there);
+   in-flight strong commits are instead re-submitted under the same tid
+   (see [commit]). *)
+let call t dst msg_of_req =
+  match call_raw t dst msg_of_req with
+  | Some m -> m
+  | None ->
+      failover t;
+      t.cur <- None;
+      raise Aborted
 
 (* START (Algorithm A1 lines 1–4). *)
 let start ?(label = "txn") ?(strong = false) t =
@@ -216,6 +293,78 @@ let record t c ~vec ~lc =
       }
     ~latency_us:(commit_us - c.c_start_us)
 
+let finish_strong t c ~dec ~vec ~lc =
+  Sim.Metrics.observe t.h_lat_strong (Engine.now t.eng - c.c_start_us);
+  if Sim.Trace.enabled t.trace then
+    Sim.Trace.emit_span t.trace ~source:t.trace_src
+      ~kind:(if dec then "txn-strong" else "txn-aborted")
+      ~start:c.c_start_us
+      (Fmt.str "%a %s" Types.tid_pp c.c_tid c.c_label);
+  if dec then begin
+    Sim.Metrics.incr t.c_committed;
+    t.past <- vec;
+    t.lc <- max t.lc lc;
+    record t c ~vec ~lc;
+    `Committed vec
+  end
+  else begin
+    Sim.Metrics.incr t.c_aborted;
+    History.aborted t.history;
+    `Aborted
+  end
+
+(* Chronological per-partition buckets, re-creating the coordinator's
+   wbuff/ops shape for re-submission. *)
+let bucket ~part_of xs =
+  let tbl = Hashtbl.create 4 in
+  List.iter
+    (fun x ->
+      let p = part_of x in
+      let l = try Hashtbl.find tbl p with Not_found -> [] in
+      Hashtbl.replace tbl p (x :: l))
+    xs;
+  Hashtbl.fold (fun p l acc -> (p, List.rev l) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* The coordinator DC crashed with a strong commit in flight and the
+   decision unknown: re-submit the same [tid] at the failover DC.
+   Certification dedups by tid — an already-decided transaction answers
+   with its recorded decision, a prepared one re-enters at its recorded
+   timestamp — so the transaction takes effect at most once. *)
+let rec resubmit_strong t c =
+  let partitions = t.cfg.Config.partitions in
+  let wbuff =
+    bucket
+      ~part_of:(fun w -> Store.Keyspace.partition ~partitions w.Types.wkey)
+      (List.rev c.c_writes)
+  in
+  let ops =
+    bucket
+      ~part_of:(fun (o : Types.opdesc) ->
+        Store.Keyspace.partition ~partitions o.Types.key)
+      (List.rev c.c_ops)
+  in
+  let dst = pick_coordinator t in
+  match
+    call_raw t dst (fun req ->
+        Msg.C_resubmit_strong
+          {
+            client = t.addr;
+            client_id = t.id;
+            req;
+            tid = c.c_tid;
+            wbuff;
+            ops;
+            snap = c.c_snap;
+            lc = t.lc;
+          })
+  with
+  | Some (Msg.R_strong { dec; vec; lc; _ }) -> finish_strong t c ~dec ~vec ~lc
+  | Some m -> invalid_arg ("Client.commit: unexpected reply " ^ Msg.kind m)
+  | None ->
+      failover t;
+      resubmit_strong t c
+
 (* COMMIT_CAUSAL_TX / COMMIT_STRONG_TX (Algorithm A1 lines 13–24). *)
 let commit t =
   let c = cur t in
@@ -231,29 +380,15 @@ let commit t =
         ~start:c.c_start_us
         (Fmt.str "%a %s" Types.tid_pp c.c_tid c.c_label);
     match
-      call t c.c_coord (fun req ->
+      call_raw t c.c_coord (fun req ->
           Msg.C_commit_strong { client = t.addr; req; tid = c.c_tid; lc = t.lc })
     with
-    | Msg.R_strong { dec; vec; lc; _ } ->
-        Sim.Metrics.observe t.h_lat_strong (Engine.now t.eng - c.c_start_us);
-        if Sim.Trace.enabled t.trace then
-          Sim.Trace.emit_span t.trace ~source:t.trace_src
-            ~kind:(if dec then "txn-strong" else "txn-aborted")
-            ~start:c.c_start_us
-            (Fmt.str "%a %s" Types.tid_pp c.c_tid c.c_label);
-        if dec then begin
-          Sim.Metrics.incr t.c_committed;
-          t.past <- vec;
-          t.lc <- max t.lc lc;
-          record t c ~vec ~lc;
-          `Committed vec
-        end
-        else begin
-          Sim.Metrics.incr t.c_aborted;
-          History.aborted t.history;
-          `Aborted
-        end
-    | m -> invalid_arg ("Client.commit: unexpected reply " ^ Msg.kind m)
+    | Some (Msg.R_strong { dec; vec; lc; _ }) ->
+        finish_strong t c ~dec ~vec ~lc
+    | Some m -> invalid_arg ("Client.commit: unexpected reply " ^ Msg.kind m)
+    | None ->
+        failover t;
+        resubmit_strong t c
   end
   else begin
     t.lc <- t.lc + 1;
@@ -310,14 +445,23 @@ let migrate t ~dc =
   attach t ~dc
 
 (* Run a whole transaction, retrying strong aborts like the paper's
-   clients do (§6.2: "otherwise, it re-executes the transaction"). *)
+   clients do (§6.2: "otherwise, it re-executes the transaction"). A
+   mid-transaction failover (the session DC crashed) also re-executes,
+   at the DC the session migrated to. *)
 let run_txn ?label ?(strong = false) ?(max_retries = max_int) t body =
   let rec go attempts =
-    start ?label ~strong t;
-    let v = body t in
-    match commit t with
-    | `Committed _ -> v
-    | `Aborted ->
+    let outcome =
+      try
+        start ?label ~strong t;
+        let v = body t in
+        match commit t with `Committed _ -> Some v | `Aborted -> None
+      with Aborted when t.cfg.Config.client_failover_us > 0 ->
+        t.cur <- None;
+        None
+    in
+    match outcome with
+    | Some v -> v
+    | None ->
         if attempts >= max_retries then raise Aborted else go (attempts + 1)
   in
   go 0

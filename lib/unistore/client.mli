@@ -10,7 +10,13 @@
 type t
 
 (** Raised by {!commit_exn} and {!run_txn} when a strong transaction
-    aborts during certification. *)
+    aborts during certification. Also raised by any session call after
+    a DC failover ([Config.client_failover_us] > 0, the session DC
+    stopped answering): the session has already migrated to a live DC
+    carrying its causal past, and the interrupted transaction must be
+    re-executed there ({!run_txn} does so automatically). In-flight
+    strong commits are not aborted but re-submitted under the same
+    transaction id, which certification dedups — exactly-once. *)
 exception Aborted
 
 (** Used by [System]; not part of the public workflow. *)
@@ -27,6 +33,11 @@ val create :
   t
 
 val id : t -> int
+
+(** Install the deployment's view of which DCs a failover may target
+    (live and done resyncing). Set by {!System.new_client}; only
+    consulted when [Config.client_failover_us] > 0. *)
+val set_dc_live : t -> (int -> bool) -> unit
 
 (** Data center the session is currently attached to. *)
 val dc : t -> int

@@ -127,6 +127,10 @@ type t = {
   fd_period_us : int;  (* Ω heartbeat broadcast / check period *)
   link_faults : Net.Faults.spec option;  (* lossy inter-DC links (nemesis) *)
   metrics_probe_us : int;  (* period of the uniformity-lag / queue probes *)
+  gc_grace_us : int;  (* how long a crashed DC holds GC floors (rejoin) *)
+  sync_chunk : int;  (* max log entries per rejoin sync message *)
+  client_failover_us : int;  (* client request timeout before DC failover;
+                                0 disables failover (calls block forever) *)
   costs : costs;
   seed : int;
   use_hlc : bool;  (* hybrid logical clocks instead of physical waits (§9) *)
@@ -140,7 +144,8 @@ let default ?(topo = Net.Topology.three_dcs ()) ?(partitions = 8) ?(f = 1)
     ?(propagate_period_us = 5_000) ?(broadcast_period_us = 5_000)
     ?(strong_heartbeat_us = 10_000) ?(clock_skew_us = 1_000)
     ?(detection_delay_us = 500_000) ?(fd_period_us = 100_000)
-    ?link_faults ?(metrics_probe_us = 10_000) ?(costs = default_costs)
+    ?link_faults ?(metrics_probe_us = 10_000) ?(gc_grace_us = 10_000_000)
+    ?(sync_chunk = 256) ?(client_failover_us = 0) ?(costs = default_costs)
     ?(seed = 42)
     ?(use_hlc = false) ?(trace_enabled = false) ?(record_history = false)
     ?(measure_visibility = false) () =
@@ -161,6 +166,10 @@ let default ?(topo = Net.Topology.three_dcs ()) ?(partitions = 8) ?(f = 1)
   if leader_dc < 0 || leader_dc >= dcs then
     invalid_arg "Config.default: bad leader";
   if partitions <= 0 then invalid_arg "Config.default: bad partitions";
+  if gc_grace_us < 0 then invalid_arg "Config.default: bad gc_grace_us";
+  if sync_chunk <= 0 then invalid_arg "Config.default: bad sync_chunk";
+  if client_failover_us < 0 then
+    invalid_arg "Config.default: bad client_failover_us";
   {
     topo;
     partitions;
@@ -176,6 +185,9 @@ let default ?(topo = Net.Topology.three_dcs ()) ?(partitions = 8) ?(f = 1)
     fd_period_us;
     link_faults;
     metrics_probe_us;
+    gc_grace_us;
+    sync_chunk;
+    client_failover_us;
     costs;
     seed;
     use_hlc;

@@ -79,6 +79,17 @@ type t = {
   metrics_probe_us : int;
       (** period of the periodic metrics probes (uniformity lag,
           pending-certification queue depth); [0] disables them *)
+  gc_grace_us : int;
+      (** how long a crashed DC keeps holding the causal-log and
+          decided-log GC floors, so it can rejoin by log catch-up; after
+          expiry the floors advance and a rejoiner needs a full snapshot *)
+  sync_chunk : int;
+      (** maximum log entries per rejoin sync message (bounds message
+          size during snapshot transfer and log replay) *)
+  client_failover_us : int;
+      (** client-side request timeout before the session fails over to
+          another live DC; [0] disables failover (calls block forever on
+          a crashed DC, the pre-recovery behaviour) *)
   costs : costs;
   seed : int;
   use_hlc : bool;
@@ -111,6 +122,9 @@ val default :
   ?fd_period_us:int ->
   ?link_faults:Net.Faults.spec ->
   ?metrics_probe_us:int ->
+  ?gc_grace_us:int ->
+  ?sync_chunk:int ->
+  ?client_failover_us:int ->
   ?costs:costs ->
   ?seed:int ->
   ?use_hlc:bool ->

@@ -30,6 +30,7 @@ type t = {
   net : Msg.t Network.t;
   addrs : Msg.addr array;  (* detector node of each DC *)
   views : view array;  (* indexed by observer DC *)
+  gens : int array;  (* per-DC loop generation (crash/recover cycles) *)
   trace : Sim.Trace.t;
   on_suspect : observer:int -> dc:int -> unit;
   on_restore : observer:int -> dc:int -> unit;
@@ -96,6 +97,58 @@ let handle t ~observer msg =
   | Msg.Fd_ping { from_dc } -> heard_from t ~observer ~dc:from_dc
   | _ -> ()  (* detector nodes receive only pings *)
 
+(* Arm one DC's detector loops: the ping broadcast and the silence check.
+   Both die when the DC crashes; [revive] re-arms them under a fresh
+   generation (the generation check retires a pre-crash loop that never
+   got to observe the crash because recovery was quicker than its
+   period). *)
+let arm t dc =
+  let period = t.cfg.Config.fd_period_us in
+  let timeout = t.cfg.Config.detection_delay_us in
+  let dcs = Config.dcs t.cfg in
+  t.gens.(dc) <- t.gens.(dc) + 1;
+  let gen = t.gens.(dc) in
+  let live () = t.gens.(dc) = gen && not (Network.dc_failed t.net dc) in
+  (* stagger DCs so pings do not cross the WAN in lock-step *)
+  let phase = 1 + (dc * period / dcs) in
+  Engine.every t.eng ~period ~phase (fun () ->
+      if not (live ()) then false
+      else begin
+        for peer = 0 to dcs - 1 do
+          if peer <> dc then
+            Network.send t.net ~src:t.addrs.(dc) ~dst:t.addrs.(peer)
+              (Msg.Fd_ping { from_dc = dc })
+        done;
+        true
+      end);
+  Engine.every t.eng ~period ~phase:(phase + (period / 2)) (fun () ->
+      if not (live ()) then false
+      else begin
+        let v = t.views.(dc) in
+        let now = Engine.now t.eng in
+        for peer = 0 to dcs - 1 do
+          if
+            peer <> dc
+            && (not v.suspected.(peer))
+            && now - v.last_heard.(peer) > timeout
+          then mark_suspected t ~observer:dc ~dc:peer
+        done;
+        true
+      end)
+
+(* The DC recovered from a crash: its detector node restarts with an
+   all-clear view (crashes lose memory; real failures elsewhere are
+   re-detected within the detection delay) and resumed ping loops. Peers
+   need no call — their Ω rehabilitates the DC when its pings resume. *)
+let revive t ~dc =
+  let v = t.views.(dc) in
+  let now = Engine.now t.eng in
+  for peer = 0 to Config.dcs t.cfg - 1 do
+    v.last_heard.(peer) <- now;
+    v.suspected.(peer) <- false
+  done;
+  arm t dc
+
 let create cfg eng net ~trace ~metrics ~on_suspect ~on_restore =
   let dcs = Config.dcs cfg in
   let t =
@@ -110,6 +163,7 @@ let create cfg eng net ~trace ~metrics ~on_suspect ~on_restore =
               last_heard = Array.make dcs 0;
               suspected = Array.make dcs false;
             });
+      gens = Array.make dcs 0;
       trace;
       on_suspect;
       on_restore;
@@ -128,34 +182,7 @@ let create cfg eng net ~trace ~metrics ~on_suspect ~on_restore =
         ~cost:(Msg.cost cfg.Config.costs)
         (fun msg -> handle t ~observer:dc msg)
   done;
-  let period = cfg.Config.fd_period_us in
-  let timeout = cfg.Config.detection_delay_us in
   for dc = 0 to dcs - 1 do
-    (* stagger DCs so pings do not cross the WAN in lock-step *)
-    let phase = 1 + (dc * period / dcs) in
-    Engine.every eng ~period ~phase (fun () ->
-        if Network.dc_failed t.net dc then false
-        else begin
-          for peer = 0 to dcs - 1 do
-            if peer <> dc then
-              Network.send net ~src:t.addrs.(dc) ~dst:t.addrs.(peer)
-                (Msg.Fd_ping { from_dc = dc })
-          done;
-          true
-        end);
-    Engine.every eng ~period ~phase:(phase + (period / 2)) (fun () ->
-        if Network.dc_failed t.net dc then false
-        else begin
-          let v = t.views.(dc) in
-          let now = Engine.now eng in
-          for peer = 0 to dcs - 1 do
-            if
-              peer <> dc
-              && (not v.suspected.(peer))
-              && now - v.last_heard.(peer) > timeout
-            then mark_suspected t ~observer:dc ~dc:peer
-          done;
-          true
-        end)
+    arm t dc
   done;
   t

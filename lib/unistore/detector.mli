@@ -20,6 +20,11 @@ val create :
   on_restore:(observer:int -> dc:int -> unit) ->
   t
 
+(** [dc] recovered from a crash: restart its detector node with an
+    all-clear view and re-armed ping/check loops. Peers rehabilitate it
+    on their own once its pings resume. *)
+val revive : t -> dc:int -> unit
+
 (** Does [observer]'s Ω currently suspect [dc]? *)
 val suspected : t -> observer:int -> dc:int -> bool
 

@@ -56,6 +56,21 @@ type t =
   | C_commit_strong of { client : addr; req : int; tid : Types.tid; lc : int }
   | C_uniform_barrier of { client : addr; req : int; past : Vc.t }
   | C_attach of { client : addr; req : int; past : Vc.t }
+  (* DC failover (§5.6 / crash recovery): attach carrying the session's
+     causal past after the previous DC was suspected... *)
+  | C_failover of { client : addr; req : int; past : Vc.t }
+  (* ...and idempotent re-submission of an in-flight strong transaction
+     at the new DC: same tid, so certification deduplicates. *)
+  | C_resubmit_strong of {
+      client : addr;
+      client_id : int;
+      req : int;
+      tid : Types.tid;
+      wbuff : Types.wbuff;
+      ops : Types.opsmap;
+      snap : Vc.t;
+      lc : int;
+    }
   (* ---- coordinator -> client -------------------------------------- *)
   | R_started of { req : int; tid : Types.tid; snap : Vc.t }
   | R_value of { req : int; value : Crdt.value; lc : int option }
@@ -139,14 +154,45 @@ type t =
       from : addr;
     }
   | New_state_ack of { b : int; from : addr }
+  (* ---- DC rejoin: snapshot + causal-log catch-up -------------------- *)
+  (* A recovering replica asks a live sibling of its partition for a
+     snapshot of the materialized store. [sq] tags the attempt so chunks
+     from an abandoned peer are discarded after a rotation. *)
+  | Sync_request of { from : addr; part : int; sq : int }
+  (* Snapshot chunk: raw oplog entries (bounded count per message). The
+     final chunk carries [last = true] and the cut vector — the peer's
+     knownVec at snapshot time; entries above it (the peer's own not yet
+     propagated commits) are excluded and reach the rejoiner through
+     ordinary replication. *)
+  | Sync_store of {
+      sq : int;
+      entries : (Store.Keyspace.key * Crdt.op * Vc.t * Crdt.tag) list;
+      last : bool;
+      cut : Vc.t;
+    }
+  (* Log catch-up round: ask a sibling for committed causal transactions
+     above [vec]; it answers with [Sync_log] batches followed by a
+     [Sync_tail] carrying its knownVec (FIFO channels order them).
+     [Sync_log] is deliberately distinct from [Replicate]: the rejoiner
+     defers the direct replication stream until it has caught up, and
+     must not defer the pull responses that let it catch up. A tail with
+     [syncing = true] comes from a peer that is itself rejoining and
+     cannot serve the round. *)
+  | Sync_pull of { from : addr; vec : Vc.t; sq : int }
+  | Sync_log of { origin : int; txs : Types.tx_rec list; sq : int }
+  | Sync_tail of { from_dc : int; known : Vc.t; syncing : bool; sq : int }
+  (* A Restoring certification member asks the group leader to re-send
+     the decided/prepared state ([New_state]). *)
+  | State_request of { from : addr }
   (* ---- Ω failure detector ------------------------------------------- *)
   | Fd_ping of { from_dc : int }
 
 (* Service cost of a message (CPU microseconds at the processing node). *)
 let cost (c : Config.costs) = function
   | C_start _ | C_read _ | C_update _ | C_commit_causal _ | C_commit_strong _
-  | C_uniform_barrier _ | C_attach _ ->
+  | C_uniform_barrier _ | C_attach _ | C_failover _ ->
       c.c_base
+  | C_resubmit_strong _ -> c.c_prepare
   | R_started _ | R_value _ | R_committed _ | R_strong _ | R_ok _ ->
       c.c_client
   | Get_version _ -> c.c_get_version
@@ -172,6 +218,10 @@ let cost (c : Config.costs) = function
   | Nack _ | New_leader _ | New_leader_ack _ | New_state _ | New_state_ack _
     ->
       c.c_base
+  | Sync_request _ | Sync_pull _ | Sync_tail _ | State_request _ -> c.c_base
+  | Sync_store { entries; _ } ->
+      c.c_base + (c.c_replicate_tx * List.length entries)
+  | Sync_log { txs; _ } -> c.c_base + (c.c_replicate_tx * List.length txs)
   | Fd_ping _ -> c.c_vec
 
 (* Cost profile of the REDBLUE centralized service nodes: certification
@@ -212,8 +262,11 @@ let size_bytes = function
   | C_read _ -> header_bytes + 32
   | C_update _ -> header_bytes + 40
   | C_commit_causal _ | C_commit_strong _ -> header_bytes + 24
-  | C_uniform_barrier { past; _ } | C_attach { past; _ } ->
+  | C_uniform_barrier { past; _ } | C_attach { past; _ }
+  | C_failover { past; _ } ->
       header_bytes + 16 + vc_bytes past
+  | C_resubmit_strong { wbuff; ops; snap; _ } ->
+      header_bytes + 40 + wbuff_bytes wbuff + opsmap_bytes ops + vc_bytes snap
   | R_started { snap; _ } -> header_bytes + 24 + vc_bytes snap
   | R_value _ -> header_bytes + 24
   | R_committed { vec; _ } -> header_bytes + 8 + vc_bytes vec
@@ -254,6 +307,17 @@ let size_bytes = function
            (header_bytes + 24) decided)
         prepared
   | New_state_ack _ -> header_bytes + 16
+  | Sync_request _ -> header_bytes + 16
+  | Sync_store { entries; cut; _ } ->
+      List.fold_left
+        (fun acc (_, _, vec, _) -> acc + 24 + vc_bytes vec)
+        (header_bytes + 8 + vc_bytes cut)
+        entries
+  | Sync_pull { vec; _ } -> header_bytes + 8 + vc_bytes vec
+  | Sync_log { txs; _ } ->
+      List.fold_left (fun acc tx -> acc + tx_bytes tx) (header_bytes + 16) txs
+  | Sync_tail { known; _ } -> header_bytes + 16 + vc_bytes known
+  | State_request _ -> header_bytes + 8
   | Fd_ping _ -> header_bytes + 8
 
 let kind = function
@@ -264,6 +328,8 @@ let kind = function
   | C_commit_strong _ -> "c_commit_strong"
   | C_uniform_barrier _ -> "c_uniform_barrier"
   | C_attach _ -> "c_attach"
+  | C_failover _ -> "c_failover"
+  | C_resubmit_strong _ -> "c_resubmit_strong"
   | R_started _ -> "r_started"
   | R_value _ -> "r_value"
   | R_committed _ -> "r_committed"
@@ -295,4 +361,10 @@ let kind = function
   | New_leader_ack _ -> "new_leader_ack"
   | New_state _ -> "new_state"
   | New_state_ack _ -> "new_state_ack"
+  | Sync_request _ -> "sync_request"
+  | Sync_store _ -> "sync_store"
+  | Sync_pull _ -> "sync_pull"
+  | Sync_log _ -> "sync_log"
+  | Sync_tail _ -> "sync_tail"
+  | State_request _ -> "state_request"
   | Fd_ping _ -> "fd_ping"

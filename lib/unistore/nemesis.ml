@@ -17,7 +17,8 @@ module Engine = Sim.Engine
 module Rng = Sim.Rng
 
 type event =
-  | Crash_dc of int  (* permanent whole-DC failure *)
+  | Crash_dc of int  (* whole-DC failure (permanent unless recovered) *)
+  | Recover_dc of int  (* restart a crashed DC through the rejoin protocol *)
   | Partition of int * int  (* cut the bidirectional link between DCs *)
   | Heal of int * int
   | Heal_all  (* heal every partition and restore every degraded link *)
@@ -31,6 +32,7 @@ type schedule = step list
 
 let pp_event ppf = function
   | Crash_dc dc -> Fmt.pf ppf "crash dc%d" dc
+  | Recover_dc dc -> Fmt.pf ppf "recover dc%d" dc
   | Partition (a, b) -> Fmt.pf ppf "partition dc%d <-> dc%d" a b
   | Heal (a, b) -> Fmt.pf ppf "heal dc%d <-> dc%d" a b
   | Heal_all -> Fmt.pf ppf "heal all"
@@ -53,6 +55,7 @@ let inject_event sys ev =
   Sim.Trace.emitf trace ~source:"nemesis" ~kind:"inject" "%a" pp_event ev;
   match ev with
   | Crash_dc dc -> System.fail_dc sys dc
+  | Recover_dc dc -> System.recover_dc sys dc
   | Partition (a, b) -> Net.Faults.partition faults a b
   | Heal (a, b) -> Net.Faults.heal faults a b
   | Heal_all ->
@@ -98,7 +101,7 @@ let inject sys (sched : schedule) =
    links, and finish with [Heal_all] before [horizon_us] so liveness
    assertions apply. The same seed always yields the same schedule. *)
 let random_schedule ~seed ~dcs ~horizon_us ?(max_crashes = 1)
-    ?(max_partitions = 2) ?(max_degrades = 2) () =
+    ?(max_partitions = 2) ?(max_degrades = 2) ?(max_recoveries = 0) () =
   if dcs < 2 then invalid_arg "Nemesis.random_schedule: need at least 2 DCs";
   if horizon_us <= 0 then invalid_arg "Nemesis.random_schedule: bad horizon";
   let rng = Rng.create (seed lxor 0x4e454d) in
@@ -133,13 +136,34 @@ let random_schedule ~seed ~dcs ~horizon_us ?(max_crashes = 1)
   let n_crash = min max_crashes (dcs - 1) in
   let n_crash = if n_crash <= 0 then 0 else Rng.int rng (n_crash + 1) in
   let crashed = Array.make dcs false in
+  let crash_times = ref [] in
   for _ = 1 to n_crash do
     let dc = Rng.int rng dcs in
     if not crashed.(dc) then begin
       crashed.(dc) <- true;
-      push (t ()) (Crash_dc dc)
+      let at = t () in
+      crash_times := (dc, at) :: !crash_times;
+      push at (Crash_dc dc)
     end
   done;
+  (* crash/recover cycles: the first [max_recoveries] crashed DCs come
+     back through the rejoin protocol, a bounded interval after the
+     crash and no later than the final heal, leaving the last quarter
+     of the run for catch-up and convergence. The default of 0 draws
+     nothing from the Rng, preserving the schedules of existing seeds. *)
+  if max_recoveries > 0 then begin
+    let budget = ref max_recoveries in
+    List.iter
+      (fun (dc, at) ->
+        if !budget > 0 then begin
+          decr budget;
+          let delay =
+            (horizon_us / 16) + Rng.int rng (max 1 (horizon_us / 16))
+          in
+          push (at + delay) (Recover_dc dc)
+        end)
+      (List.rev !crash_times)
+  end;
   (* final heal, comfortably before the horizon *)
   push (3 * horizon_us / 4) Heal_all;
   List.sort (fun s1 s2 -> compare s1.at_us s2.at_us) !steps

@@ -8,7 +8,10 @@
     converge) apply. *)
 
 type event =
-  | Crash_dc of int  (** permanent whole-DC failure *)
+  | Crash_dc of int  (** whole-DC failure (permanent unless recovered) *)
+  | Recover_dc of int
+      (** restart a crashed DC: {!System.recover_dc} drives its
+          replicas through snapshot + log catch-up rejoin *)
   | Partition of int * int  (** cut the bidirectional link between DCs *)
   | Heal of int * int
   | Heal_all  (** heal every partition, restore every degraded link *)
@@ -33,7 +36,11 @@ val inject : System.t -> schedule -> unit
 (** Deterministic seeded schedule: at most [max_crashes] DC crashes
     (default 1), up to [max_partitions] transient partitions (default 2)
     and [max_degrades] gray links (default 2), all within the middle of
-    the run, closed by [Heal_all] at 3/4 of [horizon_us]. *)
+    the run, closed by [Heal_all] at 3/4 of [horizon_us]. With
+    [max_recoveries] > 0 (default 0), that many crashed DCs recover a
+    bounded interval after their crash — crash/recover cycles for
+    rejoin testing. The default draws nothing from the Rng, so existing
+    seeds keep their schedules. *)
 val random_schedule :
   seed:int ->
   dcs:int ->
@@ -41,5 +48,6 @@ val random_schedule :
   ?max_crashes:int ->
   ?max_partitions:int ->
   ?max_degrades:int ->
+  ?max_recoveries:int ->
   unit ->
   schedule

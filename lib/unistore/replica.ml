@@ -74,6 +74,32 @@ type pending_cert = {
 
 type waiter = { w_pred : unit -> bool; w_action : unit -> unit }
 
+(* DC rejoin state machine. A replica of a freshly recovered data center
+   rebuilds from a live sibling of its partition: first a snapshot of the
+   materialized store below the peer's knownVec (the cut), then rounds of
+   causal-log catch-up pulls, until its own knownVec covers every live
+   sibling's and its certification member has re-entered the group. Only
+   then does it resume its periodic tasks and serve clients. *)
+type sync_phase = Sync_snapshot | Sync_pull
+
+type sync_state = {
+  mutable s_phase : sync_phase;
+  mutable s_sq : int;  (* attempt / round tag echoed by sync replies *)
+  mutable s_peer : int;  (* DC currently serving the snapshot *)
+  mutable s_progress : bool;  (* snapshot chunk seen since last tick *)
+  mutable s_tails : (int * Vclock.Vc.t) list;  (* round: dc -> its knownVec *)
+  mutable s_polled : int list;  (* DCs polled in the current round *)
+  mutable s_weak : int list;  (* polled DCs that answered "also syncing" *)
+  (* The direct replication stream ([Replicate]/[Heartbeat]) deferred
+     while syncing, newest first. It cannot simply be dropped: each
+     transaction is propagated exactly once and the receiving frontier
+     advances by jumps, so a lost batch would be a permanent gap. It is
+     replayed in arrival (FIFO) order once the catch-up completes. *)
+  mutable s_deferred : Msg.t list;
+  s_started : int;
+  s_done : unit -> unit;  (* System's completion callback *)
+}
+
 (* Addresses the replica needs but cannot know at construction time;
    provided by [System] before the simulation starts. *)
 type env = {
@@ -114,6 +140,13 @@ type t = {
   (* --- causal transactions ------------------------------------------ *)
   mutable prepared_causal : prepared_causal list;
   committed_causal : Types.tx_rec list ref array;  (* per origin DC, newest first *)
+  (* Own transactions already shipped by [propagate_local_txs], newest
+     first, retained under the same GC floors as the remote queues. A
+     DC is the only holder of its own history above its peers' view of
+     it, so rejoiners pull this log; without it a recovered DC could
+     never cover a live origin's frontier (the pending queue drops
+     transactions as soon as they are propagated). *)
+  propagated_log : Types.tx_rec list ref;
   mutable last_prep_ts : int;
   (* --- coordination -------------------------------------------------- *)
   txns : (Types.tid, coord_tx) Hashtbl.t;
@@ -134,6 +167,8 @@ type t = {
   mutable hb_ctr : int;
   (* --- failure handling ---------------------------------------------- *)
   mutable suspected : int list;  (* DCs believed to have failed *)
+  mutable sync : sync_state option;  (* Some while rejoining after a crash *)
+  mutable timer_gen : int;  (* invalidates periodic tasks across a rejoin *)
   (* Replication-frontier dedup: transactions of different partitions can
      share a local timestamp (commit vectors take maxima over
      per-partition prepare times), so the frontier timestamp alone cannot
@@ -204,6 +239,7 @@ let create cfg eng net ~dc ~part ~uid ~skew ~history ~trace ~metrics =
     global_matrix = Array.init d (fun _ -> Vc.create ~dcs:d);
     prepared_causal = [];
     committed_causal = Array.init d (fun _ -> ref []);
+    propagated_log = ref [];
     last_prep_ts = 0;
     txns = Hashtbl.create 64;
     wait_known_local = Sim.Heap.create (fun () -> ());
@@ -218,6 +254,8 @@ let create cfg eng net ~dc ~part ~uid ~skew ~history ~trace ~metrics =
     rid_ctr = 0;
     hb_ctr = 0;
     suspected = [];
+    sync = None;
+    timer_gen = 0;
     frontier_tids = Array.make d [];
     frontier_ts = Array.make d (-1);
     pending_vis = Array.init d (fun _ -> ref []);
@@ -605,6 +643,10 @@ let propagate_local_txs t =
         send t (sibling t i)
           (Msg.Heartbeat { origin = t.dc; ts = Vc.get t.known_vec t.dc })
   done;
+  (* retain what was just shipped: rejoiners catch up on our history
+     from this log (nobody else may hold our full frontier) *)
+  if ready <> [] then
+    t.propagated_log := List.rev_append ready !(t.propagated_log);
   flush_known_local t
 
 let handle_replicate t ~origin ~txs =
@@ -640,8 +682,19 @@ let handle_replicate t ~origin ~txs =
             Store.Oplog.append t.oplog w.Types.wkey ~op:w.Types.wop
               ~vec:tx.Types.tx_vec ~tag)
           tx.Types.tx_writes;
-        let q = t.committed_causal.(origin) in
-        q := tx :: !q;
+        (* own-origin transactions only arrive here through a rejoin
+           pull: they are our pre-crash history, already propagated by
+           our previous incarnation — retain them without re-propagating,
+           and keep new prepare timestamps above them (Property 1) *)
+        if origin = t.dc then begin
+          t.propagated_log := tx :: !(t.propagated_log);
+          t.last_prep_ts <- max t.last_prep_ts ts;
+          observe_clock t ts
+        end
+        else begin
+          let q = t.committed_causal.(origin) in
+          q := tx :: !q
+        end;
         Vc.set t.known_vec origin ts;
         if t.cfg.Config.measure_visibility && t.part = 0 && origin <> t.dc
         then begin
@@ -682,21 +735,31 @@ let run_forwarding t =
         done)
     t.suspected
 
-(* Drop forwarded buffers once every live DC stores them (§5.5). *)
+(* Does DC [i] still hold the garbage-collection floors? Live DCs always
+   do. A crashed DC keeps holding them — frozen at its last gossiped
+   coverage — for [gc_grace_us], so that it can rejoin and catch up from
+   the retained logs; past the grace period the floors advance and a late
+   rejoiner relies on the full snapshot transfer instead. *)
+let holds_floor t i =
+  match Network.dc_failed_at t.net i with
+  | None -> true
+  | Some at -> now t - at < t.cfg.Config.gc_grace_us
+
+(* Drop forwarded buffers — and our own propagated log — once every live
+   DC and every crashed DC still within its rejoin grace period stores
+   them (§5.5). *)
 let prune_committed t =
   for j = 0 to dcs t - 1 do
-    if j <> t.dc then begin
-      let covered ts =
-        let ok = ref true in
-        for i = 0 to dcs t - 1 do
-          if i <> j && i <> t.dc && not (Network.dc_failed t.net i) then
-            if Vc.get t.global_matrix.(i) j < ts then ok := false
-        done;
-        !ok
-      in
-      let q = t.committed_causal.(j) in
-      q := List.filter (fun tx -> not (covered (Vc.get tx.Types.tx_vec j))) !q
-    end
+    let covered ts =
+      let ok = ref true in
+      for i = 0 to dcs t - 1 do
+        if i <> j && i <> t.dc && holds_floor t i then
+          if Vc.get t.global_matrix.(i) j < ts then ok := false
+      done;
+      !ok
+    in
+    let q = if j = t.dc then t.propagated_log else t.committed_causal.(j) in
+    q := List.filter (fun tx -> not (covered (Vc.get tx.Types.tx_vec j))) !q
   done
 
 (* ------------------------------------------------------------------ *)
@@ -1084,13 +1147,19 @@ let suspect t failed_dc =
     t.suspected <- failed_dc :: t.suspected;
     Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"suspect"
       "dc%d suspected; forwarding its transactions" failed_dc;
-    retarget_trust t;
-    (* eagerly finish 2PCs the suspected DC was coordinating: an
-       orphaned accepted-but-undecided transaction blocks delivery of
-       every later strong timestamp in its group *)
-    match t.cert with
-    | Some c when Cert.is_leader c -> Cert.retry_suspected c ~dc:failed_dc
-    | _ -> ()
+    (* while rebuilding after a crash only record the suspicion: trust is
+       retargeted once the catch-up completes, so a half-synced member
+       can never start leader recovery on stale state *)
+    match t.sync with
+    | Some _ -> ()
+    | None -> (
+        retarget_trust t;
+        (* eagerly finish 2PCs the suspected DC was coordinating: an
+           orphaned accepted-but-undecided transaction blocks delivery of
+           every later strong timestamp in its group *)
+        match t.cert with
+        | Some c when Cert.is_leader c -> Cert.retry_suspected c ~dc:failed_dc
+        | _ -> ())
   end
 
 (* Rehabilitation: Ω stopped suspecting [dc] (heartbeats resumed after a
@@ -1101,7 +1170,7 @@ let unsuspect t dc =
     t.suspected <- List.filter (fun d -> d <> dc) t.suspected;
     Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"unsuspect"
       "dc%d rehabilitated" dc;
-    retarget_trust t
+    match t.sync with Some _ -> () | None -> retarget_trust t
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1136,11 +1205,17 @@ let make_cert t =
 let cert t = t.cert
 
 (* Start the periodic tasks (Algorithm A4 line 1, Algorithm A5 line 1,
-   heartbeats for strong transactions). [phase] staggers replicas. *)
+   heartbeats for strong transactions). [phase] staggers replicas.
+   The generation check retires a previous incarnation's tasks across a
+   crash/rejoin cycle: a task from before the crash must not resume just
+   because the DC is alive again (the rejoin arms fresh ones). *)
 let start_timers t ~phase =
   let cfg = t.cfg in
+  t.timer_gen <- t.timer_gen + 1;
+  let gen = t.timer_gen in
+  let live () = t.timer_gen = gen && alive t in
   Engine.every t.eng ~period:cfg.Config.propagate_period_us ~phase (fun () ->
-      if alive t then begin
+      if live () then begin
         propagate_local_txs t;
         run_forwarding t;
         true
@@ -1148,7 +1223,7 @@ let start_timers t ~phase =
       else false);
   Engine.every t.eng ~period:cfg.Config.broadcast_period_us
     ~phase:(phase + 1) (fun () ->
-      if alive t then begin
+      if live () then begin
         broadcast_vecs t;
         true
       end
@@ -1156,7 +1231,7 @@ let start_timers t ~phase =
   if Config.has_strong cfg && not (Config.centralized_cert cfg) then begin
     Engine.every t.eng ~period:cfg.Config.strong_heartbeat_us
       ~phase:(phase + 2) (fun () ->
-        if alive t then begin
+        if live () then begin
           (match t.cert with
           | Some c ->
               if
@@ -1170,20 +1245,24 @@ let start_timers t ~phase =
     (* housekeeping runs far less often than heartbeats: it walks the
        whole decided table *)
     Engine.every t.eng ~period:500_000 ~phase:(phase + 3) (fun () ->
-        if alive t then begin
+        if live () then begin
           (match t.cert with
           | Some c ->
               Cert.retry_stale c ~older_than_us:(4 * cert_retry_us);
-              (* Prune only below every live sibling's delivered strong
+              (* Prune only below every sibling's delivered strong
                  frontier (the strong slot of its gossiped knownVec): a
                  member cut off by a partition — even one falsely
                  suspected — must still find the decisions it missed in
                  the group's decided logs when it rejoins, and NEW_STATE
-                 cannot resurrect a pruned entry. Crashed DCs never
-                 rejoin, so they do not hold the floor. *)
+                 cannot resurrect a pruned entry. A crashed DC holds the
+                 floor too while its rejoin grace period lasts — frozen
+                 at its pre-crash frontier until it recovers, then pinned
+                 at zero by [reset_peer_view] until its member has caught
+                 up — and releases it only once the grace period expires
+                 without a rejoin. *)
               let floor = ref (Cert.last_delivered c) in
               for i = 0 to dcs t - 1 do
-                if i <> t.dc && not (Network.dc_failed t.net i) then
+                if i <> t.dc && holds_floor t i then
                   floor := min !floor (Vc.strong t.global_matrix.(i))
               done;
               Cert.prune_decided c ~keep_after:(!floor - 1_500_000)
@@ -1193,7 +1272,395 @@ let start_timers t ~phase =
         else false)
   end
 
-let handle t msg =
+(* ------------------------------------------------------------------ *)
+(* Client DC failover (crash recovery satellite of §5.6).               *)
+
+(* A client whose session DC crashed migrates here carrying its causal
+   past; like ATTACH, the reply is held until this DC's uniformVec covers
+   the past's remote entries, so the first snapshot started afterwards
+   includes everything the client has observed. *)
+let handle_failover t ~client ~req ~past =
+  Sim.Metrics.incr (Sim.Metrics.counter t.metrics "client_failovers_total");
+  Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"failover"
+    "client %d attached after failover" client;
+  handle_attach t ~client ~req ~past
+
+(* Idempotent re-submission of a strong transaction whose coordinator
+   crashed before replying. The client re-sends the same tid with the
+   write buffer and read set it accumulated; certification deduplicates
+   by tid (an already-decided transaction yields its original decision
+   via ALREADY_DECIDED; a prepared one re-accepts at its recorded
+   timestamp), so the transaction takes effect exactly once no matter
+   where the old coordinator stopped. *)
+let handle_resubmit_strong t ~client ~client_id ~req ~tid ~wbuff ~ops ~snap
+    ~lc =
+  (* the snapshot was computed at the old session DC, so its "local"
+     entry references that DC: bump the remote uniform entries from the
+     client's evidence as START_TX does, then apply the usual
+     COMMIT_STRONG precondition against our own local entry *)
+  bump_snapshot_source t snap;
+  let arrived_us = now t in
+  wait_uniform_local t ~threshold:(Vc.get snap t.dc) (fun () ->
+      let uniform_us = now t in
+      Sim.Metrics.observe t.h_phase_uniform (uniform_us - arrived_us);
+      certify t ~caller:Msg.Normal ~tid ~origin:client_id ~wbuff ~ops ~snap
+        ~lc ~k:(fun result ->
+          Sim.Metrics.observe t.h_phase_certify (now t - uniform_us);
+          match result with
+          | Cert.Decided (dec, vec, lc) ->
+              Sim.Metrics.incr
+                (if dec then t.c_strong_commit else t.c_strong_abort);
+              send t client (Msg.R_strong { req; dec; vec; lc })
+          | Cert.Unknown ->
+              Sim.Metrics.incr t.c_strong_abort;
+              send t client (Msg.R_strong { req; dec = false; vec = snap; lc })))
+
+(* ------------------------------------------------------------------ *)
+(* DC rejoin: snapshot transfer and causal-log catch-up (tentpole of
+   the crash-recovery subsystem; see DESIGN.md "DC recovery & rejoin"). *)
+
+let is_syncing t = match t.sync with Some _ -> true | None -> false
+
+(* Causal-log backlog retained for [origin] (GC grace-window tests):
+   the forwarded buffer for remote origins, the propagated log for our
+   own. *)
+let committed_backlog t ~origin =
+  if origin = t.dc then List.length !(t.propagated_log)
+  else List.length !(t.committed_causal.(origin))
+
+(* A peer DC rejoined with empty state: forget everything its pre-crash
+   gossip claimed it stored, so the causal buffers and decided logs are
+   retained for it until its fresh vectors arrive. *)
+let reset_peer_view t ~dc =
+  if dc <> t.dc then begin
+    let zero v =
+      for i = 0 to dcs t - 1 do
+        Vc.set v i 0
+      done;
+      Vc.set_strong v 0
+    in
+    zero t.global_matrix.(dc);
+    zero t.stable_matrix.(dc)
+  end
+
+let live_peers t =
+  let rec go i acc =
+    if i < 0 then acc
+    else if i <> t.dc && not (Network.dc_failed t.net i) then go (i - 1) (i :: acc)
+    else go (i - 1) acc
+  in
+  go (dcs t - 1) []
+
+(* Everything a crash destroys. The clocks, rid/heartbeat counters and
+   the lifetime metrics survive (restarted processes keep their identity);
+   everything else restarts empty and is rebuilt by the sync protocol. *)
+let wipe_state t =
+  Store.Oplog.clear t.oplog;
+  let zero v =
+    for i = 0 to dcs t - 1 do
+      Vc.set v i 0
+    done;
+    Vc.set_strong v 0
+  in
+  zero t.known_vec;
+  zero t.stable_vec;
+  zero t.uniform_vec;
+  Array.iter zero t.local_agg;
+  Array.iter zero t.stable_matrix;
+  Array.iter zero t.global_matrix;
+  t.prepared_causal <- [];
+  t.propagated_log := [];
+  t.last_prep_ts <- 0;
+  for i = 0 to dcs t - 1 do
+    t.committed_causal.(i) := [];
+    t.frontier_tids.(i) <- [];
+    t.frontier_ts.(i) <- -1;
+    t.pending_vis.(i) := []
+  done;
+  Hashtbl.reset t.txns;
+  Hashtbl.reset t.pending_cert;
+  Sim.Heap.clear t.wait_known_local;
+  Sim.Heap.clear t.wait_known_strong;
+  Sim.Heap.clear t.wait_uniform_local;
+  t.waiters <- [];
+  t.suspected <- []
+
+(* Ask a live sibling for the snapshot, rotating the peer across
+   attempts. Any partially applied chunks from an abandoned attempt are
+   discarded by re-wiping; stale chunks still in flight are dropped by
+   the [sq] check. *)
+let request_snapshot t s =
+  s.s_sq <- s.s_sq + 1;
+  s.s_phase <- Sync_snapshot;
+  s.s_progress <- false;
+  wipe_state t;
+  match live_peers t with
+  | [] -> ()  (* nobody to sync from; the retry tick keeps looking *)
+  | peers ->
+      let peer = List.nth peers (s.s_sq mod List.length peers) in
+      s.s_peer <- peer;
+      Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"sync-request"
+        "snapshot from dc%d (attempt %d)" peer s.s_sq;
+      send t (sibling t peer)
+        (Msg.Sync_request { from = t.addr; part = t.part; sq = s.s_sq })
+
+let request_cert_state t =
+  match t.cert with
+  | None -> ()
+  | Some _ ->
+      (* broadcast: only the group leader answers, and a stale trust view
+         cannot say who that is right now *)
+      List.iter
+        (fun i ->
+          send t (sibling t i) (Msg.State_request { from = t.addr }))
+        (live_peers t)
+
+let start_pull_round t s =
+  s.s_sq <- s.s_sq + 1;
+  s.s_tails <- [];
+  s.s_polled <- [];
+  s.s_weak <- [];
+  for i = 0 to dcs t - 1 do
+    if i <> t.dc && not (Network.dc_failed t.net i) then begin
+      s.s_polled <- i :: s.s_polled;
+      send t (sibling t i)
+        (Msg.Sync_pull
+           { from = t.addr; vec = Vc.copy t.known_vec; sq = s.s_sq })
+    end
+  done
+
+let cert_caught_up t =
+  match t.cert with
+  | None -> true
+  | Some c -> (
+      match Cert.status c with
+      | Cert.Leader | Cert.Follower -> true
+      | Cert.Recovering | Cert.Restoring -> false)
+
+(* Caught up once every polled sibling sent its tail and our knownVec
+   covers the tails' entries for every origin that can still speak for
+   itself — its own entry arrived as a tail heartbeat, the others lag
+   it by a propagation period. Entries for origins that cannot answer
+   (crashed, or themselves syncing) are exempt here: what a tail claims
+   for such an origin may exceed any data a pull can deliver (heartbeats
+   advance frontiers past the last transaction), so [finish_sync] adopts
+   those claims instead — see there for why that is gap-free. The strong
+   entry is driven by the certification member's deliveries, which the
+   rejoiner receives like everyone else once its member re-entered. *)
+let sync_complete t s =
+  let exempt o = Network.dc_failed t.net o || List.mem o s.s_weak in
+  s.s_phase = Sync_pull
+  && s.s_polled <> []
+  && List.for_all (fun i -> List.mem_assoc i s.s_tails) s.s_polled
+  && List.for_all
+       (fun (_, known) ->
+         Vc.strong known <= Vc.strong t.known_vec
+         &&
+         let ok = ref true in
+         for o = 0 to dcs t - 1 do
+           if
+             o <> t.dc
+             && (not (exempt o))
+             && Vc.get known o > Vc.get t.known_vec o
+           then ok := false
+         done;
+         !ok)
+       s.s_tails
+  && cert_caught_up t
+
+(* Leave the sync state machine and resume normal operation. Returns the
+   deferred replication stream; the caller ([complete_sync]) replays it
+   through the ordinary dispatch once [t.sync] is cleared. *)
+let finish_sync t s =
+  t.sync <- None;
+  (* Adopt the tails' entries for origins that could not answer the
+     pulls themselves. A peer never holds data of another origin above
+     its own entry for it, and every polled peer shipped all it held
+     above our vector, so the maximum of the tails is a completeness
+     assertion over transactions the pulls already delivered. *)
+  List.iter
+    (fun (_, known) ->
+      for o = 0 to dcs t - 1 do
+        if
+          o <> t.dc
+          && (Network.dc_failed t.net o || List.mem o s.s_weak)
+        then handle_heartbeat t ~origin:o ~ts:(Vc.get known o)
+      done)
+    s.s_tails;
+  let took = now t - s.s_started in
+  Sim.Metrics.observe (Sim.Metrics.histogram t.metrics "dc_catchup_us") took;
+  Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"sync-done"
+    "caught up in %d us (replaying %d deferred)" took
+    (List.length s.s_deferred);
+  (* resume normal operation: fresh periodic tasks, immediate metadata
+     broadcast so siblings unpin the GC floors, and trust recomputed from
+     the suspicions recorded while syncing (possibly reclaiming
+     leadership through the ordinary recovery protocol) *)
+  start_timers t ~phase:(t.uid * 7 mod 1_000);
+  broadcast_vecs t;
+  retarget_trust t;
+  s.s_done ();
+  let deferred = List.rev s.s_deferred in
+  s.s_deferred <- [];
+  deferred
+
+(* Serve a snapshot to a rejoining sibling: every oplog entry except the
+   writes of our own not-yet-propagated commits, which sit above the cut
+   (our knownVec) and reach the rejoiner through ordinary replication.
+   Those entries are recognised physically: a pending transaction's oplog
+   entries share its record's commit-vector array. *)
+let handle_sync_request t ~from ~part ~sq =
+  if part = t.part && not (is_syncing t) then begin
+    let cut = Vc.copy t.known_vec in
+    let pending = !(t.committed_causal.(t.dc)) in
+    let unpropagated vec =
+      List.exists (fun tx -> tx.Types.tx_vec == vec) pending
+    in
+    let chunk = ref [] and n = ref 0 in
+    let flush ~last =
+      send t from
+        (Msg.Sync_store
+           { sq; entries = List.rev !chunk; last; cut = Vc.copy cut });
+      chunk := [];
+      n := 0
+    in
+    List.iter
+      (fun key ->
+        List.iter
+          (fun (e : Store.Oplog.entry) ->
+            if not (unpropagated e.vec) then begin
+              chunk := (key, e.op, e.vec, e.tag) :: !chunk;
+              incr n;
+              if !n >= t.cfg.Config.sync_chunk then flush ~last:false
+            end)
+          (Store.Oplog.entries t.oplog key))
+      (Store.Oplog.keys t.oplog);
+    flush ~last:true
+  end
+
+let handle_sync_store t ~sq ~entries ~last ~cut =
+  match t.sync with
+  | Some s when s.s_phase = Sync_snapshot && s.s_sq = sq ->
+      s.s_progress <- true;
+      List.iter
+        (fun (key, op, vec, tag) -> Store.Oplog.append t.oplog key ~op ~vec ~tag)
+        entries;
+      if last then begin
+        (* install the cut: the store now materialises everything below
+           it, so it becomes the replication frontier, the floor for new
+           prepare timestamps and the delivery frontier of the
+           certification member *)
+        Vc.merge_into t.known_vec cut;
+        t.last_prep_ts <- Vc.get cut t.dc;
+        observe_clock t (Vc.get cut t.dc);
+        observe_clock t (Vc.strong cut);
+        (match t.cert with
+        | Some c -> Cert.begin_rejoin c ~delivered:(Vc.strong cut)
+        | None -> ());
+        s.s_phase <- Sync_pull;
+        Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"sync-snapshot"
+          "installed cut %a" Vc.pp cut;
+        request_cert_state t;
+        start_pull_round t s
+      end
+  | _ -> ()  (* stale chunk from an abandoned attempt *)
+
+(* Answer a catch-up pull: for every origin — our own propagated log
+   included, since nobody else may hold our history up to our frontier —
+   the retained committed transactions above the requester's vector, in
+   ascending local-timestamp order (gap-free relative to our frontier),
+   chunked, then a tail carrying our knownVec over the same FIFO
+   channel. Our own pending commits sit above the shipped log and above
+   the tail's own entry, so Property 1 is preserved. A replica that is
+   itself syncing answers with just a weak ([syncing = true]) tail. *)
+let handle_sync_pull t ~from ~vec ~sq =
+  (if not (is_syncing t) then
+     for o = 0 to dcs t - 1 do
+       let source =
+         if o = t.dc then !(t.propagated_log) else !(t.committed_causal.(o))
+       in
+       let txs =
+         List.filter
+           (fun tx -> Vc.get tx.Types.tx_vec o > Vc.get vec o)
+           source
+       in
+       let txs =
+         List.sort
+           (fun a b ->
+             compare (Vc.get a.Types.tx_vec o) (Vc.get b.Types.tx_vec o))
+           txs
+       in
+       let rec ship = function
+         | [] -> ()
+         | txs ->
+             let rec split n acc = function
+               | rest when n = 0 -> (List.rev acc, rest)
+               | [] -> (List.rev acc, [])
+               | tx :: rest -> split (n - 1) (tx :: acc) rest
+             in
+             let batch, rest = split t.cfg.Config.sync_chunk [] txs in
+             send t from (Msg.Sync_log { origin = o; txs = batch; sq });
+             ship rest
+       in
+       ship txs
+     done);
+  send t from
+    (Msg.Sync_tail
+       {
+         from_dc = t.dc;
+         known = Vc.copy t.known_vec;
+         syncing = is_syncing t;
+         sq;
+       })
+
+let handle_sync_log t ~origin ~txs ~sq =
+  match t.sync with
+  | Some s when s.s_phase = Sync_pull && s.s_sq = sq ->
+      handle_replicate t ~origin ~txs
+  | _ -> ()  (* stale batch from an earlier round *)
+
+let handle_sync_tail t ~from_dc ~known ~syncing ~sq =
+  match t.sync with
+  | Some s when s.s_phase = Sync_pull && s.s_sq = sq ->
+      if syncing then begin
+        (* a co-rejoining peer cannot serve the round: stop waiting for
+           it, and never trust its partial frontier *)
+        s.s_weak <- from_dc :: List.filter (fun i -> i <> from_dc) s.s_weak;
+        s.s_polled <- List.filter (fun i -> i <> from_dc) s.s_polled;
+        s.s_tails <- List.remove_assoc from_dc s.s_tails
+      end
+      else begin
+        (* FIFO channels order every [Sync_log] batch of the response
+           before its tail, so the tail's own entry is a heartbeat: the
+           peer holds nothing of its own stream below [known] that it
+           has not already shipped to us *)
+        handle_heartbeat t ~origin:from_dc ~ts:(Vc.get known from_dc);
+        s.s_tails <- (from_dc, known) :: List.remove_assoc from_dc s.s_tails
+      end
+  | _ -> ()
+
+(* While syncing, traffic other than the deferred replication stream
+   (handled before this filter) is mostly refused: during the snapshot
+   phase anything but snapshot chunks; during the pull phase everything
+   needed to converge — catch-up batches and tails, gossip,
+   certification — but no client requests (the client's failover handles
+   those) and no snapshot service to other rejoiners. [Sync_pull] itself
+   is admitted so that co-rejoining peers receive a weak tail instead of
+   deadlocking on each other's silence. *)
+let sync_admits s msg =
+  match (s.s_phase, msg) with
+  | Sync_snapshot, Msg.Sync_store _ -> true
+  | Sync_snapshot, _ -> false
+  | ( Sync_pull,
+      ( Msg.C_start _ | Msg.C_read _ | Msg.C_update _ | Msg.C_commit_causal _
+      | Msg.C_commit_strong _ | Msg.C_uniform_barrier _ | Msg.C_attach _
+      | Msg.C_failover _ | Msg.C_resubmit_strong _ | Msg.Sync_request _
+      | Msg.Sync_store _ | Msg.Get_version _ | Msg.Version _ | Msg.Prepare _
+      | Msg.Prepare_ack _ | Msg.Commit _ ) ) ->
+      false
+  | Sync_pull, _ -> true
+
+let dispatch t msg =
   (match msg with
   | Msg.C_start { client; client_id; req; tid; past } ->
       start_tx t ~client ~client_id ~req ~tid ~past
@@ -1208,6 +1675,18 @@ let handle t msg =
   | Msg.C_uniform_barrier { client; req; past } ->
       handle_uniform_barrier t ~client ~req ~past
   | Msg.C_attach { client; req; past } -> handle_attach t ~client ~req ~past
+  | Msg.C_failover { client; req; past } -> handle_failover t ~client ~req ~past
+  | Msg.C_resubmit_strong { client; client_id; req; tid; wbuff; ops; snap; lc }
+    ->
+      handle_resubmit_strong t ~client ~client_id ~req ~tid ~wbuff ~ops ~snap
+        ~lc
+  | Msg.Sync_request { from; part; sq } -> handle_sync_request t ~from ~part ~sq
+  | Msg.Sync_store { sq; entries; last; cut } ->
+      handle_sync_store t ~sq ~entries ~last ~cut
+  | Msg.Sync_pull { from; vec; sq } -> handle_sync_pull t ~from ~vec ~sq
+  | Msg.Sync_log { origin; txs; sq } -> handle_sync_log t ~origin ~txs ~sq
+  | Msg.Sync_tail { from_dc; known; syncing; sq } ->
+      handle_sync_tail t ~from_dc ~known ~syncing ~sq
   | Msg.Get_version { from; tid; key; snap } ->
       handle_get_version t ~from ~tid ~key ~snap
   | Msg.Version { tid; key; value; lc } -> handle_version t ~tid ~key ~value ~lc
@@ -1236,10 +1715,94 @@ let handle t msg =
   | ( Msg.Prepare_strong _ | Msg.Accept _ | Msg.Decision _
     | Msg.Learn_decision _ | Msg.Deliver _ | Msg.Unknown_tx _ | Msg.Nack _
     | Msg.New_leader _ | Msg.New_leader_ack _ | Msg.New_state _
-    | Msg.New_state_ack _ ) as m -> (
+    | Msg.New_state_ack _ | Msg.State_request _ ) as m -> (
       match t.cert with
       | Some c -> ignore (Cert.handle c m)
       | None ->
           Log.debug (fun k ->
               k "replica %d.%d dropped %s (no certification group)" t.dc
                 t.part (Msg.kind m))))
+
+(* Finish the catch-up and replay the deferred replication stream in
+   arrival order: entries at or below the frontier dedup away, entries
+   above continue each origin's FIFO exactly where the pulls stopped,
+   and heartbeats replay after the data they vouch for. *)
+let complete_sync t s = List.iter (dispatch t) (finish_sync t s)
+
+(* Re-enter the system after the DC recovered: wipe what the crash
+   destroyed, park the certification member in Recovering, and drive the
+   snapshot/pull state machine off a retry tick until caught up. The
+   periodic tasks stay down throughout — [finish_sync] re-arms them. *)
+let begin_rejoin t ~on_done =
+  t.timer_gen <- t.timer_gen + 1;
+  let s =
+    {
+      s_phase = Sync_snapshot;
+      s_sq = 0;
+      s_peer = -1;
+      s_progress = false;
+      s_tails = [];
+      s_polled = [];
+      s_weak = [];
+      s_deferred = [];
+      s_started = now t;
+      s_done = on_done;
+    }
+  in
+  t.sync <- Some s;
+  (match t.cert with
+  | Some c -> Cert.begin_rejoin c ~delivered:0
+  | None -> ());
+  request_snapshot t s;
+  let period = 500_000 in
+  Engine.every t.eng ~period ~phase:(t.uid * 13 mod period) (fun () ->
+      match t.sync with
+      | Some s' when s' == s && alive t -> (
+          (match s.s_phase with
+          | Sync_snapshot ->
+              (* no chunk since the last tick: the peer died or refused;
+                 rotate to the next one *)
+              if s.s_progress then s.s_progress <- false
+              else request_snapshot t s
+          | Sync_pull ->
+              if sync_complete t s then complete_sync t s
+              else begin
+                if not (cert_caught_up t) then request_cert_state t;
+                start_pull_round t s
+              end);
+          match t.sync with Some s' when s' == s -> true | _ -> false)
+      | _ -> false)
+
+let handle t msg =
+  match t.sync with
+  | None -> dispatch t msg
+  | Some s -> (
+      match msg with
+      | Msg.Replicate _ | Msg.Heartbeat _ ->
+          (* The direct replication stream cannot be refused — each
+             transaction is shipped exactly once and the frontier jumps,
+             so a dropped batch would be a permanent gap that a later
+             heartbeat papers over. Defer it for replay at the finish. *)
+          Sim.Metrics.incr
+            ~by:(Msg.size_bytes msg)
+            (Sim.Metrics.counter t.metrics "sync_log_bytes_total");
+          s.s_deferred <- msg :: s.s_deferred
+      | _ ->
+          if sync_admits s msg then begin
+            (* account catch-up traffic: snapshot chunks vs log replay *)
+            (match msg with
+            | Msg.Sync_store _ ->
+                Sim.Metrics.incr
+                  ~by:(Msg.size_bytes msg)
+                  (Sim.Metrics.counter t.metrics "sync_snapshot_bytes_total")
+            | Msg.Sync_log _ | Msg.Sync_tail _ ->
+                Sim.Metrics.incr
+                  ~by:(Msg.size_bytes msg)
+                  (Sim.Metrics.counter t.metrics "sync_log_bytes_total")
+            | _ -> ());
+            dispatch t msg;
+            (* the message may have been the one completing the catch-up *)
+            match t.sync with
+            | Some s' when s' == s && sync_complete t s -> complete_sync t s
+            | _ -> ()
+          end)

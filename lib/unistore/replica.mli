@@ -79,6 +79,28 @@ val certify :
 (** Submit a dummy strong transaction (Algorithm A6 line 10). *)
 val strong_heartbeat : t -> unit
 
+(** {2 DC crash recovery} *)
+
+(** Re-enter the system after this replica's DC recovered from a crash:
+    wipe the state the crash destroyed, request a snapshot of the
+    materialized store from a live sibling of the partition, then pull
+    causal-log catch-up rounds (and re-enter the certification group via
+    [State_request]/[New_state]) until this replica's knownVec covers
+    every live sibling's. Client requests are refused throughout; the
+    periodic tasks restart and [on_done] runs once caught up. *)
+val begin_rejoin : t -> on_done:(unit -> unit) -> unit
+
+(** Whether this replica is still catching up after a rejoin. *)
+val is_syncing : t -> bool
+
+(** A peer DC rejoined with empty state: zero its rows of the gossip
+    matrices so the GC floors (causal buffers, decided logs) hold until
+    its fresh vectors arrive. *)
+val reset_peer_view : t -> dc:int -> unit
+
+(** Retained causal-log backlog for [origin] (grace-window tests). *)
+val committed_backlog : t -> origin:int -> int
+
 (** {2 State accessors (tests, benches, convergence checks)} *)
 
 val oplog : t -> Store.Oplog.t

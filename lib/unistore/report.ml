@@ -82,12 +82,41 @@ let phases_json reg =
          | j -> j)
        (phases_of reg))
 
+(* DC-recovery section, present only when a recovery ran (the rejoin
+   metrics are interned lazily, so crash-free runs — and their golden
+   artifacts — are untouched): catch-up duration, snapshot and
+   log-replay transfer volume, client failovers, peak syncing DCs. *)
+let recovery_json reg =
+  let counter_total name =
+    List.fold_left
+      (fun acc (_, c) -> acc + Metrics.counter_value c)
+      0
+      (Metrics.counters_matching reg name)
+  in
+  match Metrics.histograms_matching reg "dc_catchup_us" with
+  | [] -> None
+  | (_, h) :: _ ->
+      let peak_syncing =
+        match Metrics.gauges_matching reg "dcs_syncing" with
+        | (_, g) :: _ -> Metrics.gauge_max g
+        | [] -> 0.0
+      in
+      Some
+        (Json.Obj
+           [
+             ("dc_catchup", histogram_json h);
+             ("snapshot_bytes", Json.Int (counter_total "sync_snapshot_bytes_total"));
+             ("log_replay_bytes", Json.Int (counter_total "sync_log_bytes_total"));
+             ("client_failovers", Json.Int (counter_total "client_failovers_total"));
+             ("dcs_syncing_peak", Json.Float peak_syncing);
+           ])
+
 let of_system ?(name = "run") sys =
   let cfg = System.cfg sys in
   let h = System.history sys in
   let reg = System.metrics sys in
   Json.Obj
-    [
+    ([
       ("name", Json.String name);
       ("mode", Json.String (Config.mode_name cfg.Config.mode));
       ("seed", Json.Int cfg.Config.seed);
@@ -106,8 +135,11 @@ let of_system ?(name = "run") sys =
             ("strong", latency_json (History.latency_strong h));
           ] );
       ("strong_phases", phases_json reg);
-      ("metrics", Metrics.to_json reg);
     ]
+    @ (match recovery_json reg with
+      | None -> []
+      | Some r -> [ ("recovery", r) ])
+    @ [ ("metrics", Metrics.to_json reg) ])
 
 (* ------------------------------------------------------------------ *)
 (* Text reporters: the artifact's numbers for the harness output.      *)

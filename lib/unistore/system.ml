@@ -255,11 +255,19 @@ let create cfg =
               if Cert.is_leader c then
                 Cert.retry_stale c ~older_than_us:2_400_000;
               (* as in Replica: no service may prune a decision some
-                 live (possibly partitioned) peer has yet to deliver *)
+                 live (possibly partitioned) peer has yet to deliver; a
+                 crashed DC holds the floor at its pre-crash delivery
+                 point for [gc_grace_us], then releases it (recovery is
+                 unsupported under REDBLUE, so the release is final) *)
+              let holds_floor dc' =
+                match Network.dc_failed_at net dc' with
+                | None -> true
+                | Some at -> Engine.now eng - at < cfg.Config.gc_grace_us
+              in
               let floor = ref (Cert.last_delivered c) in
               Array.iteri
                 (fun dc' (c', _) ->
-                  if dc' <> dc && not (Network.dc_failed net dc') then
+                  if dc' <> dc && holds_floor dc' then
                     floor := min !floor (Cert.last_delivered c'))
                 rb_certs;
               Cert.prune_decided c ~keep_after:(!floor - 1_500_000)
@@ -367,6 +375,49 @@ let preload t key op =
   History.preloaded t.history ~key ~op
 
 (* ------------------------------------------------------------------ *)
+(* Whole-DC crash recovery: revive the network nodes, restart the
+   detector node, pin the peers' GC floors for the rejoiner, and drive
+   every partition replica through the snapshot + log catch-up rejoin
+   protocol (DESIGN.md, "DC recovery & rejoin").                        *)
+
+(* Is any replica of [dc] still catching up after a rejoin? Clients do
+   not fail over to a syncing DC (it refuses their requests). *)
+let dc_syncing t dc = Array.exists Replica.is_syncing t.replicas.(dc)
+
+let recover_dc t dc =
+  if Config.centralized_cert t.cfg then
+    invalid_arg
+      "System.recover_dc: unsupported under the REDBLUE centralized \
+       service (see ROADMAP)";
+  if not (Network.dc_failed t.net dc) then
+    invalid_arg (Fmt.str "System.recover_dc: dc%d is not failed" dc);
+  Network.recover_dc t.net dc;
+  (* peers must treat the rejoiner as knowing nothing until its fresh
+     vectors gossip in: zero its matrix rows so the GC floors pin at 0
+     instead of releasing when the grace window closes *)
+  Array.iteri
+    (fun dc' row ->
+      if dc' <> dc && not (Network.dc_failed t.net dc') then
+        Array.iter (fun r -> Replica.reset_peer_view r ~dc) row)
+    t.replicas;
+  Detector.revive t.detector ~dc;
+  Sim.Trace.emitf t.trace ~source:"system" ~kind:"recover"
+    "dc%d restarting with empty state" dc;
+  let g = Sim.Metrics.gauge t.metrics "dcs_syncing" in
+  Sim.Metrics.gauge_add g 1.0;
+  let remaining = ref t.cfg.Config.partitions in
+  Array.iter
+    (fun r ->
+      Replica.begin_rejoin r ~on_done:(fun () ->
+          decr remaining;
+          if !remaining = 0 then begin
+            Sim.Metrics.gauge_add g (-1.0);
+            Sim.Trace.emitf t.trace ~source:"system" ~kind:"recover"
+              "dc%d caught up" dc
+          end))
+    t.replicas.(dc)
+
+(* ------------------------------------------------------------------ *)
 (* Clients.                                                             *)
 
 let new_client t ~dc =
@@ -377,6 +428,8 @@ let new_client t ~dc =
       ~trace:t.trace ~metrics:t.metrics ~dc
       ~replicas_of_dc:(fun dc -> t.addrs.(dc))
   in
+  Client.set_dc_live client (fun dc ->
+      (not (Network.dc_failed t.net dc)) && not (dc_syncing t dc));
   t.clients <- client :: t.clients;
   client
 

@@ -64,6 +64,22 @@ val spawn_client : t -> dc:int -> (Client.t -> unit) -> Client.t
     the failed DC's transactions. *)
 val fail_dc : t -> int -> unit
 
+(** Recover a crashed data center (the tentpole of the recovery PR):
+    revive its network nodes with empty in-flight state, restart its Ω
+    detector node, zero its rows of the peers' gossip matrices (pinning
+    the causal-buffer and decided-log GC floors until fresh vectors
+    arrive), and drive every partition replica through the rejoin
+    protocol — snapshot from a live sibling, causal-log pull rounds and
+    certification-state catch-up — until it serves clients again.
+    Raises [Invalid_argument] if [dc] has not failed, or under the
+    REDBLUE centralized service (whose recovery is an open ROADMAP
+    item). *)
+val recover_dc : t -> int -> unit
+
+(** Whether any replica of [dc] is still catching up after
+    {!recover_dc}. Client failover skips syncing DCs. *)
+val dc_syncing : t -> int -> bool
+
 (** The deployment's Ω failure detector. *)
 val detector : t -> Detector.t
 

@@ -359,14 +359,12 @@ let client_body spec ~stop client =
   let rec loop () =
     if not (stop ()) then begin
       let txn = mix.(Sim.Rng.weighted rng weights) in
-      let rec attempt n =
-        Client.start client ~label:txn.name ~strong:txn.strong;
-        txn.body spec client rng;
-        match Client.commit client with
-        | `Committed _ -> ()
-        | `Aborted -> if n < spec.max_retries then attempt (n + 1)
-      in
-      attempt 0;
+      (* run_txn re-executes on certification abort and on mid-txn DC
+         failover alike; past max_retries the transaction is dropped *)
+      (try
+         Client.run_txn ~label:txn.name ~strong:txn.strong
+           ~max_retries:spec.max_retries client (fun c -> txn.body spec c rng)
+       with Client.Aborted -> ());
       if spec.think_time_us > 0 then Sim.Fiber.sleep spec.think_time_us;
       loop ()
     end

@@ -27,6 +27,7 @@ let () =
       ("abstract-exec", Test_abstract_exec.suite);
       ("workloads", Test_workloads.suite);
       ("nemesis", Test_nemesis.suite);
+      ("recovery", Test_recovery.suite);
       ("report", Test_report.suite);
       ("properties", Test_properties.suite);
     ]

@@ -1,0 +1,273 @@
+(* DC crash-recovery end to end: a crashed data center rejoins through
+   the snapshot + causal-log catch-up protocol and converges with the
+   survivors; clients fail over to live DCs carrying their causal past;
+   in-flight strong transactions are re-submitted idempotently; and the
+   GC floors hold the catch-up logs for exactly the grace period. *)
+
+module U = Unistore
+module Client = U.Client
+module Fiber = Sim.Fiber
+
+let counter_total reg name =
+  List.fold_left
+    (fun acc (_, c) -> acc + Sim.Metrics.counter_value c)
+    0
+    (Sim.Metrics.counters_matching reg name)
+
+(* Crash dc2 mid-workload, recover it, and check that it catches up
+   completely: the rejoined store converges with the survivors, every
+   increment committed anywhere (including while dc2 was down) reads
+   back exactly once at dc2 itself, and the recovery metrics record the
+   catch-up. *)
+let test_crash_recover_convergence () =
+  let sys = Util.make_system ~partitions:3 ~seed:11 () in
+  let keys = [| 100; 101 |] in
+  let strong_key = 200 in
+  Array.iter (fun k -> U.System.preload sys k (Crdt.Ctr_add 0)) keys;
+  U.System.preload sys strong_key (Crdt.Ctr_add 0);
+  U.Nemesis.inject sys
+    [
+      { U.Nemesis.at_us = 1_500_000; ev = U.Nemesis.Crash_dc 2 };
+      { at_us = 3_000_000; ev = U.Nemesis.Recover_dc 2 };
+    ];
+  let commits = Array.make 2 0 in
+  let strong_commits = ref 0 in
+  for dc = 0 to 1 do
+    ignore
+      (U.System.spawn_client sys ~dc (fun c ->
+           while U.System.now sys < 6_000_000 do
+             Client.start c;
+             Client.update c keys.(dc) (Crdt.Ctr_add 1);
+             (match Client.commit c with
+             | `Committed _ -> commits.(dc) <- commits.(dc) + 1
+             | `Aborted -> ());
+             Fiber.sleep 90_000
+           done))
+  done;
+  ignore
+    (U.System.spawn_client sys ~dc:0 (fun c ->
+         while U.System.now sys < 6_000_000 do
+           Client.start c ~strong:true;
+           Client.update c strong_key (Crdt.Ctr_add 1);
+           (match Client.commit c with
+           | `Committed _ -> incr strong_commits
+           | `Aborted -> ());
+           Fiber.sleep 140_000
+         done));
+  Util.run sys ~until:10_000_000;
+  Alcotest.(check bool) "dc2 finished catching up" false
+    (U.System.dc_syncing sys 2);
+  Util.assert_por sys;
+  Util.assert_convergence sys;
+  Alcotest.(check int) "no strong transaction left pending" 0
+    (U.System.pending_strong sys);
+  Alcotest.(check bool) "workload committed during the outage" true
+    (commits.(0) > 10 && commits.(1) > 10 && !strong_commits > 5);
+  (* read everything back at the recovered DC itself: every commit —
+     including those from the outage, delivered through the snapshot,
+     the pull rounds or the replayed deferred stream — applied there
+     exactly once *)
+  let final = Array.make 2 (-1) and final_strong = ref (-1) in
+  ignore
+    (U.System.spawn_client sys ~dc:2 (fun c ->
+         Client.start c;
+         Array.iteri (fun i k -> final.(i) <- Client.read_int c k) keys;
+         final_strong := Client.read_int c strong_key;
+         ignore (Client.commit c)));
+  Util.run sys ~until:10_500_000;
+  for dc = 0 to 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "dc%d's causal increments visible exactly once" dc)
+      commits.(dc)
+      final.(dc)
+  done;
+  Alcotest.(check int) "strong increments visible exactly once"
+    !strong_commits !final_strong;
+  let reg = U.System.metrics sys in
+  (match Sim.Metrics.histograms_matching reg "dc_catchup_us" with
+  | [ (_, h) ] ->
+      Alcotest.(check int) "every partition replica caught up" 3
+        (Sim.Metrics.h_count h)
+  | _ -> Alcotest.fail "dc_catchup_us histogram missing");
+  Alcotest.(check bool) "snapshot bytes accounted" true
+    (counter_total reg "sync_snapshot_bytes_total" > 0);
+  Alcotest.(check bool) "log catch-up bytes accounted" true
+    (counter_total reg "sync_log_bytes_total" > 0)
+
+(* A client attached to the DC that crashes: its next transaction times
+   out, the session migrates to a live DC blocking until the causal past
+   is covered there, and read-your-writes holds across the switch. *)
+let test_failover_causality () =
+  let sys =
+    Util.make_system ~partitions:2 ~seed:5 ~client_failover_us:300_000 ()
+  in
+  let key = 42 in
+  U.System.preload sys key (Crdt.Ctr_add 0);
+  U.Nemesis.inject sys
+    [ { U.Nemesis.at_us = 1_000_000; ev = U.Nemesis.Crash_dc 2 } ];
+  let writes = ref 0 and observed = ref (-1) and final_dc = ref (-1) in
+  ignore
+    (U.System.spawn_client sys ~dc:2 (fun c ->
+         (* two causal writes before the crash, with time to replicate *)
+         Client.run_txn c (fun c -> Client.update c key (Crdt.Ctr_add 1));
+         incr writes;
+         Client.run_txn c (fun c -> Client.update c key (Crdt.Ctr_add 1));
+         incr writes;
+         Fiber.sleep 1_500_000;
+         (* the session DC is dead by now: this transaction fails over
+            and re-executes at a surviving DC *)
+         observed := Client.run_txn c (fun c -> Client.read_int c key);
+         final_dc := Client.dc c));
+  Util.run sys ~until:5_000_000;
+  Alcotest.(check int) "read-your-writes across the failover" !writes
+    !observed;
+  Alcotest.(check bool) "the session migrated off the crashed DC" true
+    (!final_dc >= 0 && !final_dc <> 2);
+  Alcotest.(check bool) "the failover was counted" true
+    (counter_total (U.System.metrics sys) "client_failovers_total" >= 1);
+  Util.assert_por sys
+
+(* Strong transactions under failover take effect at most once: the
+   client re-submits an in-flight commit under the same tid at the
+   failover DC, certification dedups, and the counter's final value
+   equals exactly the number of commits the client observed. *)
+let test_strong_resubmission_exactly_once () =
+  let sys =
+    Util.make_system ~partitions:2 ~seed:9 ~client_failover_us:250_000 ()
+  in
+  let key = 7 in
+  U.System.preload sys key (Crdt.Ctr_add 0);
+  U.Nemesis.inject sys
+    [ { U.Nemesis.at_us = 1_000_000; ev = U.Nemesis.Crash_dc 2 } ];
+  let commits = ref 0 in
+  ignore
+    (U.System.spawn_client sys ~dc:2 (fun c ->
+         while U.System.now sys < 3_000_000 do
+           (try
+              Client.start c ~strong:true;
+              Client.update c key (Crdt.Ctr_add 1);
+              match Client.commit c with
+              | `Committed _ -> incr commits
+              | `Aborted -> ()
+            with Client.Aborted -> ());
+           Fiber.sleep 20_000
+         done));
+  Util.run sys ~until:6_000_000;
+  Alcotest.(check int) "no strong transaction left pending" 0
+    (U.System.pending_strong sys);
+  Alcotest.(check bool) "the crash forced a failover" true
+    (counter_total (U.System.metrics sys) "client_failovers_total" >= 1);
+  Util.assert_por sys;
+  let final = ref (-1) in
+  ignore
+    (U.System.spawn_client sys ~dc:0 (fun c ->
+         Client.start c;
+         final := Client.read_int c key;
+         ignore (Client.commit c)));
+  Util.run sys ~until:6_500_000;
+  Alcotest.(check int) "strong increments applied exactly once" !commits
+    !final
+
+(* The GC floors of a crashed DC: the catch-up logs (both the remote
+   forwarded buffers and the origin's own propagated log) are retained
+   while the crashed DC is within its rejoin grace period, and pruned
+   once the grace expires. *)
+let test_gc_grace_floors () =
+  let sys = Util.make_system ~partitions:1 ~seed:3 ~gc_grace_us:2_000_000 () in
+  let key = 5 in
+  U.System.preload sys key (Crdt.Ctr_add 0);
+  U.Nemesis.inject sys
+    [ { U.Nemesis.at_us = 300_000; ev = U.Nemesis.Crash_dc 2 } ];
+  (* a causal commit at dc0 after the crash: dc2 cannot cover it, so the
+     other replicas must hold it for a potential rejoin *)
+  ignore
+    (U.System.spawn_client sys ~dc:0 (fun c ->
+         Fiber.sleep 800_000;
+         Client.start c;
+         Client.update c key (Crdt.Ctr_add 1);
+         ignore (Client.commit c)));
+  let r0 = U.System.replica sys ~dc:0 ~part:0 in
+  let r1 = U.System.replica sys ~dc:1 ~part:0 in
+  let own_during = ref (-1) and fwd_during = ref (-1) in
+  Sim.Engine.schedule (U.System.engine sys) ~delay:1_800_000 (fun () ->
+      own_during := U.Replica.committed_backlog r0 ~origin:0;
+      fwd_during := U.Replica.committed_backlog r1 ~origin:0);
+  (* grace expires at 2.3s; the floors release and the broadcast-driven
+     prune empties the logs well before 4.5s *)
+  Util.run sys ~until:4_500_000;
+  Alcotest.(check bool) "origin retains its propagated log during grace"
+    true (!own_during > 0);
+  Alcotest.(check bool) "peers retain the forwarded buffer during grace"
+    true (!fwd_during > 0);
+  Alcotest.(check int) "propagated log pruned after grace" 0
+    (U.Replica.committed_backlog r0 ~origin:0);
+  Alcotest.(check int) "forwarded buffer pruned after grace" 0
+    (U.Replica.committed_backlog r1 ~origin:0)
+
+(* Seeded schedules: by default no recovery is drawn (existing seeds
+   keep their schedules); with a recovery budget, a crashed DC recovers
+   after its crash and before the final heal. *)
+let test_random_schedule_recovery () =
+  let horizon = 8_000_000 in
+  let base = U.Nemesis.random_schedule ~seed:7 ~dcs:5 ~horizon_us:horizon () in
+  Alcotest.(check bool) "no recovery by default" true
+    (List.for_all
+       (fun s ->
+         match s.U.Nemesis.ev with U.Nemesis.Recover_dc _ -> false | _ -> true)
+       base);
+  (* find a seed whose schedule crashes a DC *)
+  let is_crash s =
+    match s.U.Nemesis.ev with U.Nemesis.Crash_dc _ -> true | _ -> false
+  in
+  let rec find seed =
+    if seed > 64 then Alcotest.fail "no crashing seed below 64"
+    else
+      let sched =
+        U.Nemesis.random_schedule ~seed ~dcs:5 ~horizon_us:horizon
+          ~max_recoveries:1 ()
+      in
+      match List.find_opt is_crash sched with
+      | Some crash -> (seed, sched, crash)
+      | None -> find (seed + 1)
+  in
+  let seed, sched, crash = find 0 in
+  let dc =
+    match crash.U.Nemesis.ev with U.Nemesis.Crash_dc dc -> dc | _ -> -1
+  in
+  (match
+     List.find_opt (fun s -> s.U.Nemesis.ev = U.Nemesis.Recover_dc dc) sched
+   with
+  | None -> Alcotest.fail "crash without a paired recovery"
+  | Some r ->
+      Alcotest.(check bool) "recovery strictly after the crash" true
+        (r.U.Nemesis.at_us > crash.U.Nemesis.at_us);
+      Alcotest.(check bool) "recovery no later than the final heal" true
+        (r.U.Nemesis.at_us <= 3 * horizon / 4));
+  (* the recovery budget only appends steps: the same seed without it
+     yields exactly the schedule minus the recoveries *)
+  let without =
+    U.Nemesis.random_schedule ~seed ~dcs:5 ~horizon_us:horizon ()
+  in
+  let strip =
+    List.filter
+      (fun s ->
+        match s.U.Nemesis.ev with U.Nemesis.Recover_dc _ -> false | _ -> true)
+      sched
+  in
+  Alcotest.(check bool) "recoveries only append to the base schedule" true
+    (List.sort compare strip = List.sort compare without)
+
+let suite =
+  [
+    Alcotest.test_case
+      "a crashed DC rejoins, catches up and converges exactly once" `Slow
+      test_crash_recover_convergence;
+    Alcotest.test_case "client failover preserves read-your-writes" `Slow
+      test_failover_causality;
+    Alcotest.test_case "in-flight strong commits re-submit exactly once"
+      `Slow test_strong_resubmission_exactly_once;
+    Alcotest.test_case "GC floors hold for the grace period, then release"
+      `Slow test_gc_grace_floors;
+    Alcotest.test_case "seeded schedules pair recoveries with crashes"
+      `Quick test_random_schedule_recovery;
+  ]
