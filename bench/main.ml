@@ -33,13 +33,15 @@ let artefacts =
     ("scenarios", fun () -> Common.timed "scenarios" Scenarios.run);
     ("nemesis", fun () -> Common.timed "nemesis" Nemesis_bench.run);
     ("recovery", fun () -> Common.timed "recovery" Nemesis_bench.run_recovery);
+    ( "adversity",
+      fun () -> Common.timed "adversity" Nemesis_bench.run_adversity );
     ("ablations", fun () -> Common.timed "ablations" Ablations.run);
     ("micro", fun () -> Common.timed "micro" Microbench.run);
   ]
 
 let default_sequence =
-  [ "scenarios"; "nemesis"; "recovery"; "tab-latency"; "fig6"; "fig5";
-    "ablations"; "micro"; "fig3"; "fig4" ]
+  [ "scenarios"; "nemesis"; "recovery"; "adversity"; "tab-latency"; "fig6";
+    "fig5"; "ablations"; "micro"; "fig3"; "fig4" ]
 
 (* Strip [--json <dir>] (setting [Common.json_dir]) and return the
    remaining artefact names. *)

@@ -206,3 +206,136 @@ let run_recovery () =
          ("por_holds", Sim.Json.Bool (U.Checker.ok result));
          ("converged", Sim.Json.Bool (divergences = []));
        ])
+
+(* Combined-adversity artefact: a multi-seed soak where the nemesis aims
+   partitions and gray links at the *recovery itself* — the recovering
+   DC's sync peers are cut or degraded inside the crash→recover→heal
+   window, so the rejoin's pull rounds race the very faults that used to
+   stall them. Per seed the verdicts are: the rejoin completed before
+   [Heal_all] + horizon/4 (no stuck dcs_syncing gauge), all correct DCs
+   converged, and no strong transaction is left pending. *)
+let adversity_base_seed = 7001
+let adversity_seeds_wanted = 3
+
+let run_adversity () =
+  Common.section
+    "Combined adversity — partitions and gray links during DC rejoin";
+  let dcs = 3 in
+  let topo = Net.Topology.n_dcs dcs in
+  let horizon_us = 16_000_000 in
+  let heal_at = 3 * horizon_us / 4 in
+  let rejoin_deadline = heal_at + (horizon_us / 4) in
+  let schedule_of seed =
+    U.Nemesis.random_schedule ~seed ~dcs ~horizon_us ~max_crashes:1
+      ~max_partitions:1 ~max_degrades:1 ~max_recoveries:1
+      ~max_sync_partitions:1 ~max_sync_degrades:1 ()
+  in
+  (* deterministically scan for seeds whose schedule actually contains a
+     crash/recover cycle (a seed may draw zero crashes) *)
+  let recovery_of sched =
+    List.find_map
+      (fun { U.Nemesis.at_us; ev } ->
+        match ev with U.Nemesis.Recover_dc dc -> Some (dc, at_us) | _ -> None)
+      sched
+  in
+  let seeds =
+    let rec scan seed acc =
+      if List.length acc >= adversity_seeds_wanted then List.rev acc
+      else
+        let acc =
+          match recovery_of (schedule_of seed) with
+          | Some _ -> seed :: acc
+          | None -> acc
+        in
+        scan (seed + 1) acc
+    in
+    scan adversity_base_seed []
+  in
+  let run_seed seed =
+    let cfg =
+      U.Config.default ~topo ~partitions:3 ~f:1 ~conflict:Rubis.conflict_spec
+        ~seed ~link_faults:Net.Faults.default_spec
+        ~client_failover_us:400_000 ~record_history:true ()
+    in
+    let sys = U.System.create cfg in
+    let spec =
+      {
+        Rubis.default_spec with
+        n_items = 200;
+        n_users = 500;
+        n_regions = 10;
+        n_categories = 5;
+        think_time_us = 50_000;
+      }
+    in
+    Rubis.populate sys spec;
+    let sched = schedule_of seed in
+    let rec_dc, recover_at =
+      match recovery_of sched with Some p -> p | None -> assert false
+    in
+    Common.note "seed %d schedule:" seed;
+    List.iter (fun s -> Common.note "  %a" U.Nemesis.pp_step s) sched;
+    U.Nemesis.inject sys sched;
+    (* the workload stops at the final heal: the last quarter of the run
+       is settle time, so the liveness verdicts (pending strong drains,
+       stores converge) measure the protocol, not a still-hot workload *)
+    let stop () = U.System.now sys >= heal_at in
+    for i = 0 to 5 do
+      ignore
+        (U.System.spawn_client sys ~dc:(i mod dcs) (fun c ->
+             Rubis.client_body spec ~stop c))
+    done;
+    (* probe the rejoin exactly at the liveness deadline *)
+    let rejoined_in_time = ref false in
+    Sim.Engine.schedule_at (U.System.engine sys)
+      ~time:(min rejoin_deadline (horizon_us - 1))
+      (fun () -> rejoined_in_time := not (U.System.dc_syncing sys rec_dc));
+    U.System.run sys ~until:horizon_us;
+    let gauge_left =
+      Sim.Metrics.gauge_value
+        (Sim.Metrics.gauge (U.System.metrics sys) "dcs_syncing")
+    in
+    let divergences = U.System.check_convergence sys in
+    let pending = U.System.pending_strong sys in
+    let verdict =
+      !rejoined_in_time && gauge_left = 0.0 && divergences = [] && pending = 0
+    in
+    Common.note
+      "seed %d: recover dc%d at %dus; rejoined by deadline: %b, dcs_syncing \
+       gauge: %.0f, converged: %b, pending strong: %d -> %s"
+      seed rec_dc recover_at !rejoined_in_time gauge_left (divergences = [])
+      pending
+      (if verdict then "PASS" else "FAIL");
+    List.iter (Common.note "DIVERGENCE: %s") divergences;
+    ( verdict,
+      Sim.Json.Obj
+        [
+          ("seed", Sim.Json.Int seed);
+          ("recovered_dc", Sim.Json.Int rec_dc);
+          ("recover_at_us", Sim.Json.Int recover_at);
+          ("rejoin_deadline_us", Sim.Json.Int rejoin_deadline);
+          ("rejoined_by_deadline", Sim.Json.Bool !rejoined_in_time);
+          ("dcs_syncing_gauge", Sim.Json.Float gauge_left);
+          ("converged", Sim.Json.Bool (divergences = []));
+          ("pending_strong", Sim.Json.Int pending);
+          ( "sync_peer_drops",
+            Sim.Json.Int
+              (Sim.Metrics.counter_value
+                 (Sim.Metrics.counter (U.System.metrics sys)
+                    "sync_peer_drops_total")) );
+          ("verdict", Sim.Json.Bool verdict);
+        ] )
+  in
+  let results = List.map run_seed seeds in
+  let all_pass = List.for_all fst results in
+  Common.note "combined adversity: %d/%d seeds pass"
+    (List.length (List.filter fst results))
+    (List.length results);
+  Common.emit_artifact ~name:"adversity"
+    (Sim.Json.Obj
+       [
+         ("horizon_us", Sim.Json.Int horizon_us);
+         ("heal_all_at_us", Sim.Json.Int heal_at);
+         ("seeds", Sim.Json.List (List.map snd results));
+         ("all_pass", Sim.Json.Bool all_pass);
+       ])

@@ -95,11 +95,19 @@ type t = {
     (int * (int * Msg.prepared_strong list * Msg.decided_strong list)) list;
   mutable state_acks : int list;
   mutable last_activity : int;  (* time of last delivery (heartbeating) *)
+  mutable last_bid : int;  (* time of the last leadership bid (debounce) *)
 }
 
 (* Ballot [b] is led by data center [b mod dcs]; the initial ballot makes
    the configured leader DC lead every group. *)
 let leader_of_ballot ~dcs b = b mod dcs
+
+(* Leadership-reclaim bids are level-triggered (PREPARE_STRONG retries
+   every couple of seconds, STATE_REQUEST every retry tick keep landing
+   on the same non-leader), so they are debounced to at most one
+   election per interval — long enough for an in-flight round to
+   settle. *)
+let bid_min_interval_us = 1_000_000
 
 let create ctx ~leader_dc =
   {
@@ -123,6 +131,7 @@ let create ctx ~leader_dc =
     recovery_acks = [];
     state_acks = [];
     last_activity = 0;
+    last_bid = -bid_min_interval_us;
   }
 
 let is_leader t = t.status = Leader
@@ -503,11 +512,32 @@ let recover t =
   t.state_acks <- [];
   broadcast t (Msg.New_leader { b; from = t.ctx.x_self () })
 
+(* A non-leader that trusts its own DC keeps receiving leader-bound
+   traffic: trust has converged back here (typically the leader-home DC
+   after a crash/recover cycle) while the current ballot still belongs
+   to the interim leader — and a follower drops PREPARE_STRONG and
+   STATE_REQUEST silently, so nothing else would ever break the
+   deadlock. Bid for leadership through the ordinary recovery protocol,
+   debounced so the periodic retries that trigger this cannot stack
+   elections on top of one another. *)
+let reclaim t =
+  if
+    t.trusted = t.ctx.x_dc
+    && (t.status = Follower || t.status = Recovering)
+    && t.ctx.x_now () - t.last_bid >= bid_min_interval_us
+  then begin
+    t.last_bid <- t.ctx.x_now ();
+    recover t
+  end
+
 (* Ω notification: the failure detector now trusts [dc] for this group. *)
 let set_trusted t dc =
   if t.trusted <> dc then begin
     t.trusted <- dc;
-    if dc = t.ctx.x_dc then recover t
+    if dc = t.ctx.x_dc then begin
+      t.last_bid <- t.ctx.x_now ();
+      recover t
+    end
     else
       t.ctx.x_send (t.ctx.x_member dc)
         (Msg.Nack { b = t.ballot; from = t.ctx.x_self () })
@@ -516,8 +546,17 @@ let set_trusted t dc =
 let handle_nack t ~b =
   if t.trusted = t.ctx.x_dc && b > t.ballot then begin
     t.ballot <- b;
+    t.last_bid <- t.ctx.x_now ();
     recover t
   end
+  else if b >= t.ballot then
+    (* An equal-ballot NACK cannot raise our bid but still signals that
+       the sender does not consider us leader. The [b > t.ballot] check
+       alone wedges a rejoined leader-home member that already adopted
+       the interim leader's ballot from NEW_STATE: the one-shot
+       trust-transition NACK then ties and is dropped, leaving trust
+       pointed at a permanent follower. *)
+    reclaim t
 
 let handle_new_leader t ~b ~from ~from_dc =
   if t.trusted = from_dc && t.ballot < b then begin
@@ -662,9 +701,11 @@ let begin_rejoin t ~delivered =
 
 (* A rejoining member asks for the group state; only the leader answers
    (with a targeted [New_state] under its current ballot — the same
-   message leader recovery broadcasts). If trust was stale the request
-   lands on a non-leader and dies; the rejoiner's retry loop re-sends to
-   whomever it trusts next. *)
+   message leader recovery broadcasts). A non-leader replies with a NACK
+   carrying the ballot to beat — or bids itself when it trusts its own
+   DC — so a rejoiner whose group currently has no live leader (the
+   leader-home DC crashed and recovered before anyone took over) is not
+   left retrying into silence forever. *)
 let handle_state_request t ~from =
   if t.status = Leader then
     t.ctx.x_send from
@@ -675,6 +716,10 @@ let handle_state_request t ~from =
            decided = decided_list t;
            from = t.ctx.x_self ();
          })
+  else begin
+    reclaim t;
+    t.ctx.x_send from (Msg.Nack { b = t.ballot; from = t.ctx.x_self () })
+  end
 
 let handle_new_state_ack t ~b ~from_dc =
   if t.status = Recovering && t.ballot = b then begin
@@ -765,6 +810,10 @@ let handle t msg =
   match msg with
   | Msg.Prepare_strong { rid; caller; coord; tid; origin; wbuff; ops; snap; lc }
     ->
+      (* Leader-bound traffic landing on a non-leader that trusts its own
+         DC: reclaim leadership (see [reclaim]) instead of dropping the
+         request into a permanent coordinator-retry loop. *)
+      reclaim t;
       handle_prepare_strong t ~rid ~caller ~coord ~tid ~origin ~wbuff ~ops
         ~snap ~lc;
       true

@@ -129,6 +129,9 @@ type t = {
   metrics_probe_us : int;  (* period of the uniformity-lag / queue probes *)
   gc_grace_us : int;  (* how long a crashed DC holds GC floors (rejoin) *)
   sync_chunk : int;  (* max log entries per rejoin sync message *)
+  sync_pull_deadline_us : int;  (* rejoin pull round deadline: a polled
+                                   sibling silent for this long is dropped
+                                   from the round (partition tolerance) *)
   client_failover_us : int;  (* client request timeout before DC failover;
                                 0 disables failover (calls block forever) *)
   costs : costs;
@@ -145,7 +148,8 @@ let default ?(topo = Net.Topology.three_dcs ()) ?(partitions = 8) ?(f = 1)
     ?(strong_heartbeat_us = 10_000) ?(clock_skew_us = 1_000)
     ?(detection_delay_us = 500_000) ?(fd_period_us = 100_000)
     ?link_faults ?(metrics_probe_us = 10_000) ?(gc_grace_us = 10_000_000)
-    ?(sync_chunk = 256) ?(client_failover_us = 0) ?(costs = default_costs)
+    ?(sync_chunk = 256) ?(sync_pull_deadline_us = 300_000)
+    ?(client_failover_us = 0) ?(costs = default_costs)
     ?(seed = 42)
     ?(use_hlc = false) ?(trace_enabled = false) ?(record_history = false)
     ?(measure_visibility = false) () =
@@ -168,6 +172,8 @@ let default ?(topo = Net.Topology.three_dcs ()) ?(partitions = 8) ?(f = 1)
   if partitions <= 0 then invalid_arg "Config.default: bad partitions";
   if gc_grace_us < 0 then invalid_arg "Config.default: bad gc_grace_us";
   if sync_chunk <= 0 then invalid_arg "Config.default: bad sync_chunk";
+  if sync_pull_deadline_us <= 0 then
+    invalid_arg "Config.default: bad sync_pull_deadline_us";
   if client_failover_us < 0 then
     invalid_arg "Config.default: bad client_failover_us";
   {
@@ -187,6 +193,7 @@ let default ?(topo = Net.Topology.three_dcs ()) ?(partitions = 8) ?(f = 1)
     metrics_probe_us;
     gc_grace_us;
     sync_chunk;
+    sync_pull_deadline_us;
     client_failover_us;
     costs;
     seed;

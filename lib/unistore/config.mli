@@ -86,6 +86,12 @@ type t = {
   sync_chunk : int;
       (** maximum log entries per rejoin sync message (bounds message
           size during snapshot transfer and log replay) *)
+  sync_pull_deadline_us : int;
+      (** rejoin pull-round deadline: a polled sibling that has not
+          answered with its tail within this budget is dropped from the
+          round and the round restarts without it, so a partitioned or
+          gray-degraded peer cannot stall the rejoin; dropped peers are
+          retried after a backoff and on Ω rehabilitation *)
   client_failover_us : int;
       (** client-side request timeout before the session fails over to
           another live DC; [0] disables failover (calls block forever on
@@ -124,6 +130,7 @@ val default :
   ?metrics_probe_us:int ->
   ?gc_grace_us:int ->
   ?sync_chunk:int ->
+  ?sync_pull_deadline_us:int ->
   ?client_failover_us:int ->
   ?costs:costs ->
   ?seed:int ->

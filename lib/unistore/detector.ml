@@ -136,6 +136,15 @@ let arm t dc =
         true
       end)
 
+(* The DC crashed: retire its ping/check loops *eagerly* by bumping the
+   generation, instead of waiting for a loop's next firing to notice
+   [dc_failed]. Without the bump, a pre-crash check loop scheduled just
+   before the crash can survive a fast crash→recover cycle and fire
+   against the recovered incarnation with the stale pre-crash view —
+   producing suspicions the new incarnation never observed grounds for.
+   The view itself is left in place; [revive] clears it. *)
+let crash t ~dc = t.gens.(dc) <- t.gens.(dc) + 1
+
 (* The DC recovered from a crash: its detector node restarts with an
    all-clear view (crashes lose memory; real failures elsewhere are
    re-detected within the detection delay) and resumed ping loops. Peers

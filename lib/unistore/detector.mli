@@ -20,6 +20,11 @@ val create :
   on_restore:(observer:int -> dc:int -> unit) ->
   t
 
+(** [dc] crashed: eagerly retire its ping/check loops (incarnation-epoch
+    bump), so a pre-crash timer cannot fire against a recovered
+    incarnation after a fast crash→recover cycle. *)
+val crash : t -> dc:int -> unit
+
 (** [dc] recovered from a crash: restart its detector node with an
     all-clear view and re-armed ping/check loops. Peers rehabilitate it
     on their own once its pings resume. *)

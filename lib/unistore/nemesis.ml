@@ -94,6 +94,37 @@ let inject sys (sched : schedule) =
     sched
 
 (* ------------------------------------------------------------------ *)
+(* Scripted adversity-during-recovery fragments.                        *)
+
+(* Combine scripted fragments into one time-ordered schedule. *)
+let merge scheds =
+  List.sort (fun s1 s2 -> compare s1.at_us s2.at_us) (List.concat scheds)
+
+(* Cut the rejoiner off from one of its sync peers for a window — the
+   peer cannot answer snapshot requests or pulls, so the rejoin must
+   drop it from the round and finish with the others. *)
+let partition_during_sync ~rejoiner ~peer ~from_us ~until_us =
+  [
+    { at_us = from_us; ev = Partition (rejoiner, peer) };
+    { at_us = until_us; ev = Heal (rejoiner, peer) };
+  ]
+
+(* Gray out both directions of the rejoiner <-> peer link: a one-way
+   degradation would stall either the pull or its reply, and the sync
+   must treat sustained silence the same either way. *)
+let degrade_during_sync ~rejoiner ~peer ~extra_us ~from_us ~until_us =
+  [
+    { at_us = from_us; ev = Degrade { src = peer; dst = rejoiner; extra_us } };
+    { at_us = from_us; ev = Degrade { src = rejoiner; dst = peer; extra_us } };
+    { at_us = until_us; ev = Restore { src = peer; dst = rejoiner } };
+    { at_us = until_us; ev = Restore { src = rejoiner; dst = peer } };
+  ]
+
+(* Crash a polled sibling mid-round; pair with the caller's own
+   recovery step if the sibling should come back. *)
+let crash_during_sync ~peer ~at_us = [ { at_us; ev = Crash_dc peer } ]
+
+(* ------------------------------------------------------------------ *)
 (* Seeded random schedules.                                             *)
 
 (* Crash at most [max_crashes] DCs (never the majority — the paper's
@@ -101,7 +132,8 @@ let inject sys (sched : schedule) =
    links, and finish with [Heal_all] before [horizon_us] so liveness
    assertions apply. The same seed always yields the same schedule. *)
 let random_schedule ~seed ~dcs ~horizon_us ?(max_crashes = 1)
-    ?(max_partitions = 2) ?(max_degrades = 2) ?(max_recoveries = 0) () =
+    ?(max_partitions = 2) ?(max_degrades = 2) ?(max_recoveries = 0)
+    ?(max_sync_partitions = 0) ?(max_sync_degrades = 0) () =
   if dcs < 2 then invalid_arg "Nemesis.random_schedule: need at least 2 DCs";
   if horizon_us <= 0 then invalid_arg "Nemesis.random_schedule: bad horizon";
   let rng = Rng.create (seed lxor 0x4e454d) in
@@ -151,6 +183,7 @@ let random_schedule ~seed ~dcs ~horizon_us ?(max_crashes = 1)
      crash and no later than the final heal, leaving the last quarter
      of the run for catch-up and convergence. The default of 0 draws
      nothing from the Rng, preserving the schedules of existing seeds. *)
+  let recoveries = ref [] in
   if max_recoveries > 0 then begin
     let budget = ref max_recoveries in
     List.iter
@@ -160,10 +193,45 @@ let random_schedule ~seed ~dcs ~horizon_us ?(max_crashes = 1)
           let delay =
             (horizon_us / 16) + Rng.int rng (max 1 (horizon_us / 16))
           in
+          recoveries := (dc, at + delay) :: !recoveries;
           push (at + delay) (Recover_dc dc)
         end)
       (List.rev !crash_times)
   end;
+  (* Overlap modes: adversity aimed at the *recovery itself*. For each
+     crash/recover cycle, cut partitions ([max_sync_partitions]) and
+     inject gray links ([max_sync_degrades]) between the recovering DC
+     and its sync peers, starting inside the crash→recover window so the
+     fault spans the snapshot/pull rounds, and lasting until the final
+     [Heal_all] — the whole pull window. The defaults of 0 draw nothing
+     from the Rng, preserving every existing seed's schedule (all new
+     draws also come after every pre-existing one). *)
+  if (max_sync_partitions > 0 || max_sync_degrades > 0) && dcs > 1 then
+    List.iter
+      (fun (dc, recover_at) ->
+        let overlap_start crash_at =
+          let window = max 1 (recover_at - crash_at) in
+          crash_at + Rng.int rng window
+        in
+        let crash_at =
+          match List.assoc_opt dc !crash_times with
+          | Some at -> at
+          | None -> recover_at
+        in
+        let peer () = (dc + 1 + Rng.int rng (dcs - 1)) mod dcs in
+        for _ = 1 to max_sync_partitions do
+          push (overlap_start crash_at) (Partition (dc, peer ()))
+          (* healed by the final Heal_all *)
+        done;
+        for _ = 1 to max_sync_degrades do
+          let p = peer () in
+          let extra_us = 100_000 + Rng.int rng 400_000 in
+          let at = overlap_start crash_at in
+          push at (Degrade { src = p; dst = dc; extra_us });
+          push at (Degrade { src = dc; dst = p; extra_us })
+          (* restored by the final Heal_all *)
+        done)
+      (List.rev !recoveries);
   (* final heal, comfortably before the horizon *)
   push (3 * horizon_us / 4) Heal_all;
   List.sort (fun s1 s2 -> compare s1.at_us s2.at_us) !steps

@@ -33,14 +33,42 @@ val inject_event : System.t -> event -> unit
     {!System.run}). *)
 val inject : System.t -> schedule -> unit
 
+(** Combine scripted schedule fragments into one time-ordered
+    schedule. *)
+val merge : schedule list -> schedule
+
+(** Cut the [rejoiner] <-> [peer] link for \[[from_us], [until_us]\]:
+    the peer cannot answer snapshot requests or pulls, so the rejoin
+    must drop it from the round and finish with the others. *)
+val partition_during_sync :
+  rejoiner:int -> peer:int -> from_us:int -> until_us:int -> schedule
+
+(** Gray out both directions of the [rejoiner] <-> [peer] link by
+    [extra_us] for \[[from_us], [until_us]\]. *)
+val degrade_during_sync :
+  rejoiner:int ->
+  peer:int ->
+  extra_us:int ->
+  from_us:int ->
+  until_us:int ->
+  schedule
+
+(** Crash a polled sibling mid-round. *)
+val crash_during_sync : peer:int -> at_us:int -> schedule
+
 (** Deterministic seeded schedule: at most [max_crashes] DC crashes
     (default 1), up to [max_partitions] transient partitions (default 2)
     and [max_degrades] gray links (default 2), all within the middle of
     the run, closed by [Heal_all] at 3/4 of [horizon_us]. With
     [max_recoveries] > 0 (default 0), that many crashed DCs recover a
     bounded interval after their crash — crash/recover cycles for
-    rejoin testing. The default draws nothing from the Rng, so existing
-    seeds keep their schedules. *)
+    rejoin testing. With [max_sync_partitions] / [max_sync_degrades] > 0
+    (defaults 0), each crash/recover cycle additionally gets that many
+    partitions / gray links between the recovering DC and random sync
+    peers, cut inside the crash→recover window and lasting until the
+    final [Heal_all] — adversity aimed at the recovery itself. All
+    defaults draw nothing from the Rng (and new draws come after every
+    pre-existing one), so existing seeds keep their schedules. *)
 val random_schedule :
   seed:int ->
   dcs:int ->
@@ -49,5 +77,7 @@ val random_schedule :
   ?max_partitions:int ->
   ?max_degrades:int ->
   ?max_recoveries:int ->
+  ?max_sync_partitions:int ->
+  ?max_sync_degrades:int ->
   unit ->
   schedule

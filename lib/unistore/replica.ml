@@ -90,6 +90,19 @@ type sync_state = {
   mutable s_tails : (int * Vclock.Vc.t) list;  (* round: dc -> its knownVec *)
   mutable s_polled : int list;  (* DCs polled in the current round *)
   mutable s_weak : int list;  (* polled DCs that answered "also syncing" *)
+  (* Peers dropped from the sync for missing a deadline (pull-round
+     silence, snapshot refusal): dc -> the time from which they may be
+     polled again. A partitioned or gray-degraded sibling lands here so
+     the round can restart without it instead of stalling; Ω
+     rehabilitation or an answered poll removes the entry early. *)
+  mutable s_dropped : (int * int) list;
+  mutable s_round_started : int;  (* when the current pull round began *)
+  (* Late-bound reactions into the running round (set by [begin_rejoin];
+     they close over functions defined below the handlers that fire
+     them): the Ω suspicion feed, and "finish the sync if complete,
+     otherwise restart the round". *)
+  mutable s_on_suspect : int -> unit;
+  mutable s_try_complete : unit -> unit;
   (* The direct replication stream ([Replicate]/[Heartbeat]) deferred
      while syncing, newest first. It cannot simply be dropped: each
      transaction is propagated exactly once and the receiving frontier
@@ -1147,11 +1160,20 @@ let suspect t failed_dc =
     t.suspected <- failed_dc :: t.suspected;
     Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"suspect"
       "dc%d suspected; forwarding its transactions" failed_dc;
-    (* while rebuilding after a crash only record the suspicion: trust is
-       retargeted once the catch-up completes, so a half-synced member
-       can never start leader recovery on stale state *)
+    (* While rebuilding after a crash, feed Ω's verdict into the running
+       sync round (a suspected snapshot source fails over, a suspected
+       polled sibling is dropped) and still retarget certification trust
+       — when the crashed leader DC is the one being suspected, the
+       group's election needs this member's ack, and deferring the
+       retarget until the catch-up completes deadlocks against
+       [cert_caught_up]. The one thing a half-synced member must never
+       do is bid for leadership itself (electing on stale state could
+       lose decisions), so the retarget is skipped exactly when Ω would
+       point at our own DC; [finish_sync] recomputes trust in full. *)
     match t.sync with
-    | Some _ -> ()
+    | Some s ->
+        s.s_on_suspect failed_dc;
+        if preferred_leader t <> t.dc then retarget_trust t
     | None -> (
         retarget_trust t;
         (* eagerly finish 2PCs the suspected DC was coordinating: an
@@ -1170,7 +1192,13 @@ let unsuspect t dc =
     t.suspected <- List.filter (fun d -> d <> dc) t.suspected;
     Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"unsuspect"
       "dc%d rehabilitated" dc;
-    match t.sync with Some _ -> () | None -> retarget_trust t
+    match t.sync with
+    | Some s ->
+        (* a rehabilitated peer may serve the sync again right away; the
+           trust retarget follows the same no-self-bid rule as above *)
+        s.s_dropped <- List.remove_assoc dc s.s_dropped;
+        if preferred_leader t <> t.dc then retarget_trust t
+    | None -> retarget_trust t
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1385,7 +1413,44 @@ let wipe_state t =
   t.waiters <- [];
   t.suspected <- []
 
-(* Ask a live sibling for the snapshot, rotating the peer across
+(* Is [dc] currently barred from serving this sync? Ω-suspected peers
+   and peers that recently missed a deadline (pull-round silence or a
+   refused/stalled snapshot) are skipped until their backoff expires or
+   Ω rehabilitates them — a partitioned sibling is otherwise re-picked
+   forever, stalling the rejoin for as long as the adversity lasts. *)
+let sync_barred t s dc =
+  List.mem dc t.suspected
+  ||
+  match List.assoc_opt dc s.s_dropped with
+  | Some retry_at -> now t < retry_at
+  | None -> false
+
+(* Peers eligible to serve the sync. When adversity has barred every
+   live sibling (total partition of the rejoiner), fall back to all of
+   them rather than going dark: the periodic restarts keep probing, and
+   whichever peer heals first answers. *)
+let sync_peers t s =
+  let live = live_peers t in
+  match List.filter (fun i -> not (sync_barred t s i)) live with
+  | [] -> live
+  | eligible -> eligible
+
+let sync_drop_backoff_us t = 4 * t.cfg.Config.sync_pull_deadline_us
+
+(* Drop [dc] from the current round: it missed the pull deadline, never
+   produced a snapshot chunk, or became Ω-suspected before answering.
+   It keeps any tail it already delivered (an answered poll is not a
+   laggard) and is barred from the next rounds until the backoff
+   expires. *)
+let sync_drop_peer t s dc =
+  Sim.Metrics.incr (Sim.Metrics.counter t.metrics "sync_peer_drops_total");
+  Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"sync-drop"
+    "dc%d dropped from the sync round (deadline/suspicion)" dc;
+  s.s_dropped <-
+    (dc, now t + sync_drop_backoff_us t) :: List.remove_assoc dc s.s_dropped;
+  s.s_polled <- List.filter (fun i -> i <> dc) s.s_polled
+
+(* Ask an eligible sibling for the snapshot, rotating the peer across
    attempts. Any partially applied chunks from an abandoned attempt are
    discarded by re-wiping; stale chunks still in flight are dropped by
    the [sq] check. *)
@@ -1393,8 +1458,9 @@ let request_snapshot t s =
   s.s_sq <- s.s_sq + 1;
   s.s_phase <- Sync_snapshot;
   s.s_progress <- false;
+  s.s_peer <- -1;
   wipe_state t;
-  match live_peers t with
+  match sync_peers t s with
   | [] -> ()  (* nobody to sync from; the retry tick keeps looking *)
   | peers ->
       let peer = List.nth peers (s.s_sq mod List.length peers) in
@@ -1415,19 +1481,42 @@ let request_cert_state t =
           send t (sibling t i) (Msg.State_request { from = t.addr }))
         (live_peers t)
 
+(* Start a catch-up pull round over the eligible peers, and arm its
+   deadline: a polled sibling that has not answered with its tail when
+   the deadline fires is dropped (with a backoff before it is polled
+   again) and the round restarts without it — mirroring the co-syncing
+   exclusion, but driven by time and Ω instead of an explicit weak
+   tail. Without the deadline, a sibling partitioned or gray-degraded
+   mid-round can neither answer nor be exempted (it has not crashed),
+   and the rejoin stalls for as long as the adversity lasts. *)
 let start_pull_round t s =
   s.s_sq <- s.s_sq + 1;
   s.s_tails <- [];
   s.s_polled <- [];
   s.s_weak <- [];
-  for i = 0 to dcs t - 1 do
-    if i <> t.dc && not (Network.dc_failed t.net i) then begin
+  s.s_round_started <- now t;
+  List.iter
+    (fun i ->
       s.s_polled <- i :: s.s_polled;
       send t (sibling t i)
         (Msg.Sync_pull
-           { from = t.addr; vec = Vc.copy t.known_vec; sq = s.s_sq })
-    end
-  done
+           { from = t.addr; vec = Vc.copy t.known_vec; sq = s.s_sq }))
+    (sync_peers t s);
+  let sq = s.s_sq in
+  Engine.schedule t.eng ~delay:t.cfg.Config.sync_pull_deadline_us (fun () ->
+      match t.sync with
+      | Some s' when s' == s && s.s_phase = Sync_pull && s.s_sq = sq && alive t
+        ->
+          let laggards =
+            List.filter
+              (fun i -> not (List.mem_assoc i s.s_tails))
+              s.s_polled
+          in
+          if laggards <> [] then begin
+            List.iter (fun i -> sync_drop_peer t s i) laggards;
+            s.s_try_complete ()
+          end
+      | _ -> ())
 
 let cert_caught_up t =
   match t.cert with
@@ -1437,18 +1526,29 @@ let cert_caught_up t =
       | Cert.Leader | Cert.Follower -> true
       | Cert.Recovering | Cert.Restoring -> false)
 
+(* Origins whose entries the completion predicate cannot wait for:
+   crashed DCs, co-syncing peers, Ω-suspected peers, and peers dropped
+   from the round for missing a deadline (a partitioned or gray sibling
+   lands there). What a tail claims for such an origin may exceed any
+   data a pull can deliver — heartbeats advance frontiers past the last
+   transaction, and the origin itself cannot answer — so [finish_sync]
+   adopts the tails' claims instead; see there for why that is
+   gap-free. *)
+let sync_exempt t s o =
+  Network.dc_failed t.net o
+  || List.mem o s.s_weak
+  || List.mem o t.suspected
+  || List.mem_assoc o s.s_dropped
+
 (* Caught up once every polled sibling sent its tail and our knownVec
    covers the tails' entries for every origin that can still speak for
    itself — its own entry arrived as a tail heartbeat, the others lag
-   it by a propagation period. Entries for origins that cannot answer
-   (crashed, or themselves syncing) are exempt here: what a tail claims
-   for such an origin may exceed any data a pull can deliver (heartbeats
-   advance frontiers past the last transaction), so [finish_sync] adopts
-   those claims instead — see there for why that is gap-free. The strong
-   entry is driven by the certification member's deliveries, which the
-   rejoiner receives like everyone else once its member re-entered. *)
+   it by a propagation period. Entries for [sync_exempt] origins are
+   exempt here. The strong entry is driven by the certification
+   member's deliveries, which the rejoiner receives like everyone else
+   once its member re-entered. *)
 let sync_complete t s =
-  let exempt o = Network.dc_failed t.net o || List.mem o s.s_weak in
+  let exempt o = sync_exempt t s o in
   s.s_phase = Sync_pull
   && s.s_polled <> []
   && List.for_all (fun i -> List.mem_assoc i s.s_tails) s.s_polled
@@ -1474,17 +1574,20 @@ let sync_complete t s =
 let finish_sync t s =
   t.sync <- None;
   (* Adopt the tails' entries for origins that could not answer the
-     pulls themselves. A peer never holds data of another origin above
-     its own entry for it, and every polled peer shipped all it held
-     above our vector, so the maximum of the tails is a completeness
-     assertion over transactions the pulls already delivered. *)
+     pulls themselves — crashed, co-syncing, suspected or dropped. A
+     peer never holds data of another origin above its own entry for
+     it, and every answering peer shipped all it held above our vector,
+     so the maximum of the tails is a completeness assertion over
+     transactions the pulls already delivered. A dropped origin's own
+     history is not lost: whatever sits between the adopted claim and
+     its true frontier was already shipped to the answering peers (the
+     claim is backed by data they hold), and anything newer arrives on
+     the retransmitted direct stream after the partition heals. *)
   List.iter
     (fun (_, known) ->
       for o = 0 to dcs t - 1 do
-        if
-          o <> t.dc
-          && (Network.dc_failed t.net o || List.mem o s.s_weak)
-        then handle_heartbeat t ~origin:o ~ts:(Vc.get known o)
+        if o <> t.dc && sync_exempt t s o then
+          handle_heartbeat t ~origin:o ~ts:(Vc.get known o)
       done)
     s.s_tails;
   let took = now t - s.s_started in
@@ -1627,7 +1730,8 @@ let handle_sync_tail t ~from_dc ~known ~syncing ~sq =
            it, and never trust its partial frontier *)
         s.s_weak <- from_dc :: List.filter (fun i -> i <> from_dc) s.s_weak;
         s.s_polled <- List.filter (fun i -> i <> from_dc) s.s_polled;
-        s.s_tails <- List.remove_assoc from_dc s.s_tails
+        s.s_tails <- List.remove_assoc from_dc s.s_tails;
+        s.s_dropped <- List.remove_assoc from_dc s.s_dropped
       end
       else begin
         (* FIFO channels order every [Sync_log] batch of the response
@@ -1635,7 +1739,9 @@ let handle_sync_tail t ~from_dc ~known ~syncing ~sq =
            peer holds nothing of its own stream below [known] that it
            has not already shipped to us *)
         handle_heartbeat t ~origin:from_dc ~ts:(Vc.get known from_dc);
-        s.s_tails <- (from_dc, known) :: List.remove_assoc from_dc s.s_tails
+        s.s_tails <- (from_dc, known) :: List.remove_assoc from_dc s.s_tails;
+        (* an answer — even a late one — proves the link works again *)
+        s.s_dropped <- List.remove_assoc from_dc s.s_dropped
       end
   | _ -> ()
 
@@ -1744,12 +1850,35 @@ let begin_rejoin t ~on_done =
       s_tails = [];
       s_polled = [];
       s_weak = [];
+      s_dropped = [];
+      s_round_started = now t;
+      s_on_suspect = (fun _ -> ());
+      s_try_complete = (fun () -> ());
       s_deferred = [];
       s_started = now t;
       s_done = on_done;
     }
   in
   t.sync <- Some s;
+  s.s_try_complete <-
+    (fun () -> if sync_complete t s then complete_sync t s else start_pull_round t s);
+  (* The Ω feed: a suspected sibling is treated like a missed deadline
+     immediately — snapshot source failover, or a pull round restarted
+     without the suspect — instead of waiting for the timer. *)
+  s.s_on_suspect <-
+    (fun dc ->
+      match s.s_phase with
+      | Sync_snapshot ->
+          if dc = s.s_peer then begin
+            sync_drop_peer t s dc;
+            request_snapshot t s
+          end
+      | Sync_pull ->
+          if List.mem dc s.s_polled && not (List.mem_assoc dc s.s_tails)
+          then begin
+            sync_drop_peer t s dc;
+            s.s_try_complete ()
+          end);
   (match t.cert with
   | Some c -> Cert.begin_rejoin c ~delivered:0
   | None -> ());
@@ -1760,10 +1889,14 @@ let begin_rejoin t ~on_done =
       | Some s' when s' == s && alive t -> (
           (match s.s_phase with
           | Sync_snapshot ->
-              (* no chunk since the last tick: the peer died or refused;
-                 rotate to the next one *)
+              (* no chunk since the last tick: the peer died, refused, or
+                 sits behind a partition; bar it for a backoff and rotate
+                 to the next eligible one *)
               if s.s_progress then s.s_progress <- false
-              else request_snapshot t s
+              else begin
+                if s.s_peer >= 0 then sync_drop_peer t s s.s_peer;
+                request_snapshot t s
+              end
           | Sync_pull ->
               if sync_complete t s then complete_sync t s
               else begin

@@ -384,13 +384,24 @@ let preload t key op =
    not fail over to a syncing DC (it refuses their requests). *)
 let dc_syncing t dc = Array.exists Replica.is_syncing t.replicas.(dc)
 
-let recover_dc t dc =
+let rec recover_dc t dc =
   if Config.centralized_cert t.cfg then
     invalid_arg
       "System.recover_dc: unsupported under the REDBLUE centralized \
        service (see ROADMAP)";
-  if not (Network.dc_failed t.net dc) then
-    invalid_arg (Fmt.str "System.recover_dc: dc%d is not failed" dc);
+  if not (Network.dc_failed t.net dc) then begin
+    (* Idempotent: a recovery for a DC that never crashed — or that an
+       overlapping schedule already recovered (it is no longer failed,
+       possibly still syncing) — is a no-op with a warning, not
+       undefined state. Re-running the rejoin machinery over a live DC
+       would wipe healthy replicas. *)
+    Sim.Trace.emitf t.trace ~source:"system" ~kind:"recover-ignored"
+      "ignoring recover for dc%d: not failed%s" dc
+      (if dc_syncing t dc then " (still syncing)" else " (never crashed?)")
+  end
+  else really_recover_dc t dc
+
+and really_recover_dc t dc =
   Network.recover_dc t.net dc;
   (* peers must treat the rejoiner as knowing nothing until its fresh
      vectors gossip in: zero its matrix rows so the GC floors pin at 0
@@ -445,8 +456,12 @@ let spawn_client t ~dc body =
 
 (* Crash a whole DC. Detection is no longer an oracle: the Ω detector
    notices the silence (within detection_delay_us + a ping period) and
-   notifies each surviving DC independently. *)
-let fail_dc t dc = Network.fail_dc t.net dc
+   notifies each surviving DC independently. The detector's own loops
+   for the crashed DC are retired eagerly so a pre-crash timer cannot
+   outlive a fast crash→recover cycle. *)
+let fail_dc t dc =
+  Network.fail_dc t.net dc;
+  Detector.crash t.detector ~dc
 
 let detector t = t.detector
 

@@ -71,9 +71,10 @@ val fail_dc : t -> int -> unit
     arrive), and drive every partition replica through the rejoin
     protocol — snapshot from a live sibling, causal-log pull rounds and
     certification-state catch-up — until it serves clients again.
-    Raises [Invalid_argument] if [dc] has not failed, or under the
-    REDBLUE centralized service (whose recovery is an open ROADMAP
-    item). *)
+    Idempotent: recovering a DC that has not failed — never crashed, or
+    already recovered by an overlapping schedule — is a warned no-op.
+    Raises [Invalid_argument] under the REDBLUE centralized service
+    (whose recovery is an open ROADMAP item). *)
 val recover_dc : t -> int -> unit
 
 (** Whether any replica of [dc] is still catching up after

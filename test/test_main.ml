@@ -28,6 +28,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("nemesis", Test_nemesis.suite);
       ("recovery", Test_recovery.suite);
+      ("adversity", Test_adversity.suite);
       ("report", Test_report.suite);
       ("properties", Test_properties.suite);
     ]
