@@ -25,6 +25,7 @@ let period_point ~period_us =
       ~broadcast_period_us:period_us ~measure_visibility:true ()
   in
   let sys = U.System.create cfg in
+  Common.track sys;
   let spec =
     {
       (Workload.Micro.default_spec ~partitions) with
@@ -88,6 +89,7 @@ let skew_point ?(use_hlc = false) ~skew_us () =
       ~record_history:true ()
   in
   let sys = U.System.create cfg in
+  Common.track sys;
   let spec =
     {
       (Workload.Micro.default_spec ~partitions) with

@@ -45,10 +45,43 @@ let collect sys ~mode ~clients =
     r_sys = sys;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Simulator speed accounting.
+
+   Every artifact carries a [sim_events_per_sec] field: engine events
+   executed by the systems deployed for it divided by the wall-clock
+   time since the previous artifact. Benches register each deployment
+   with [track] ([run_experiment]/[run_rubis] do it automatically);
+   [emit_artifact] drains the tracked set — event counts are final by
+   the time an artifact is written. The field is the one
+   wall-clock-dependent value in an artifact; everything else stays
+   seed-deterministic. *)
+
+let tracked : U.System.t list ref = ref []
+let events_done = ref 0  (* events of already-drained systems *)
+let events_emitted = ref 0  (* events attributed to previous artifacts *)
+let last_emit_wall = ref (Unix.gettimeofday ())
+
+let track sys = tracked := sys :: !tracked
+
+let sim_events_per_sec () =
+  List.iter
+    (fun s ->
+      events_done := !events_done + Sim.Engine.executed_events (U.System.engine s))
+    !tracked;
+  tracked := [];
+  let now = Unix.gettimeofday () in
+  let dt = now -. !last_emit_wall in
+  let ev = !events_done - !events_emitted in
+  events_emitted := !events_done;
+  last_emit_wall := now;
+  if ev = 0 || dt <= 0.0 then None else Some (float_of_int ev /. dt)
+
 (* Deploy [cfg], spawn [clients] closed-loop clients round-robin across
    DCs running [body], measure for [window_us] after [warmup_us]. *)
 let run_experiment ~cfg ~clients ~warmup_us ~window_us ~body =
   let sys = U.System.create cfg in
+  track sys;
   U.System.set_window sys ~start:warmup_us ~stop:(warmup_us + window_us);
   let stop_at = warmup_us + window_us in
   let stop () = U.System.now sys >= stop_at in
@@ -86,6 +119,7 @@ let run_rubis ~mode ?(think_time_us = 20_000) ~topo ~partitions ~clients
     U.Config.default ~topo ~partitions ~f:1 ~mode ~conflict ~seed ()
   in
   let sys = U.System.create cfg in
+  track sys;
   let spec = { Workload.Rubis.default_spec with think_time_us } in
   Workload.Rubis.populate sys spec;
   U.System.set_window sys ~start:warmup_us ~stop:(warmup_us + window_us);
@@ -135,6 +169,13 @@ let emit_artifact ~name json =
   match artifact_path ~prefix:"BENCH" ~name with
   | None -> ()
   | Some path ->
+      let json =
+        match (json, sim_events_per_sec ()) with
+        | Sim.Json.Obj fields, Some rate ->
+            Sim.Json.Obj
+              (fields @ [ ("sim_events_per_sec", Sim.Json.Float rate) ])
+        | j, _ -> j
+      in
       write_json path json;
       Fmt.pr "  [json: %s]@." path
 

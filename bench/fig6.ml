@@ -33,6 +33,7 @@ let run () =
       ~measure_visibility:true ()
   in
   let sys = U.System.create cfg in
+  Common.track sys;
   let stop_at = 4_000_000 in
   let stop () = U.System.now sys >= stop_at in
   (* updates originate at California, as in the paper's measurement *)

@@ -36,12 +36,13 @@ let artefacts =
     ( "adversity",
       fun () -> Common.timed "adversity" Nemesis_bench.run_adversity );
     ("ablations", fun () -> Common.timed "ablations" Ablations.run);
+    ("overload", fun () -> Common.timed "overload" Overload.run);
     ("micro", fun () -> Common.timed "micro" Microbench.run);
   ]
 
 let default_sequence =
-  [ "scenarios"; "nemesis"; "recovery"; "adversity"; "tab-latency"; "fig6";
-    "fig5"; "ablations"; "micro"; "fig3"; "fig4" ]
+  [ "scenarios"; "nemesis"; "recovery"; "adversity"; "overload";
+    "tab-latency"; "fig6"; "fig5"; "ablations"; "micro"; "fig3"; "fig4" ]
 
 (* Strip [--json <dir>] (setting [Common.json_dir]) and return the
    remaining artefact names. *)

@@ -22,6 +22,7 @@ let run () =
       ~trace_enabled:true ()
   in
   let sys = U.System.create cfg in
+  Common.track sys;
   let spec =
     {
       Rubis.default_spec with
@@ -131,6 +132,7 @@ let run_recovery () =
       ~seed:recovery_seed ~client_failover_us:400_000 ~record_history:true ()
   in
   let sys = U.System.create cfg in
+  Common.track sys;
   let spec =
     {
       Rubis.default_spec with
@@ -258,6 +260,7 @@ let run_adversity () =
         ~client_failover_us:400_000 ~record_history:true ()
     in
     let sys = U.System.create cfg in
+  Common.track sys;
     let spec =
       {
         Rubis.default_spec with

@@ -14,6 +14,7 @@ let fig1 () =
     U.Config.default ~topo:(Net.Topology.three_dcs ()) ~partitions:4 ()
   in
   let sys = U.System.create cfg in
+  Common.track sys;
   U.System.preload sys 1 (Crdt.Reg_write 0);
   ignore
     (U.System.spawn_client sys ~dc:1 (fun c ->
@@ -65,6 +66,7 @@ let fig2 () =
     U.Config.default ~topo:(Net.Topology.three_dcs ()) ~partitions:4 ()
   in
   let sys = U.System.create cfg in
+  Common.track sys;
   U.System.preload sys 1 (Crdt.Reg_write 0);
   U.System.preload sys 2 (Crdt.Reg_write 0);
   ignore

@@ -117,6 +117,7 @@ type 'm t = {
   rx_flows : (int * int, 'm rx_flow) Hashtbl.t;
   mutable trace : Sim.Trace.t;
   mutable meter : 'm meter option;
+  mutable rto_cap_us : int;  (* retransmission-backoff ceiling *)
   mutable sent : int;
   mutable dropped_crash : int;
   mutable dropped_loss : int;
@@ -126,11 +127,14 @@ type 'm t = {
   mutable dups_suppressed : int;
 }
 
-(* Retransmission backoff is capped at the failure detector's suspicion
-   timeout: a healed link then catches up on its backlog before Ω can
-   falsely re-suspect the peer, at the price of a few more (dropped)
-   probes while a long partition lasts. *)
-let rto_cap_us = 500_000
+(* Retransmission backoff is capped so a healed link catches up on its
+   backlog before Ω can falsely re-suspect the peer, at the price of a
+   few more (dropped) probes while a long partition lasts. The effective
+   cap is per-transport ([set_rto_cap]) and is normally derived from the
+   deployed failure-detector configuration plus the worst-case link RTT
+   (see [Unistore.Config.rto_cap_us]); this constant is only the
+   fallback for transports wired without a protocol configuration. *)
+let default_rto_cap_us = 500_000
 
 let create eng topo =
   {
@@ -148,6 +152,7 @@ let create eng topo =
     rx_flows = Hashtbl.create 256;
     trace = Sim.Trace.disabled;
     meter = None;
+    rto_cap_us = default_rto_cap_us;
     sent = 0;
     dropped_crash = 0;
     dropped_loss = 0;
@@ -174,6 +179,12 @@ let enable_faults t =
 
 let faults t = t.faults
 let set_trace t trace = t.trace <- trace
+
+let set_rto_cap t cap =
+  if cap <= 0 then invalid_arg "Network.set_rto_cap: cap must be positive";
+  t.rto_cap_us <- cap
+
+let rto_cap t = t.rto_cap_us
 
 let set_meter t reg ~kind_of ~size_of =
   let c ?labels name = Sim.Metrics.counter reg ?labels name in
@@ -616,7 +627,7 @@ let rec arm_timer t f ~src ~dst fl =
                 | Some m -> Sim.Metrics.incr m.m_retransmit);
                 transmit t f ~src ~dst seq msg)
               fl.unacked;
-            fl.rto_us <- min (2 * fl.rto_us) rto_cap_us;
+            fl.rto_us <- min (2 * fl.rto_us) t.rto_cap_us;
             arm_timer t f ~src ~dst fl
           end
         end)

@@ -81,6 +81,15 @@ val faults : 'm t -> Faults.t option
 (** Report drops (with their cause) to a trace. *)
 val set_trace : 'm t -> Sim.Trace.t -> unit
 
+(** Ceiling of the reliable layer's exponential retransmission backoff.
+    Defaults to 500 ms; deployments derive it from the failure-detector
+    configuration plus the worst-case link RTT so a healed link catches
+    up on its backlog before Ω can falsely re-suspect the peer (see
+    [Unistore.Config.rto_cap_us]). *)
+val set_rto_cap : 'm t -> int -> unit
+
+val rto_cap : 'm t -> int
+
 (** {1 Metrics} *)
 
 (** Install a metrics registry. The transport then maintains

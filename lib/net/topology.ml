@@ -53,6 +53,21 @@ let one_way t ~src ~dst =
 
 let jitter_us t = t.jitter_us
 
+(* Worst-case round-trip time across the deployment, jitter included:
+   the largest one-way latency of any ordered DC pair, doubled, plus the
+   maximum jitter a message can pick up in each direction. Used to derive
+   timeout bounds (retransmission caps, leadership-bid debounces) from
+   the deployment instead of hard-coding them. *)
+let max_rtt_us t =
+  let worst = ref t.intra_dc_us in
+  let n = dcs t in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      worst := max !worst (one_way t ~src ~dst)
+    done
+  done;
+  (2 * !worst) + (2 * t.jitter_us)
+
 let create ?(intra_dc_us = 100) ?(jitter_us = 50) regions =
   let n = Array.length regions in
   if n = 0 then invalid_arg "Topology.create: no data centers";

@@ -24,6 +24,12 @@ val one_way : t -> src:int -> dst:int -> int
 
 val jitter_us : t -> int
 
+(** Worst-case round trip across the deployment: twice the largest
+    one-way latency of any DC pair plus twice the jitter bound. The
+    basis for deriving timeout bounds (RTO cap, reclaim debounce) from
+    the deployment instead of hard-coding them. *)
+val max_rtt_us : t -> int
+
 (** The paper's deployments: §8.1–8.2 use \{Virginia, California,
     Frankfurt\}; §8.3 grows to Ireland then Brazil. *)
 val three_dcs : unit -> t

@@ -96,6 +96,7 @@ type t = {
   mutable state_acks : int list;
   mutable last_activity : int;  (* time of last delivery (heartbeating) *)
   mutable last_bid : int;  (* time of the last leadership bid (debounce) *)
+  bid_interval_us : int;  (* reclaim debounce (derived from the config) *)
 }
 
 (* Ballot [b] is led by data center [b mod dcs]; the initial ballot makes
@@ -106,10 +107,13 @@ let leader_of_ballot ~dcs b = b mod dcs
    every couple of seconds, STATE_REQUEST every retry tick keep landing
    on the same non-leader), so they are debounced to at most one
    election per interval — long enough for an in-flight round to
-   settle. *)
-let bid_min_interval_us = 1_000_000
+   settle. The deployment derives the interval from its failure-detector
+   period plus the worst-case RTT ([Config.reclaim_debounce_us]); this
+   conservative constant is only the default for contexts created
+   without one. *)
+let default_bid_interval_us = 1_000_000
 
-let create ctx ~leader_dc =
+let create ?(bid_interval_us = default_bid_interval_us) ctx ~leader_dc =
   {
     ctx;
     status = (if ctx.x_dc = leader_dc then Leader else Follower);
@@ -131,7 +135,8 @@ let create ctx ~leader_dc =
     recovery_acks = [];
     state_acks = [];
     last_activity = 0;
-    last_bid = -bid_min_interval_us;
+    last_bid = -bid_interval_us;
+    bid_interval_us;
   }
 
 let is_leader t = t.status = Leader
@@ -524,7 +529,7 @@ let reclaim t =
   if
     t.trusted = t.ctx.x_dc
     && (t.status = Follower || t.status = Recovering)
-    && t.ctx.x_now () - t.last_bid >= bid_min_interval_us
+    && t.ctx.x_now () - t.last_bid >= t.bid_interval_us
   then begin
     t.last_bid <- t.ctx.x_now ();
     recover t

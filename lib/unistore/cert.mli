@@ -56,7 +56,10 @@ val status_name : status -> string
 
 type t
 
-val create : ctx -> leader_dc:int -> t
+(** [bid_interval_us] debounces {!reclaim} leadership bids (at most one
+    election per interval). Deployments pass the derived
+    [Config.reclaim_debounce_us]; the default is a conservative 1 s. *)
+val create : ?bid_interval_us:int -> ctx -> leader_dc:int -> t
 val is_leader : t -> bool
 val status : t -> status
 

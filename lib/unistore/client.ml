@@ -59,6 +59,12 @@ and cur = {
 
 exception Aborted
 
+(* The coordinator shed the strong commit before certification
+   (admission control): the transaction took no effect and may be
+   retried. Distinct from [Aborted] so open-loop drivers can count shed
+   load instead of re-executing. *)
+exception Overloaded
+
 let create ~id ~eng ~net ~cfg ~history ~trace ~metrics ~dc ~replicas_of_dc =
   let t =
     {
@@ -104,7 +110,8 @@ let create ~id ~eng ~net ~cfg ~history ~trace ~metrics ~dc ~replicas_of_dc =
       | Msg.R_value { req; _ }
       | Msg.R_committed { req; _ }
       | Msg.R_strong { req; _ }
-      | Msg.R_ok { req } ->
+      | Msg.R_ok { req }
+      | Msg.R_overloaded { req } ->
           Some req
       | _ -> None
     in
@@ -385,6 +392,18 @@ let commit t =
     with
     | Some (Msg.R_strong { dec; vec; lc; _ }) ->
         finish_strong t c ~dec ~vec ~lc
+    | Some (Msg.R_overloaded _) ->
+        (* admission control shed the commit: the transaction took no
+           effect; surface it as a retryable outcome distinct from an
+           abort (interned on first shed, keeping overload-free runs'
+           metric snapshots unchanged) *)
+        Sim.Metrics.incr
+          (Sim.Metrics.counter t.metrics "txn_overloaded_total");
+        if Sim.Trace.enabled t.trace then
+          Sim.Trace.emit_span t.trace ~source:t.trace_src ~kind:"txn-shed"
+            ~start:c.c_start_us
+            (Fmt.str "%a %s" Types.tid_pp c.c_tid c.c_label);
+        raise Overloaded
     | Some m -> invalid_arg ("Client.commit: unexpected reply " ^ Msg.kind m)
     | None ->
         failover t;
@@ -447,7 +466,11 @@ let migrate t ~dc =
 (* Run a whole transaction, retrying strong aborts like the paper's
    clients do (§6.2: "otherwise, it re-executes the transaction"). A
    mid-transaction failover (the session DC crashed) also re-executes,
-   at the DC the session migrated to. *)
+   at the DC the session migrated to; a shed commit (admission control)
+   re-executes after a short randomized backoff so retries from many
+   clients do not resynchronize against the admission bound. *)
+let overload_backoff_us = 10_000
+
 let run_txn ?label ?(strong = false) ?(max_retries = max_int) t body =
   let rec go attempts =
     let outcome =
@@ -455,9 +478,14 @@ let run_txn ?label ?(strong = false) ?(max_retries = max_int) t body =
         start ?label ~strong t;
         let v = body t in
         match commit t with `Committed _ -> Some v | `Aborted -> None
-      with Aborted when t.cfg.Config.client_failover_us > 0 ->
-        t.cur <- None;
-        None
+      with
+      | Aborted when t.cfg.Config.client_failover_us > 0 ->
+          t.cur <- None;
+          None
+      | Overloaded ->
+          sleep t
+            (overload_backoff_us + Sim.Rng.int t.rng overload_backoff_us);
+          None
     in
     match outcome with
     | Some v -> v

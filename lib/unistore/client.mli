@@ -19,6 +19,13 @@ type t
     transaction id, which certification dedups — exactly-once. *)
 exception Aborted
 
+(** Raised by {!commit} (and hence {!commit_exn}) when the coordinator
+    shed the strong commit under admission control
+    ([Config.admission_max_pending]): the transaction took no effect and
+    is retryable. {!run_txn} retries it after a short randomized
+    backoff; open-loop drivers instead count it as shed load. *)
+exception Overloaded
+
 (** Used by [System]; not part of the public workflow. *)
 val create :
   id:int ->
@@ -71,7 +78,8 @@ val update : ?cls:int -> t -> Store.Keyspace.key -> Crdt.op -> unit
 
 (** Commit the current transaction: causal transactions always commit;
     strong transactions may abort on a conflict. On commit, the
-    client's causal past advances to the commit vector. *)
+    client's causal past advances to the commit vector. Raises
+    {!Overloaded} when admission control shed a strong commit. *)
 val commit : t -> [ `Committed of Vclock.Vc.t | `Aborted ]
 
 (** {!commit}, raising {!Aborted} instead of returning [`Aborted]. *)

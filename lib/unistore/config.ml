@@ -134,6 +134,10 @@ type t = {
                                    from the round (partition tolerance) *)
   client_failover_us : int;  (* client request timeout before DC failover;
                                 0 disables failover (calls block forever) *)
+  admission_max_pending : int;  (* per-DC bound on in-flight strong
+                                   certifications before coordinators shed
+                                   new COMMIT_STRONG requests (R_overloaded);
+                                   0 disables admission control *)
   costs : costs;
   seed : int;
   use_hlc : bool;  (* hybrid logical clocks instead of physical waits (§9) *)
@@ -149,7 +153,8 @@ let default ?(topo = Net.Topology.three_dcs ()) ?(partitions = 8) ?(f = 1)
     ?(detection_delay_us = 500_000) ?(fd_period_us = 100_000)
     ?link_faults ?(metrics_probe_us = 10_000) ?(gc_grace_us = 10_000_000)
     ?(sync_chunk = 256) ?(sync_pull_deadline_us = 300_000)
-    ?(client_failover_us = 0) ?(costs = default_costs)
+    ?(client_failover_us = 0) ?(admission_max_pending = 0)
+    ?(costs = default_costs)
     ?(seed = 42)
     ?(use_hlc = false) ?(trace_enabled = false) ?(record_history = false)
     ?(measure_visibility = false) () =
@@ -176,6 +181,8 @@ let default ?(topo = Net.Topology.three_dcs ()) ?(partitions = 8) ?(f = 1)
     invalid_arg "Config.default: bad sync_pull_deadline_us";
   if client_failover_us < 0 then
     invalid_arg "Config.default: bad client_failover_us";
+  if admission_max_pending < 0 then
+    invalid_arg "Config.default: bad admission_max_pending";
   {
     topo;
     partitions;
@@ -195,6 +202,7 @@ let default ?(topo = Net.Topology.three_dcs ()) ?(partitions = 8) ?(f = 1)
     sync_chunk;
     sync_pull_deadline_us;
     client_failover_us;
+    admission_max_pending;
     costs;
     seed;
     use_hlc;
@@ -205,6 +213,24 @@ let default ?(topo = Net.Topology.three_dcs ()) ?(partitions = 8) ?(f = 1)
 
 let dcs t = Net.Topology.dcs t.topo
 let quorum t = t.f + 1
+
+(* Ceiling of the reliable transport's retransmission backoff, derived
+   from the deployment: the Ω suspicion timeout (the detector's check
+   period times its silence threshold, configured here directly as
+   [detection_delay_us]) plus the worst-case link RTT. A healed link's
+   backlog then starts flowing again within one suspicion window however
+   far the backoff had climbed, so a tightened detector configuration
+   (small [detection_delay_us]) tightens the cap with it instead of
+   being silently undercut by a hard-coded constant. *)
+let rto_cap_us t = t.detection_delay_us + Net.Topology.max_rtt_us t.topo
+
+(* Debounce of the leadership-reclaim bids a rejoined leader-home group
+   member issues while trust has converged back to it ([Cert.reclaim]):
+   one Ω reaction period for the trust signal to settle plus a
+   worst-case RTT for an in-flight election round to finish. Derived so
+   the worst-case strong-commit stall after a leader-home rejoin scales
+   with the deployment rather than a fixed 1 s. *)
+let reclaim_debounce_us t = t.fd_period_us + Net.Topology.max_rtt_us t.topo
 
 (* Does this mode track uniformity (exchange STABLEVEC between siblings
    and expose remote transactions only when uniform)? *)

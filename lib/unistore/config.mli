@@ -96,6 +96,12 @@ type t = {
       (** client-side request timeout before the session fails over to
           another live DC; [0] disables failover (calls block forever on
           a crashed DC, the pre-recovery behaviour) *)
+  admission_max_pending : int;
+      (** admission control: when a DC's in-flight strong certifications
+          (the [pending_certifications] gauge) reach this bound, its
+          coordinators shed new COMMIT_STRONG requests with a retryable
+          {!Msg.t.R_overloaded} reply instead of queueing them; [0]
+          disables shedding (the pre-overload-harness behaviour) *)
   costs : costs;
   seed : int;
   use_hlc : bool;
@@ -132,6 +138,7 @@ val default :
   ?sync_chunk:int ->
   ?sync_pull_deadline_us:int ->
   ?client_failover_us:int ->
+  ?admission_max_pending:int ->
   ?costs:costs ->
   ?seed:int ->
   ?use_hlc:bool ->
@@ -145,6 +152,19 @@ val dcs : t -> int
 
 (** [f + 1]: both the uniformity threshold and the Paxos quorum. *)
 val quorum : t -> int
+
+(** Derived ceiling of the reliable transport's retransmission backoff:
+    the Ω suspicion timeout ([detection_delay_us], i.e. detector period
+    × silence threshold) plus the topology's worst-case RTT. Installed
+    into the network by {!System.create} so tightened detector
+    configurations tighten the cap with them. *)
+val rto_cap_us : t -> int
+
+(** Derived debounce of {!Cert.reclaim} leadership bids: one Ω reaction
+    period ([fd_period_us]) plus the topology's worst-case RTT — long
+    enough for an in-flight election round to settle, and much tighter
+    than the former fixed 1 s on typical deployments. *)
+val reclaim_debounce_us : t -> int
 
 (** Whether the mode exchanges STABLEVEC between siblings and exposes
     remote transactions only when uniform (all modes except [Cure_ft]). *)

@@ -77,6 +77,9 @@ type t =
   | R_committed of { req : int; vec : Vc.t }
   | R_strong of { req : int; dec : bool; vec : Vc.t; lc : int }
   | R_ok of { req : int }
+  (* admission control shed the commit before certification: the
+     transaction took no effect and the client may retry it *)
+  | R_overloaded of { req : int }
   (* ---- causal protocol, within a data center (Algorithms A2–A3) --- *)
   | Get_version of { from : addr; tid : Types.tid; key : Store.Keyspace.key; snap : Vc.t }
   | Version of { tid : Types.tid; key : Store.Keyspace.key; value : Crdt.value; lc : int option }
@@ -193,7 +196,8 @@ let cost (c : Config.costs) = function
   | C_uniform_barrier _ | C_attach _ | C_failover _ ->
       c.c_base
   | C_resubmit_strong _ -> c.c_prepare
-  | R_started _ | R_value _ | R_committed _ | R_strong _ | R_ok _ ->
+  | R_started _ | R_value _ | R_committed _ | R_strong _ | R_ok _
+  | R_overloaded _ ->
       c.c_client
   | Get_version _ -> c.c_get_version
   | Version _ -> c.c_base
@@ -272,6 +276,7 @@ let size_bytes = function
   | R_committed { vec; _ } -> header_bytes + 8 + vc_bytes vec
   | R_strong { vec; _ } -> header_bytes + 24 + vc_bytes vec
   | R_ok _ -> header_bytes + 8
+  | R_overloaded _ -> header_bytes + 8
   | Get_version { snap; _ } -> header_bytes + 32 + vc_bytes snap
   | Version _ -> header_bytes + 32
   | Prepare { writes; snap; _ } ->
@@ -335,6 +340,7 @@ let kind = function
   | R_committed _ -> "r_committed"
   | R_strong _ -> "r_strong"
   | R_ok _ -> "r_ok"
+  | R_overloaded _ -> "r_overloaded"
   | Get_version _ -> "get_version"
   | Version _ -> "version"
   | Prepare _ -> "prepare"

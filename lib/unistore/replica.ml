@@ -69,6 +69,7 @@ type pending_cert = {
   p_lc : int;
   p_groups : (int * cert_group) list;
   p_k : Cert.cert_result -> unit;
+  p_submitted : int;  (* when CERTIFY registered it (queue-delay metric) *)
   mutable p_done : bool;
 }
 
@@ -118,6 +119,9 @@ type sync_state = {
 type env = {
   e_lookup : int -> int -> Msg.addr;  (* dc, partition -> replica *)
   e_rb_cert : (int -> Msg.addr) option;  (* dc -> REDBLUE service node *)
+  (* DC-wide in-flight strong certifications (the level behind the
+     pending_certifications gauge); drives admission control *)
+  e_dc_pending : (int -> int) option;
 }
 
 type t = {
@@ -227,7 +231,7 @@ let create cfg eng net ~dc ~part ~uid ~skew ~history ~trace ~metrics =
     skew;
     hlc = 0;
     addr = -1;
-    env = { e_lookup = (fun _ _ -> -1); e_rb_cert = None };
+    env = { e_lookup = (fun _ _ -> -1); e_rb_cert = None; e_dc_pending = None };
     history;
     trace;
     trace_src = Fmt.str "replica %d.%d" dc part;
@@ -913,7 +917,7 @@ let rec schedule_cert_retry t pc =
 
 (* CERTIFY (Algorithm A7): submit to every involved group's leader and
    collect quorums of ACCEPT_ACKs. *)
-let certify t ~caller ~tid ~origin ~wbuff ~ops ~snap ~lc ~k =
+let rec certify t ~caller ~tid ~origin ~wbuff ~ops ~snap ~lc ~k =
   t.rid_ctr <- t.rid_ctr + 1;
   let rid = (t.uid * 1_000_000) + t.rid_ctr in
   let groups = groups_of t ~wbuff ~ops in
@@ -944,27 +948,47 @@ let certify t ~caller ~tid ~origin ~wbuff ~ops ~snap ~lc ~k =
       p_lc = lc;
       p_groups = groups;
       p_k = k;
+      p_submitted = now t;
       p_done = false;
     }
   in
   Hashtbl.replace t.pending_cert rid pc;
   send_prepare_strong t pc;
-  schedule_cert_retry t pc
+  schedule_cert_retry t pc;
+  (* A strong transaction with an empty footprint (no reads, no writes)
+     involves no certification group at all: nothing conflicts with it
+     and no ACCEPT_ACK will ever arrive, so deciding it here is the only
+     exit. Without this, the pending_cert entry leaked forever — the
+     pending_certifications gauge never drained and the retry timer
+     spun — which admission control would turn into a permanent wedge. *)
+  if pc.p_groups = [] then complete_cert_if_ready t pc
 
-let finish_cert t pc result =
+and finish_cert t pc result =
   if not pc.p_done then begin
     pc.p_done <- true;
     Hashtbl.remove t.pending_cert pc.p_rid;
+    (* submission-to-decision delay of real certifications (the queue
+       behind the pending_certifications gauge); interned on the first
+       strong decision so runs without strong transactions keep their
+       metric snapshots unchanged *)
+    if pc.p_origin <> -1 then
+      Sim.Metrics.observe
+        (Sim.Metrics.histogram t.metrics "cert_queue_delay_us")
+        (now t - pc.p_submitted);
     pc.p_k result
   end
 
-let complete_cert_if_ready t pc =
+and complete_cert_if_ready t pc =
   if (not pc.p_done) && List.for_all (fun (_, g) -> g.g_done) pc.p_groups
   then begin
     let dec = List.for_all (fun (_, g) -> g.g_vote) pc.p_groups in
     let vec = Vc.copy pc.p_snap in
+    (* seeded at the snapshot's strong entry so a group-less (empty
+       footprint) decision cannot move the commit vector backwards *)
     let ts =
-      List.fold_left (fun acc (_, g) -> max acc g.g_ts) 0 pc.p_groups
+      List.fold_left
+        (fun acc (_, g) -> max acc g.g_ts)
+        (Vc.strong pc.p_snap) pc.p_groups
     in
     Vc.set_strong vec ts;
     let lc =
@@ -1038,10 +1062,40 @@ let handle_unknown_tx_ack t ~part ~rid ~tid ~from_dc =
                 finish_cert t pc Cert.Unknown
             end)
 
+(* Admission control: when the DC's in-flight strong certifications have
+   reached the configured bound, new COMMIT_STRONG requests are shed with
+   a retryable R_overloaded instead of joining the queue, so queueing
+   delay at the certification path stays bounded under open-loop
+   overload. Only fresh commits are shed: C_resubmit_strong carries a
+   possibly already-decided tid whose exactly-once recovery depends on
+   re-entering certification, and dummy heartbeats keep the strong
+   frontier moving. *)
+let admission_shed t =
+  let bound = t.cfg.Config.admission_max_pending in
+  bound > 0
+  &&
+  match t.env.e_dc_pending with
+  | Some pending_of_dc -> pending_of_dc t.dc >= bound
+  | None -> false
+
+let shed_commit t ~client ~req ~tid =
+  (* interned on the first shed so runs that never overload keep their
+     metric snapshots (and golden artifacts) unchanged *)
+  Sim.Metrics.incr
+    (Sim.Metrics.counter t.metrics
+       ~labels:[ ("dc", string_of_int t.dc) ]
+       "admission_rejects_total");
+  Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"shed" "%a"
+    Types.tid_pp tid;
+  send t client (Msg.R_overloaded { req })
+
 (* COMMIT_STRONG (Algorithm A6): make the snapshot uniform, then certify. *)
 let handle_commit_strong t ~client ~req ~tid ~lc =
   match Hashtbl.find_opt t.txns tid with
   | None -> ()
+  | Some _ when admission_shed t ->
+      Hashtbl.remove t.txns tid;
+      shed_commit t ~client ~req ~tid
   | Some ct ->
       let wbuff =
         Hashtbl.fold
@@ -1228,7 +1282,11 @@ let make_cert t =
       x_alive = (fun () -> alive t);
     }
   in
-  t.cert <- Some (Cert.create ctx ~leader_dc:t.cfg.Config.leader_dc)
+  t.cert <-
+    Some
+      (Cert.create
+         ~bid_interval_us:(Config.reclaim_debounce_us t.cfg)
+         ctx ~leader_dc:t.cfg.Config.leader_dc)
 
 let cert t = t.cert
 
@@ -1815,7 +1873,7 @@ let dispatch t msg =
   | Msg.Push_updates { txs; strong_ts } ->
       handle_push_updates t ~txs ~strong_ts
   | Msg.R_started _ | Msg.R_value _ | Msg.R_committed _ | Msg.R_strong _
-  | Msg.R_ok _ ->
+  | Msg.R_ok _ | Msg.R_overloaded _ ->
       ()  (* client-bound replies never reach replicas *)
   | Msg.Fd_ping _ -> ()  (* heartbeats are handled by Detector nodes *)
   | ( Msg.Prepare_strong _ | Msg.Accept _ | Msg.Decision _

@@ -13,6 +13,9 @@ type t
 type env = {
   e_lookup : int -> int -> Msg.addr;  (** dc, partition -> replica *)
   e_rb_cert : (int -> Msg.addr) option;  (** dc -> REDBLUE service node *)
+  e_dc_pending : (int -> int) option;
+      (** dc -> in-flight strong certifications DC-wide; drives admission
+          control ([Config.admission_max_pending]) *)
 }
 
 val create :

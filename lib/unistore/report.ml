@@ -111,6 +111,42 @@ let recovery_json reg =
              ("dcs_syncing_peak", Json.Float peak_syncing);
            ])
 
+(* Overload section, present only when admission control or an open-loop
+   driver left traces in the registry (all the metrics below are interned
+   lazily, so closed-loop runs and their golden artifacts are
+   untouched): certification queue delay, arrivals, sheds on both sides
+   of the wire, and the peak pending-certification backlog. *)
+let overload_json reg =
+  let counter_total name =
+    List.fold_left
+      (fun acc (_, c) -> acc + Metrics.counter_value c)
+      0
+      (Metrics.counters_matching reg name)
+  in
+  let queue_delay = Metrics.histograms_matching reg "cert_queue_delay_us" in
+  let rejects = counter_total "admission_rejects_total" in
+  let arrivals = counter_total "open_loop_arrivals_total" in
+  if queue_delay = [] && rejects = 0 && arrivals = 0 then None
+  else
+    let pending_peak =
+      List.fold_left
+        (fun acc (_, g) -> Float.max acc (Metrics.gauge_max g))
+        0.0
+        (Metrics.gauges_matching reg "pending_certifications")
+    in
+    Some
+      (Json.Obj
+         [
+           ( "cert_queue_delay",
+             match queue_delay with
+             | (_, h) :: _ -> histogram_json h
+             | [] -> Json.Null );
+           ("admission_rejects", Json.Int rejects);
+           ("client_overloaded", Json.Int (counter_total "txn_overloaded_total"));
+           ("open_loop_arrivals", Json.Int arrivals);
+           ("pending_certifications_peak", Json.Float pending_peak);
+         ])
+
 let of_system ?(name = "run") sys =
   let cfg = System.cfg sys in
   let h = System.history sys in
@@ -139,6 +175,9 @@ let of_system ?(name = "run") sys =
     @ (match recovery_json reg with
       | None -> []
       | Some r -> [ ("recovery", r) ])
+    @ (match overload_json reg with
+      | None -> []
+      | Some o -> [ ("overload", o) ])
     @ [ ("metrics", Metrics.to_json reg) ])
 
 (* ------------------------------------------------------------------ *)

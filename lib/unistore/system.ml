@@ -122,7 +122,11 @@ let make_rb_certs cfg eng net ~addrs ~rng ~certify_of_dc =
         x_alive = (fun () -> not (Network.dc_failed net dc));
       }
     in
-    cert_refs.(dc) <- Some (Cert.create ctx ~leader_dc:cfg.Config.leader_dc)
+    cert_refs.(dc) <-
+      Some
+        (Cert.create
+           ~bid_interval_us:(Config.reclaim_debounce_us cfg)
+           ctx ~leader_dc:cfg.Config.leader_dc)
   done;
   Array.init dcs (fun dc ->
       match cert_refs.(dc) with
@@ -150,6 +154,9 @@ let create cfg =
      histograms, the detector its transition counters *)
   let metrics = Sim.Metrics.create () in
   Network.set_meter net metrics ~kind_of:Msg.kind ~size_of:Msg.size_bytes;
+  (* retransmission backoff cap derived from the deployment instead of a
+     hard-coded constant: see [Config.rto_cap_us] *)
+  Network.set_rto_cap net (Config.rto_cap_us cfg);
   (* lossy inter-DC links (nemesis runs): installs the fault model and
      switches inter-DC channels to the ack/retransmission transport *)
   (match cfg.Config.link_faults with
@@ -202,6 +209,15 @@ let create cfg =
         (if Config.centralized_cert cfg then
            Some (fun dc -> snd rb_certs.(dc))
          else None);
+      (* admission control reads the DC-wide in-flight strong
+         certification count — the same level the
+         [pending_certifications] gauge samples *)
+      e_dc_pending =
+        Some
+          (fun dc ->
+            Array.fold_left
+              (fun acc r -> acc + Replica.pending_strong r)
+              0 replicas.(dc));
     }
   in
   Array.iter (Array.iter (fun r -> Replica.set_env r env)) replicas;

@@ -1,0 +1,196 @@
+(* Open-loop arrival driver (overload experiments).
+
+   The closed-loop bodies in [Micro]/[Rubis] tie the offered load to the
+   store's latency: each client waits for its previous transaction, so a
+   slow store is offered less work and a saturation knee never shows.
+   Here requests arrive on their own schedule — a Poisson or
+   trace-driven process drawn from [Sim.Rng], deterministic under the
+   deployment seed — and each arrival spawns a fiber at its arrival
+   time, drawing a session from a reusable per-DC pool that grows when
+   every session is busy. Under overload the pool (and the in-flight
+   count) diverges instead of the arrival rate sagging, which is exactly
+   the open-loop behaviour admission control is measured against.
+
+   Rates are functions of simulated time, so flash crowds, diurnal
+   curves and mid-run shifts are ordinary combinators; arrival sequences
+   are materialized up front by thinning against the peak rate, so the
+   same seed yields the same arrival instants regardless of how the
+   store behaves. *)
+
+module Client = Unistore.Client
+module System = Unistore.System
+module Config = Unistore.Config
+
+(* Offered load as a function of simulated time: [rate t] is the arrival
+   rate in transactions per second at time [t] (µs). *)
+type rate = int -> float
+
+let constant r : rate = fun _ -> r
+
+(* [base] everywhere except a burst window of [peak] starting at
+   [at_us]. *)
+let flash_crowd ~base ~peak ~at_us ~duration_us : rate =
+ fun t -> if t >= at_us && t < at_us + duration_us then peak else base
+
+(* Sinusoidal day/night curve: [base + amplitude * sin(2πt/period)],
+   clamped at zero. *)
+let diurnal ~base ~amplitude ~period_us : rate =
+ fun t ->
+  let phase = 2.0 *. Float.pi *. float_of_int t /. float_of_int period_us in
+  Float.max 0.0 (base +. (amplitude *. Float.sin phase))
+
+(* Switch from one schedule to another at [at_us] (rate analogue of the
+   hot-key shift below). *)
+let shift ~at_us before after : rate =
+ fun t -> if t < at_us then before t else after t
+
+(* Materialize a Poisson arrival sequence for [rate] on [0, until_us]
+   by thinning: candidates are drawn from a homogeneous process at the
+   peak rate (sampled on a 1 ms grid) and kept with probability
+   [rate t / peak]. Pure in [rng] — a split of the deployment RNG gives
+   byte-identical sequences under a fixed seed. *)
+let arrivals ~rng ~rate ~until_us =
+  if until_us <= 0 then invalid_arg "Openloop.arrivals: until_us must be > 0";
+  let peak = ref 1e-9 in
+  let t = ref 0 in
+  while !t <= until_us do
+    peak := Float.max !peak (rate !t);
+    t := !t + 1_000
+  done;
+  let peak = !peak in
+  let mean_gap_us = 1_000_000.0 /. peak in
+  let rec gen acc t =
+    let gap =
+      max 1 (int_of_float (Sim.Rng.exponential rng ~mean:mean_gap_us))
+    in
+    let t = t + gap in
+    if t > until_us then List.rev acc
+    else if Sim.Rng.float rng 1.0 < rate t /. peak then gen (t :: acc) t
+    else gen acc t
+  in
+  gen [] 0
+
+(* Trace-driven arrivals: explicit instants (µs, ascending). *)
+let of_trace times =
+  let rec check last = function
+    | [] -> ()
+    | t :: rest ->
+        if t < last then invalid_arg "Openloop.of_trace: times must ascend";
+        check t rest
+  in
+  check 0 times;
+  times
+
+(* ------------------------------------------------------------------ *)
+(* The driver.                                                          *)
+
+type outcome = [ `Committed | `Aborted | `Shed ]
+
+(* A transaction body: runs one transaction on [client] in direct style
+   and classifies the result. [at_us] is the arrival instant, letting
+   bodies change behaviour mid-run (hot-key shifts). *)
+type body = at_us:int -> Client.t -> Sim.Rng.t -> outcome
+
+(* Hot-key shift and friends: behave as [before] until [at_us], then as
+   [after]. *)
+let switch_body ~at_us (before : body) (after : body) : body =
+ fun ~at_us:t client rng ->
+  if t < at_us then before ~at_us:t client rng else after ~at_us:t client rng
+
+type stats = {
+  mutable arrivals : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable shed : int;
+  mutable in_flight : int;
+  mutable peak_in_flight : int;
+  mutable sessions : int;  (* pool size: sessions ever created *)
+}
+
+let shed_fraction s =
+  if s.arrivals = 0 then 0.0 else float_of_int s.shed /. float_of_int s.arrivals
+
+(* Install the arrival schedule on [sys]: each instant schedules an
+   engine event that takes a session from its DC's pool (growing the
+   pool when all sessions are in flight — the open-loop divergence) and
+   spawns a fiber running [body]. Arrivals round-robin over the live
+   DCs' indices at install time; each gets its own RNG split so the
+   transaction mix is independent of interleaving. Returns the mutable
+   [stats] the fibers update; drive the engine (e.g. [System.run]) past
+   the last arrival plus a drain period before reading them. *)
+let install sys ~arrivals:times ~body =
+  let eng = System.engine sys in
+  let metrics = System.metrics sys in
+  let dcs = Config.dcs (System.cfg sys) in
+  let pools = Array.init dcs (fun _ -> Queue.create ()) in
+  let base_rng = Sim.Rng.split (Sim.Engine.rng eng) ~id:0x09e7 in
+  let stats =
+    {
+      arrivals = 0;
+      committed = 0;
+      aborted = 0;
+      shed = 0;
+      in_flight = 0;
+      peak_in_flight = 0;
+      sessions = 0;
+    }
+  in
+  List.iteri
+    (fun i at ->
+      let dc = i mod dcs in
+      let rng = Sim.Rng.split base_rng ~id:i in
+      Sim.Engine.schedule_at eng ~time:at (fun () ->
+          stats.arrivals <- stats.arrivals + 1;
+          (* interned on first arrival only: closed-loop runs keep
+             byte-identical metric snapshots *)
+          Sim.Metrics.incr (Sim.Metrics.counter metrics "open_loop_arrivals_total");
+          let client =
+            match Queue.take_opt pools.(dc) with
+            | Some c -> c
+            | None ->
+                stats.sessions <- stats.sessions + 1;
+                System.new_client sys ~dc
+          in
+          stats.in_flight <- stats.in_flight + 1;
+          if stats.in_flight > stats.peak_in_flight then
+            stats.peak_in_flight <- stats.in_flight;
+          Sim.Fiber.spawn eng (fun () ->
+              (match body ~at_us:at client rng with
+              | `Committed -> stats.committed <- stats.committed + 1
+              | `Aborted -> stats.aborted <- stats.aborted + 1
+              | `Shed -> stats.shed <- stats.shed + 1);
+              stats.in_flight <- stats.in_flight - 1;
+              Queue.push client pools.(dc))))
+    times;
+  stats
+
+(* ------------------------------------------------------------------ *)
+(* Bodies over the existing workloads.                                  *)
+
+(* One microbenchmark transaction per arrival. Admission sheds surface
+   as [`Shed] (no retry — the open-loop driver counts them as lost
+   goodput); a mid-transaction failover abort counts as [`Aborted]. *)
+let micro_body (spec : Micro.spec) : body =
+  let zipf = Sim.Zipf.create ~n:spec.Micro.keys ~theta:spec.Micro.theta in
+  fun ~at_us:_ client rng ->
+    match Micro.run_txn spec zipf rng client with
+    | true -> `Committed
+    | false -> `Aborted
+    | exception Client.Overloaded -> `Shed
+    | exception Client.Aborted -> `Aborted
+
+(* One transaction of the RUBiS bidding mix per arrival. *)
+let rubis_body (spec : Rubis.spec) : body =
+ fun ~at_us:_ client rng ->
+  let txn = Rubis.mix.(Sim.Rng.weighted rng Rubis.weights) in
+  let rec attempt n =
+    Client.start client ~label:txn.Rubis.name ~strong:txn.Rubis.strong;
+    txn.Rubis.body spec client rng;
+    match Client.commit client with
+    | `Committed _ -> `Committed
+    | `Aborted ->
+        if n >= spec.Rubis.max_retries then `Aborted else attempt (n + 1)
+  in
+  try attempt 0 with
+  | Client.Overloaded -> `Shed
+  | Client.Aborted -> `Aborted

@@ -1,0 +1,164 @@
+(* Admission control and pending-certification accounting.
+
+   The [pending_certifications] gauge samples live coordinator state
+   ([Replica.pending_strong]), so a non-zero reading at quiescence is a
+   real protocol leak — an entry that survived its transaction. These
+   tests drive every non-commit exit path (certification aborts,
+   admission sheds, the empty-footprint corner, coordinator crash and
+   client failover) and assert the count returns to zero. *)
+
+module U = Unistore
+module Client = U.Client
+module Fiber = Sim.Fiber
+
+let counter_total reg name =
+  List.fold_left
+    (fun acc (_, c) -> acc + Sim.Metrics.counter_value c)
+    0
+    (Sim.Metrics.counters_matching reg name)
+
+(* A strong transaction with an empty footprint (no reads, no writes)
+   certifies against no partition group at all. It must still commit —
+   and, the regression, must not leave its pending-certification entry
+   behind (it used to wait forever for ACCEPT_ACKs that no group would
+   ever send, wedging the client and leaking the entry). *)
+let test_empty_footprint_strong () =
+  let sys = Util.make_system ~partitions:2 () in
+  let committed = ref false in
+  ignore
+    (U.System.spawn_client sys ~dc:1 (fun c ->
+         Client.start c ~strong:true;
+         match Client.commit c with
+         | `Committed _ -> committed := true
+         | `Aborted -> ()));
+  U.System.run sys ~until:2_000_000;
+  Alcotest.(check bool) "empty strong transaction commits" true !committed;
+  Alcotest.(check int) "no pending certification leaked" 0
+    (U.System.pending_strong sys)
+
+(* Certification aborts: conflicting strong writers hammer one key; the
+   losers' pending entries must drain along with the winners'. *)
+let test_aborts_drain () =
+  let sys = Util.make_system ~partitions:2 () in
+  U.System.preload sys 700 (Crdt.Reg_write 0);
+  let aborts = ref 0 in
+  for dc = 0 to 2 do
+    ignore
+      (U.System.spawn_client sys ~dc (fun c ->
+           for _ = 1 to 10 do
+             Client.start c ~strong:true;
+             let v = Client.read_int c 700 in
+             Client.update c 700 (Crdt.Reg_write (v + 1));
+             (match Client.commit c with
+             | `Committed _ -> ()
+             | `Aborted -> incr aborts);
+             Fiber.sleep 20_000
+           done))
+  done;
+  U.System.run sys ~until:8_000_000;
+  Alcotest.(check bool) "conflicts actually aborted" true (!aborts > 0);
+  Alcotest.(check int) "aborted certifications drained" 0
+    (U.System.pending_strong sys);
+  Util.assert_por sys;
+  Util.assert_convergence sys
+
+(* Admission control: with a one-entry bound, a burst of concurrent
+   strong commits must shed all but the queue's worth with R_overloaded
+   — surfaced to the client as [Overloaded], counted on both sides of
+   the wire — and the shed entries must leave nothing behind. *)
+let test_shed_and_drain () =
+  let cfg =
+    U.Config.default ~topo:(Net.Topology.three_dcs ()) ~partitions:2 ~f:1
+      ~admission_max_pending:1 ~seed:42 ~record_history:true ()
+  in
+  let sys = U.System.create cfg in
+  U.System.preload sys 710 (Crdt.Reg_write 0);
+  let committed = ref 0 and shed = ref 0 in
+  for i = 0 to 11 do
+    ignore
+      (U.System.spawn_client sys ~dc:(i mod 3) (fun c ->
+           Client.start c ~strong:true;
+           Client.update c (711 + i) (Crdt.Reg_write 1);
+           match Client.commit c with
+           | `Committed _ -> incr committed
+           | `Aborted -> ()
+           | exception Client.Overloaded -> incr shed))
+  done;
+  U.System.run sys ~until:3_000_000;
+  let reg = U.System.metrics sys in
+  Alcotest.(check bool) "some commits admitted" true (!committed > 0);
+  Alcotest.(check bool) "some commits shed" true (!shed > 0);
+  Alcotest.(check int) "every burst client answered" 12 (!committed + !shed);
+  Alcotest.(check int) "replica and client shed counts agree" !shed
+    (counter_total reg "admission_rejects_total");
+  Alcotest.(check int) "client counter matches" !shed
+    (counter_total reg "txn_overloaded_total");
+  Alcotest.(check int) "no pending certification leaked" 0
+    (U.System.pending_strong sys);
+  Util.assert_convergence sys
+
+(* Unbounded runs never shed and never intern the admission metrics:
+   the gauge accounting must stay clean through an ordinary strong
+   workload too. *)
+let test_disabled_admission_untouched () =
+  let sys = Util.make_system ~partitions:2 () in
+  ignore
+    (U.System.spawn_client sys ~dc:0 (fun c ->
+         for i = 0 to 9 do
+           Client.start c ~strong:true;
+           Client.update c (720 + i) (Crdt.Reg_write 1);
+           ignore (Client.commit c)
+         done));
+  U.System.run sys ~until:3_000_000;
+  let reg = U.System.metrics sys in
+  Alcotest.(check int) "no rejects counted" 0
+    (counter_total reg "admission_rejects_total");
+  Alcotest.(check bool) "admission metrics never interned" true
+    (Sim.Metrics.counters_matching reg "admission_rejects_total" = []);
+  Alcotest.(check int) "nothing pending" 0 (U.System.pending_strong sys)
+
+(* Coordinator crash with strong commits in flight: the client fails
+   over, the transaction re-certifies elsewhere, and the crashed DC's
+   pending entries must not count once it rejoins — quiescence again
+   means zero. *)
+let test_failover_drains () =
+  let sys =
+    Util.make_system ~partitions:2 ~client_failover_us:400_000 ~seed:17 ()
+  in
+  U.System.preload sys 730 (Crdt.Ctr_add 0);
+  let committed = ref 0 in
+  for i = 0 to 3 do
+    ignore
+      (U.System.spawn_client sys ~dc:1 (fun c ->
+           Fiber.sleep (i * 40_000);
+           try
+             Client.start c ~strong:true;
+             Client.update c 730 (Crdt.Ctr_add 1);
+             match Client.commit c with
+             | `Committed _ -> incr committed
+             | `Aborted -> ()
+           with Client.Aborted -> ()))
+  done;
+  (* crash the clients' DC while the burst is in flight, then recover *)
+  Sim.Engine.schedule_at (U.System.engine sys) ~time:150_000 (fun () ->
+      U.System.fail_dc sys 1);
+  Sim.Engine.schedule_at (U.System.engine sys) ~time:4_000_000 (fun () ->
+      U.System.recover_dc sys 1);
+  U.System.run sys ~until:12_000_000;
+  Alcotest.(check bool) "strong commits survived the failover" true
+    (!committed > 0);
+  Alcotest.(check int) "no pending certification leaked anywhere" 0
+    (U.System.pending_strong sys);
+  Util.assert_convergence sys
+
+let suite =
+  [
+    Alcotest.test_case "empty-footprint strong transaction" `Quick
+      test_empty_footprint_strong;
+    Alcotest.test_case "aborted certifications drain" `Slow test_aborts_drain;
+    Alcotest.test_case "admission sheds and drains" `Quick test_shed_and_drain;
+    Alcotest.test_case "disabled admission stays invisible" `Quick
+      test_disabled_admission_untouched;
+    Alcotest.test_case "failover drains pending certifications" `Slow
+      test_failover_drains;
+  ]

@@ -332,6 +332,49 @@ let test_overlap_schedule_determinism () =
     true
     (List.sort compare stripped = List.sort compare base)
 
+(* The RETRY-rule leadership-bid debounce is derived from the deployment
+   ([Config.reclaim_debounce_us]: one Ω reaction period plus the
+   worst-case RTT) instead of the former fixed 1 s. Assert the tighter
+   bound on the adversity deployment, and that a crashed leader's groups
+   are actually reclaimed within the budget the derivation implies:
+   detection delay + two debounce periods + an election round's slack. *)
+let test_reclaim_debounce_bound () =
+  let sys = Util.make_system ~partitions:2 ~seed:29 () in
+  let cfg = U.System.cfg sys in
+  let debounce = U.Config.reclaim_debounce_us cfg in
+  Alcotest.(check bool) "derived debounce tighter than the old fixed 1 s"
+    true (debounce < 1_000_000);
+  let crash_at = 1_500_000 in
+  Sim.Engine.schedule_at (U.System.engine sys) ~time:crash_at (fun () ->
+      U.System.fail_dc sys 0);
+  (* strong writer at a surviving DC: stalls while the crashed leader's
+     groups are headless, resumes once the bids reclaim them *)
+  let first_after = ref max_int in
+  ignore
+    (U.System.spawn_client sys ~dc:1 (fun c ->
+         while U.System.now sys < 5_500_000 do
+           (try
+              Client.start c ~strong:true;
+              Client.update c 500 (Crdt.Ctr_add 1);
+              match Client.commit c with
+              | `Committed _ ->
+                  let t = U.System.now sys in
+                  if t > crash_at && t < !first_after then first_after := t
+              | `Aborted -> ()
+            with Client.Aborted -> ());
+           Fiber.sleep 50_000
+         done));
+  U.System.run sys ~until:6_000_000;
+  let deadline =
+    crash_at + cfg.U.Config.detection_delay_us + (2 * debounce) + 500_000
+  in
+  Alcotest.(check bool)
+    (Fmt.str "strong commits resume by %d us (first: %d us)" deadline
+       !first_after)
+    true
+    (!first_after <= deadline);
+  Util.assert_convergence sys
+
 let suite =
   [
     Alcotest.test_case
@@ -349,4 +392,6 @@ let suite =
       `Slow test_recover_guards;
     Alcotest.test_case "overlap budgets keep seeded schedules deterministic"
       `Quick test_overlap_schedule_determinism;
+    Alcotest.test_case "leadership reclaim honours the derived debounce"
+      `Slow test_reclaim_debounce_bound;
   ]

@@ -73,6 +73,45 @@ let test_quorum () =
   let cfg = U.Config.default ~topo:(Net.Topology.five_dcs ()) ~f:2 () in
   Alcotest.(check int) "f+1 of 5" 3 (U.Config.quorum cfg)
 
+(* The retransmission-backoff cap is derived from the deployment, not a
+   hard-coded 500 ms: suspicion timeout plus the topology's worst-case
+   round trip. Pinned against the three-DC defaults (Virginia–Frankfurt
+   145 ms RTT, ±50 µs jitter → 145.1 ms worst case) and checked to move
+   with the detector configuration. *)
+let test_rto_cap_derivation () =
+  let topo = Net.Topology.three_dcs () in
+  Alcotest.(check int) "worst-case RTT of three DCs" 145_100
+    (Net.Topology.max_rtt_us topo);
+  let cfg = U.Config.default ~topo () in
+  Alcotest.(check int) "default cap = detection delay + max RTT"
+    (cfg.U.Config.detection_delay_us + 145_100)
+    (U.Config.rto_cap_us cfg);
+  let tight = U.Config.default ~topo ~detection_delay_us:200_000 () in
+  Alcotest.(check int) "cap tightens with the detector" (200_000 + 145_100)
+    (U.Config.rto_cap_us tight);
+  (* System.create installs the derived cap into the network *)
+  let sys = U.System.create tight in
+  Alcotest.(check int) "installed into the network" (200_000 + 145_100)
+    (Net.Network.rto_cap (U.System.network sys))
+
+(* The RETRY-rule leadership-bid debounce is likewise derived — one Ω
+   reaction period plus the worst-case RTT — and strictly tighter than
+   the former fixed 1 s on the paper's deployments. *)
+let test_reclaim_debounce_derivation () =
+  let check_topo name topo =
+    let cfg = U.Config.default ~topo () in
+    Alcotest.(check int)
+      (name ^ ": debounce = fd period + max RTT")
+      (cfg.U.Config.fd_period_us + Net.Topology.max_rtt_us topo)
+      (U.Config.reclaim_debounce_us cfg);
+    Alcotest.(check bool)
+      (name ^ ": tighter than the old fixed 1 s")
+      true
+      (U.Config.reclaim_debounce_us cfg < 1_000_000)
+  in
+  check_topo "three DCs" (Net.Topology.three_dcs ());
+  check_topo "five DCs" (Net.Topology.five_dcs ())
+
 let suite =
   [
     Alcotest.test_case "serializable conflict relation" `Quick
@@ -88,4 +127,7 @@ let suite =
       test_effective_strong;
     Alcotest.test_case "configuration validation" `Quick test_validation;
     Alcotest.test_case "quorum sizes" `Quick test_quorum;
+    Alcotest.test_case "derived RTO cap" `Quick test_rto_cap_derivation;
+    Alcotest.test_case "derived reclaim debounce" `Quick
+      test_reclaim_debounce_derivation;
   ]

@@ -26,6 +26,8 @@ let () =
       ("checker", Test_checker.suite);
       ("abstract-exec", Test_abstract_exec.suite);
       ("workloads", Test_workloads.suite);
+      ("openloop", Test_openloop.suite);
+      ("admission", Test_admission.suite);
       ("nemesis", Test_nemesis.suite);
       ("recovery", Test_recovery.suite);
       ("adversity", Test_adversity.suite);

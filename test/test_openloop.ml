@@ -1,0 +1,199 @@
+(* Open-loop arrival driver: the statistical shape of the generated
+   processes (Poisson mean/variance, schedule envelopes), their
+   determinism under a fixed seed, and the driver itself spawning one
+   fiber per arrival over a live deployment. *)
+
+module U = Unistore
+module Openloop = Workload.Openloop
+
+let gen ?(seed = 7) ~rate ~until_us () =
+  Openloop.arrivals ~rng:(Sim.Rng.create seed) ~rate ~until_us
+
+(* A homogeneous 1000 tx/s process over 20 s: the count, the
+   inter-arrival mean, and the exponential gap variance (CV ≈ 1 — what
+   separates Poisson from a jittered uniform schedule) must match within
+   sampling tolerance. *)
+let test_poisson_moments () =
+  let rate = 1000.0 and until_us = 20_000_000 in
+  let times = gen ~rate:(Openloop.constant rate) ~until_us () in
+  let n = List.length times in
+  let expect = rate *. float_of_int until_us /. 1_000_000.0 in
+  (* 5 sigma of a Poisson count *)
+  let slack = 5.0 *. sqrt expect in
+  Alcotest.(check bool)
+    (Fmt.str "count %d within %.0f of %.0f" n slack expect)
+    true
+    (Float.abs (float_of_int n -. expect) <= slack);
+  let gaps =
+    let rec go prev = function
+      | [] -> []
+      | t :: rest -> float_of_int (t - prev) :: go t rest
+    in
+    go 0 times
+  in
+  let ng = float_of_int (List.length gaps) in
+  let mean = List.fold_left ( +. ) 0.0 gaps /. ng in
+  let var =
+    List.fold_left (fun acc g -> acc +. ((g -. mean) ** 2.0)) 0.0 gaps /. ng
+  in
+  let cv = sqrt var /. mean in
+  Alcotest.(check bool)
+    (Fmt.str "gap mean %.1f us within 5%% of 1000" mean)
+    true
+    (Float.abs (mean -. 1000.0) <= 50.0);
+  Alcotest.(check bool)
+    (Fmt.str "gap coefficient of variation %.3f near 1 (exponential)" cv)
+    true
+    (cv > 0.9 && cv < 1.1)
+
+(* Fixed seed, fixed schedule: byte-identical arrival instants — the
+   property the overload artifact's determinism rests on. *)
+let test_deterministic_under_seed () =
+  let mk seed = gen ~seed ~rate:(Openloop.constant 500.0) ~until_us:5_000_000 () in
+  Alcotest.(check (list int)) "same seed, same instants" (mk 7) (mk 7);
+  Alcotest.(check bool) "different seed, different instants" true
+    (mk 7 <> mk 8)
+
+let count_in times ~from_us ~until_us =
+  List.length (List.filter (fun t -> t >= from_us && t < until_us) times)
+
+(* Flash crowd: the rate inside the burst window and on both flanks must
+   match the schedule within Poisson tolerance. *)
+let test_flash_crowd_envelope () =
+  let rate =
+    Openloop.flash_crowd ~base:200.0 ~peak:2000.0 ~at_us:4_000_000
+      ~duration_us:2_000_000
+  in
+  let times = gen ~rate ~until_us:10_000_000 () in
+  let check name expect n =
+    let slack = 5.0 *. sqrt expect in
+    Alcotest.(check bool)
+      (Fmt.str "%s: %d within %.0f of %.0f" name n slack expect)
+      true
+      (Float.abs (float_of_int n -. expect) <= slack)
+  in
+  check "pre-burst flank" (200.0 *. 4.0)
+    (count_in times ~from_us:0 ~until_us:4_000_000);
+  check "burst window" (2000.0 *. 2.0)
+    (count_in times ~from_us:4_000_000 ~until_us:6_000_000);
+  check "post-burst flank" (200.0 *. 4.0)
+    (count_in times ~from_us:6_000_000 ~until_us:10_000_000)
+
+(* Diurnal curve over one full period: the crest half-period must carry
+   the amplitude surplus and the trough half-period the deficit. *)
+let test_diurnal_envelope () =
+  let period_us = 8_000_000 in
+  let rate = Openloop.diurnal ~base:500.0 ~amplitude:400.0 ~period_us in
+  let times = gen ~rate ~until_us:period_us () in
+  let crest = count_in times ~from_us:0 ~until_us:(period_us / 2) in
+  let trough = count_in times ~from_us:(period_us / 2) ~until_us:period_us in
+  (* mean rate over a half period: base ± amplitude * 2/pi *)
+  let expect_crest = (500.0 +. (400.0 *. 2.0 /. Float.pi)) *. 4.0 in
+  let expect_trough = (500.0 -. (400.0 *. 2.0 /. Float.pi)) *. 4.0 in
+  let check name expect n =
+    let slack = 5.0 *. sqrt expect in
+    Alcotest.(check bool)
+      (Fmt.str "%s: %d within %.0f of %.0f" name n slack expect)
+      true
+      (Float.abs (float_of_int n -. expect) <= slack)
+  in
+  check "crest half-period" expect_crest crest;
+  check "trough half-period" expect_trough trough;
+  Alcotest.(check bool) "crest clearly above trough" true
+    (crest > trough + ((crest - trough) / 4))
+
+(* Mid-run shift: no arrivals follow the old schedule after the switch
+   point. *)
+let test_shift_schedule () =
+  let rate =
+    Openloop.shift ~at_us:3_000_000 (Openloop.constant 1000.0)
+      (Openloop.constant 100.0)
+  in
+  let times = gen ~rate ~until_us:6_000_000 () in
+  let before = count_in times ~from_us:0 ~until_us:3_000_000 in
+  let after = count_in times ~from_us:3_000_000 ~until_us:6_000_000 in
+  Alcotest.(check bool)
+    (Fmt.str "before %d ~ 3000, after %d ~ 300" before after)
+    true
+    (before > 2700 && before < 3300 && after > 210 && after < 390)
+
+let test_trace_validation () =
+  Alcotest.(check (list int)) "ascending trace accepted" [ 10; 20; 20; 40 ]
+    (Openloop.of_trace [ 10; 20; 20; 40 ]);
+  Alcotest.(check bool) "descending trace rejected" true
+    (try
+       ignore (Openloop.of_trace [ 10; 5 ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* The driver over a live deployment: every arrival spawns, every
+   arrival is accounted for exactly once, the arrivals counter matches,
+   and a deterministic rerun reproduces the outcome counts. *)
+let run_driver ~seed =
+  let cfg =
+    U.Config.default ~topo:(Net.Topology.three_dcs ()) ~partitions:2 ~f:1
+      ~seed ()
+  in
+  let sys = U.System.create cfg in
+  let rng = Sim.Rng.split (Sim.Engine.rng (U.System.engine sys)) ~id:0xa221 in
+  let times =
+    Openloop.arrivals ~rng ~rate:(Openloop.constant 400.0)
+      ~until_us:1_000_000
+  in
+  let spec =
+    {
+      (Workload.Micro.default_spec ~partitions:2) with
+      Workload.Micro.strong_ratio = 0.5;
+      max_retries = 0;
+    }
+  in
+  let stats =
+    Openloop.install sys ~arrivals:times ~body:(Openloop.micro_body spec)
+  in
+  U.System.run sys ~until:2_000_000;
+  (List.length times, stats, U.System.metrics sys, U.System.pending_strong sys)
+
+let test_driver_accounting () =
+  let n_times, stats, metrics, pending = run_driver ~seed:42 in
+  Alcotest.(check int) "every instant arrived" n_times
+    stats.Openloop.arrivals;
+  Alcotest.(check int) "arrivals counter matches"
+    stats.Openloop.arrivals
+    (Sim.Metrics.counter_value
+       (Sim.Metrics.counter metrics "open_loop_arrivals_total"));
+  Alcotest.(check int) "every arrival classified exactly once"
+    stats.Openloop.arrivals
+    (stats.Openloop.committed + stats.Openloop.aborted + stats.Openloop.shed);
+  Alcotest.(check int) "all fibers drained" 0 stats.Openloop.in_flight;
+  Alcotest.(check bool) "sessions are pooled, not per-arrival" true
+    (stats.Openloop.sessions < stats.Openloop.arrivals / 2);
+  Alcotest.(check int) "no pending certifications at quiescence" 0 pending;
+  Alcotest.(check bool) "work actually committed" true
+    (stats.Openloop.committed > 0)
+
+let test_driver_deterministic () =
+  let _, s1, _, _ = run_driver ~seed:42 in
+  let _, s2, _, _ = run_driver ~seed:42 in
+  Alcotest.(check int) "same arrivals" s1.Openloop.arrivals s2.Openloop.arrivals;
+  Alcotest.(check int) "same commits" s1.Openloop.committed s2.Openloop.committed;
+  Alcotest.(check int) "same aborts" s1.Openloop.aborted s2.Openloop.aborted;
+  Alcotest.(check int) "same peak in-flight" s1.Openloop.peak_in_flight
+    s2.Openloop.peak_in_flight
+
+let suite =
+  [
+    Alcotest.test_case "Poisson count and gap moments" `Quick
+      test_poisson_moments;
+    Alcotest.test_case "arrival sequences are seed-deterministic" `Quick
+      test_deterministic_under_seed;
+    Alcotest.test_case "flash-crowd rate envelope" `Quick
+      test_flash_crowd_envelope;
+    Alcotest.test_case "diurnal rate envelope" `Quick test_diurnal_envelope;
+    Alcotest.test_case "mid-run schedule shift" `Quick test_shift_schedule;
+    Alcotest.test_case "trace-driven arrival validation" `Quick
+      test_trace_validation;
+    Alcotest.test_case "driver accounts for every arrival" `Slow
+      test_driver_accounting;
+    Alcotest.test_case "driver replays deterministically" `Slow
+      test_driver_deterministic;
+  ]
