@@ -37,11 +37,12 @@ let artefacts =
       fun () -> Common.timed "adversity" Nemesis_bench.run_adversity );
     ("ablations", fun () -> Common.timed "ablations" Ablations.run);
     ("overload", fun () -> Common.timed "overload" Overload.run);
+    ("rolling", fun () -> Common.timed "rolling" Rolling.run);
     ("micro", fun () -> Common.timed "micro" Microbench.run);
   ]
 
 let default_sequence =
-  [ "scenarios"; "nemesis"; "recovery"; "adversity"; "overload";
+  [ "scenarios"; "nemesis"; "recovery"; "adversity"; "overload"; "rolling";
     "tab-latency"; "fig6"; "fig5"; "ablations"; "micro"; "fig3"; "fig4" ]
 
 (* Strip [--json <dir>] (setting [Common.json_dir]) and return the

@@ -75,7 +75,10 @@ let queue_peak sys =
     0.0
     (Sim.Metrics.gauges_matching (U.System.metrics sys) "pending_certifications")
 
-let run_point ~rate ~admission =
+(* One open-loop deployment under an arbitrary rate schedule and
+   transaction body; [label_rate] is the rate recorded for the point
+   (peak rate for shaped schedules). *)
+let run_shaped ~label_rate ~rate_fn ~body ~admission =
   let cfg =
     U.Config.default ~topo:(Net.Topology.three_dcs ()) ~partitions ~f:1
       ~admission_max_pending:(if admission then admission_bound else 0)
@@ -88,17 +91,13 @@ let run_point ~rate ~admission =
   let rng =
     Sim.Rng.split (Sim.Engine.rng (U.System.engine sys)) ~id:0xa221
   in
-  let times =
-    Openloop.arrivals ~rng ~rate:(Openloop.constant rate) ~until_us:stop_at
-  in
-  let stats =
-    Openloop.install sys ~arrivals:times ~body:(Openloop.micro_body spec)
-  in
+  let times = Openloop.arrivals ~rng ~rate:rate_fn ~until_us:stop_at in
+  let stats = Openloop.install sys ~arrivals:times ~body in
   U.System.run sys ~until:(stop_at + drain_us);
   let h = U.System.history sys in
   let lat = U.History.latency_all h in
   {
-    p_rate = rate;
+    p_rate = label_rate;
     p_admission = admission;
     p_goodput =
       (match U.History.throughput h with Some t -> t | None -> 0.0);
@@ -110,6 +109,10 @@ let run_point ~rate ~admission =
     p_committed = stats.Openloop.committed;
     p_shed = stats.Openloop.shed;
   }
+
+let run_point ~rate ~admission =
+  run_shaped ~label_rate:rate ~rate_fn:(Openloop.constant rate)
+    ~body:(Openloop.micro_body spec) ~admission
 
 let point_json p =
   Json.Obj
@@ -185,6 +188,53 @@ let run () =
      on-goodput-held=%b (shed %.1f%%)"
     off_p99_blowup off_queue_diverged on_p99_bounded on_goodput_held
     (100.0 *. stress_on.p_shed_frac);
+  (* hot-key shift: a flash crowd aims its strong transactions at one
+     partition's certification leader, then the hot set moves to the
+     other partition mid-burst ([Openloop.switch_body]), moving the
+     backlog admission control must bound with it. The verdict is that
+     shedding keeps p99 bounded across the move, where the uncontrolled
+     run collapses on whichever leader is hot. *)
+  Common.hr ();
+  let burst_at = warmup_us + (window_us / 4) in
+  let burst_dur = window_us / 2 in
+  let shift_at = burst_at + (burst_dur / 2) in
+  let base_rate = 0.5 *. knee and burst_rate = 2.0 *. knee in
+  let hot_rate =
+    Openloop.flash_crowd ~base:base_rate ~peak:burst_rate ~at_us:burst_at
+      ~duration_us:burst_dur
+  in
+  let hot_spec p =
+    { spec with Workload.Micro.hot_partition = Some (p, 0.9) }
+  in
+  let hot_body =
+    Openloop.switch_body ~at_us:shift_at
+      (Openloop.micro_body (hot_spec 0))
+      (Openloop.micro_body (hot_spec 1))
+  in
+  Common.note
+    "hot-key shift: flash crowd %.0f -> %.0f tx/s at t=%d ms, hot partition \
+     0 -> 1 at t=%d ms"
+    base_rate burst_rate (burst_at / 1000) (shift_at / 1000);
+  let hot_off =
+    run_shaped ~label_rate:burst_rate ~rate_fn:hot_rate ~body:hot_body
+      ~admission:false
+  in
+  let hot_on =
+    run_shaped ~label_rate:burst_rate ~rate_fn:hot_rate ~body:hot_body
+      ~admission:true
+  in
+  pp_point hot_off;
+  pp_point hot_on;
+  let hot_off_p99_blowup =
+    pre_knee.p_p99_ms > 0.0 && hot_off.p_p99_ms > 10.0 *. pre_knee.p_p99_ms
+  in
+  let hot_on_p99_bounded = hot_on.p_p99_ms <= p99_bound_ms in
+  let hot_on_sheds = hot_on.p_shed > 0 in
+  let hot_on_goodput_held = hot_on.p_goodput >= 0.8 *. base_rate in
+  Common.note
+    "hot-shift verdicts: off-p99-blowup=%b on-p99-bounded=%b on-sheds=%b \
+     on-goodput-held=%b"
+    hot_off_p99_blowup hot_on_p99_bounded hot_on_sheds hot_on_goodput_held;
   Common.emit_artifact ~name:"overload"
     (Json.Obj
        [
@@ -200,6 +250,17 @@ let run () =
          ("stress_rate_tx_s", Json.Float stress_rate);
          ("stress_admission_off", point_json stress_off);
          ("stress_admission_on", point_json stress_on);
+         ( "hot_shift",
+           Json.Obj
+             [
+               ("base_tx_s", Json.Float base_rate);
+               ("burst_tx_s", Json.Float burst_rate);
+               ("burst_at_us", Json.Int burst_at);
+               ("burst_duration_us", Json.Int burst_dur);
+               ("shift_at_us", Json.Int shift_at);
+               ("admission_off", point_json hot_off);
+               ("admission_on", point_json hot_on);
+             ] );
          ( "verdicts",
            Json.Obj
              [
@@ -207,5 +268,9 @@ let run () =
                ("off_queue_diverged", Json.Bool off_queue_diverged);
                ("on_p99_bounded", Json.Bool on_p99_bounded);
                ("on_goodput_held", Json.Bool on_goodput_held);
+               ("hot_shift_off_p99_blowup", Json.Bool hot_off_p99_blowup);
+               ("hot_shift_on_p99_bounded", Json.Bool hot_on_p99_bounded);
+               ("hot_shift_on_sheds", Json.Bool hot_on_sheds);
+               ("hot_shift_on_goodput_held", Json.Bool hot_on_goodput_held);
              ] );
        ])

@@ -54,6 +54,13 @@ type 'm node = {
   mutable busy_until : int;
   mutable processed : int;
   mutable busy_us : int;
+  (* node-level failure domain: a single machine down while its DC is
+     up. Distinct from the DC crash so one process can restart with its
+     disk intact while siblings keep serving. *)
+  mutable down : bool;
+  (* bumped on every node-level restart; pre-crash in-flight traffic
+     addressed to the node is discarded by the epoch check *)
+  mutable incarnation : int;
 }
 
 (* Sender half of a reliable channel. [unacked] holds sent-but-unacked
@@ -300,6 +307,8 @@ let register t ?(client = false) ~dc ~cost handler =
       busy_until = 0;
       processed = 0;
       busy_us = 0;
+      down = false;
+      incarnation = 0;
     }
   in
   if t.node_count = Array.length t.nodes then begin
@@ -319,15 +328,17 @@ let node t addr =
 let dc_of t addr = (node t addr).dc
 let dc_failed t dc = t.failed.(dc)
 
-(* A node is dead iff its DC crashed AND it belongs to the DC's failure
-   domain — client nodes are external and outlive the crash. *)
-let node_failed t n = t.failed.(n.dc) && not n.client
+(* A node is dead iff it crashed on its own ([down]) or its DC crashed
+   and it belongs to the DC's failure domain — client nodes are external
+   and outlive the crash. *)
+let node_failed t n = n.down || (t.failed.(n.dc) && not n.client)
 
-(* Incarnation used for in-flight staleness checks. Client nodes never
+(* Incarnation used for in-flight staleness checks: the DC-crash epoch
+   paired with the node's own restart incarnation. Client nodes never
    lose state, so their incarnation is constant: a message between a
    client and a live peer must survive the colocated DC's recovery
    (which bumps the DC epoch to invalidate pre-crash traffic). *)
-let epoch_of t n = if n.client then 0 else t.epochs.(n.dc)
+let epoch_of t n = if n.client then (0, 0) else (t.epochs.(n.dc), n.incarnation)
 
 let fail_dc t dc =
   if dc < 0 || dc >= Topology.dcs t.topo then
@@ -349,6 +360,37 @@ let dc_failed_at t dc =
    leave the peer's rx [expected] suppressing the fresh seq-0 sends as
    duplicates). Messages buffered for the DC while it was down died with
    the crash — the protocol layer's rejoin sync recovers the content. *)
+(* Discard every FIFO channel and reliable-layer flow touching a node
+   matched by [matches], on both sides, so post-recovery traffic starts
+   fresh sequence spaces in both directions (resetting only the tx side
+   would leave the peer's rx [expected] suppressing the fresh seq-0
+   sends as duplicates). *)
+let reset_channels t ~matches =
+  let stale tbl =
+    Hashtbl.fold
+      (fun ((src, dst) as key) _ acc ->
+        if matches src || matches dst then key :: acc else acc)
+      tbl []
+  in
+  List.iter (Hashtbl.remove t.fifo) (stale t.fifo);
+  List.iter
+    (fun ((src, dst) as key) ->
+      (match Hashtbl.find_opt t.tx_flows key with
+      | Some fl ->
+          if fl.unacked <> [] then
+            meter_backlog_add t ~src_dc:t.nodes.(src).dc
+              ~dst_dc:t.nodes.(dst).dc
+              (-List.length fl.unacked);
+          (* an armed retransmission timer still references this
+             record; emptying it makes the orphaned fire a no-op
+             instead of replaying stale sequence numbers into the
+             fresh flow's sequence space *)
+          fl.unacked <- []
+      | None -> ());
+      Hashtbl.remove t.tx_flows key)
+    (stale t.tx_flows);
+  List.iter (Hashtbl.remove t.rx_flows) (stale t.rx_flows)
+
 let recover_dc t dc =
   if dc < 0 || dc >= Topology.dcs t.topo then
     invalid_arg "Network.recover_dc: no such data center";
@@ -360,35 +402,32 @@ let recover_dc t dc =
     t.epochs.(dc) <- t.epochs.(dc) + 1;
     (* client nodes kept their state through the crash: their channels
        to live DCs are intact and must not be reset *)
-    let in_dc addr =
-      addr >= 0 && addr < t.node_count
-      && t.nodes.(addr).dc = dc
-      && not t.nodes.(addr).client
-    in
-    let stale tbl =
-      Hashtbl.fold
-        (fun ((src, dst) as key) _ acc ->
-          if in_dc src || in_dc dst then key :: acc else acc)
-        tbl []
-    in
-    List.iter (Hashtbl.remove t.fifo) (stale t.fifo);
-    List.iter
-      (fun ((src, dst) as key) ->
-        (match Hashtbl.find_opt t.tx_flows key with
-        | Some fl ->
-            if fl.unacked <> [] then
-              meter_backlog_add t ~src_dc:t.nodes.(src).dc
-                ~dst_dc:t.nodes.(dst).dc
-                (-List.length fl.unacked);
-            (* an armed retransmission timer still references this
-               record; emptying it makes the orphaned fire a no-op
-               instead of replaying stale sequence numbers into the
-               fresh flow's sequence space *)
-            fl.unacked <- []
-        | None -> ());
-        Hashtbl.remove t.tx_flows key)
-      (stale t.tx_flows);
-    List.iter (Hashtbl.remove t.rx_flows) (stale t.rx_flows)
+    reset_channels t ~matches:(fun addr ->
+        addr >= 0 && addr < t.node_count
+        && t.nodes.(addr).dc = dc
+        && not t.nodes.(addr).client)
+  end
+
+(* Node-level failure domain: one machine dies while its DC stays up.
+   Client sessions are not machines of the deployment, so they cannot
+   node-crash. *)
+let fail_node t addr =
+  let n = node t addr in
+  if n.client then invalid_arg "Network.fail_node: client nodes cannot crash";
+  n.down <- true
+
+let node_down t addr = (node t addr).down
+
+(* Restart a crashed machine: like [recover_dc] but scoped to one
+   address — fresh incarnation (in-flight pre-crash traffic dies on the
+   epoch check), both-sided channel reset, and an idle CPU. *)
+let recover_node t addr =
+  let n = node t addr in
+  if n.down then begin
+    n.down <- false;
+    n.incarnation <- n.incarnation + 1;
+    n.busy_until <- 0;
+    reset_channels t ~matches:(fun a -> a = addr)
   end
 
 (* Base one-way transit time of a physical transmission, jitter included. *)
@@ -409,8 +448,9 @@ let process t dst_node msg =
   let finish = start + cost in
   dst_node.busy_until <- finish;
   dst_node.busy_us <- dst_node.busy_us + cost;
+  let ep = epoch_of t dst_node in
   Sim.Engine.schedule_at t.eng ~time:finish (fun () ->
-      if not (node_failed t dst_node) then begin
+      if (not (node_failed t dst_node)) && ep = epoch_of t dst_node then begin
         dst_node.processed <- dst_node.processed + 1;
         (match t.meter with
         | None -> ()

@@ -58,6 +58,26 @@ val dc_failed_at : 'm t -> int -> int option
     is live. *)
 val recover_dc : 'm t -> int -> unit
 
+(** {1 Node-level failures}
+
+    The machine-granularity failure domain: one node dies while its DC
+    stays up. Distinct from {!fail_dc} so a single replica process can
+    crash and restart (with its simulated disk intact — see
+    [Store.Wal]) while its siblings keep serving. *)
+
+(** Crash a single node: it neither sends nor receives until
+    {!recover_node}. Client nodes cannot node-crash
+    ([Invalid_argument]). Idempotent. *)
+val fail_node : 'm t -> addr -> unit
+
+(** Restart a crashed node with a fresh incarnation: in-flight pre-crash
+    traffic to or from it is dropped on arrival, every channel touching
+    it is reset on both sides (fresh sequence spaces), and its CPU comes
+    back idle. No-op if the node is up. *)
+val recover_node : 'm t -> addr -> unit
+
+val node_down : 'm t -> addr -> bool
+
 (** Send a message. Per-(src,dst) delivery order is FIFO; latency is the
     topology's one-way delay plus jitter; processing at the destination is
     serialized on its CPU. Silently dropped if either end's DC failed.

@@ -60,6 +60,20 @@ type ctx = {
 
 type status = Leader | Follower | Recovering | Restoring
 
+(* Durable certification events (the Raft persistent-state contract:
+   currentTerm/votedFor ≙ ballot/cballot, log entries ≙ accepted
+   transactions). Each is appended to the node's WAL *before* the
+   message that promises it leaves the member: an [E_ballot] before a
+   NEW_LEADER_ACK / NEW_STATE_ACK under that ballot, an [E_accept]
+   before the ACCEPT_ACK for that transaction. Decisions and the
+   delivery frontier are deliberately not logged — decided state is
+   group-recoverable through NEW_STATE, and the frontier is re-derived
+   from the replica's own delivered-strong WAL records, so the cert
+   member and its store cannot disagree after a replay. *)
+type event =
+  | E_ballot of { b : int; cb : int }
+  | E_accept of Msg.prepared_strong
+
 let status_name = function
   | Leader -> "leader"
   | Follower -> "follower"
@@ -97,6 +111,10 @@ type t = {
   mutable last_activity : int;  (* time of last delivery (heartbeating) *)
   mutable last_bid : int;  (* time of the last leadership bid (debounce) *)
   bid_interval_us : int;  (* reclaim debounce (derived from the config) *)
+  (* durable-append hook (persistence mode): [log ev ~k] must append
+     [ev] to stable storage and call [k] once it is fsynced — or never,
+     if the node crashes first. [None] = memory-only: [k] runs inline. *)
+  mutable log : (event -> k:(unit -> unit) -> unit) option;
 }
 
 (* Ballot [b] is led by data center [b mod dcs]; the initial ballot makes
@@ -137,7 +155,13 @@ let create ?(bid_interval_us = default_bid_interval_us) ctx ~leader_dc =
     last_activity = 0;
     last_bid = -bid_interval_us;
     bid_interval_us;
+    log = None;
   }
+
+let set_log t log = t.log <- Some log
+
+let log_durably t ev k =
+  match t.log with None -> k () | Some log -> log ev ~k
 
 let is_leader t = t.status = Leader
 let status t = t.status
@@ -324,33 +348,40 @@ let handle_accept_local t ~b ~tid ~coord ~rid ~origin ~wbuff ~ops ~snap ~vote ~t
     t.ballot = b
     && (t.status = Leader || t.status = Follower || t.status = Restoring)
   then begin
+    let p =
+      {
+        Msg.ps_tid = tid;
+        ps_coord = coord;
+        ps_origin = origin;
+        ps_wbuff = wbuff;
+        ps_ops = ops;
+        ps_snap = snap;
+        ps_vote = vote;
+        ps_ts = ts;
+        ps_lc = lc;
+      }
+    in
     if not (Hashtbl.mem t.decided tid) then begin
-      Hashtbl.replace t.prepared tid
-        {
-          Msg.ps_tid = tid;
-          ps_coord = coord;
-          ps_origin = origin;
-          ps_wbuff = wbuff;
-          ps_ops = ops;
-          ps_snap = snap;
-          ps_vote = vote;
-          ps_ts = ts;
-          ps_lc = lc;
-        };
+      Hashtbl.replace t.prepared tid p;
       Hashtbl.replace t.prepared_at tid (t.ctx.x_now ())
     end;
-    t.ctx.x_send coord
-      (Msg.Accept_ack
-         {
-           part = t.ctx.x_group;
-           b;
-           rid;
-           tid;
-           vote;
-           ts;
-           lc;
-           from_dc = t.ctx.x_dc;
-         })
+    (* the ACCEPT_ACK is a promise that this accept survives a crash of
+       this member: make it durable first (memory state may run ahead of
+       the disk — a crash rebuilds it from the disk, so nothing acked is
+       ever lost) *)
+    log_durably t (E_accept p) (fun () ->
+        t.ctx.x_send coord
+          (Msg.Accept_ack
+             {
+               part = t.ctx.x_group;
+               b;
+               rid;
+               tid;
+               vote;
+               ts;
+               lc;
+               from_dc = t.ctx.x_dc;
+             }))
   end
 
 let handle_prepare_strong t ~rid ~caller ~coord ~tid ~origin ~wbuff ~ops
@@ -568,15 +599,20 @@ let handle_new_leader t ~b ~from ~from_dc =
     t.status <- Recovering;
     t.ballot <- b;
     t.do_not_wait <- [];
-    t.ctx.x_send from
-      (Msg.New_leader_ack
-         {
-           b;
-           cballot = t.cballot;
-           prepared = prepared_list t;
-           decided = decided_list t;
-           from = t.ctx.x_self ();
-         })
+    let ack =
+      Msg.New_leader_ack
+        {
+          b;
+          cballot = t.cballot;
+          prepared = prepared_list t;
+          decided = decided_list t;
+          from = t.ctx.x_self ();
+        }
+    in
+    (* the ack promises never to accept under a smaller ballot again:
+       persist the promise before it leaves (Raft's currentTerm) *)
+    log_durably t (E_ballot { b; cb = t.cballot }) (fun () ->
+        t.ctx.x_send from ack)
   end
   else t.ctx.x_send from (Msg.Nack { b = t.ballot; from = t.ctx.x_self () })
 
@@ -629,17 +665,20 @@ let handle_new_leader_ack t ~b ~cballot ~prepared ~decided ~from_dc =
             t.cballot <- b;
             t.last_ts <- max t.last_ts (max max_prep max_dec);
             t.state_acks <- [ t.ctx.x_dc ];
-            for dc = 0 to t.ctx.x_dcs - 1 do
-              if dc <> t.ctx.x_dc then
-                t.ctx.x_send (t.ctx.x_member dc)
-                  (Msg.New_state
-                     {
-                       b;
-                       prepared = prepared_list t;
-                       decided = decided_list t;
-                       from = t.ctx.x_self ();
-                     })
-            done
+            let state =
+              Msg.New_state
+                {
+                  b;
+                  prepared = prepared_list t;
+                  decided = decided_list t;
+                  from = t.ctx.x_self ();
+                }
+            in
+            log_durably t (E_ballot { b; cb = b }) (fun () ->
+                for dc = 0 to t.ctx.x_dcs - 1 do
+                  if dc <> t.ctx.x_dc then
+                    t.ctx.x_send (t.ctx.x_member dc) state
+                done)
           end)
     end
   end
@@ -650,7 +689,8 @@ let handle_new_state t ~b ~prepared ~decided ~from =
     t.ballot <- b;
     install_state t ~prepared ~decided;
     t.status <- Follower;
-    t.ctx.x_send from (Msg.New_state_ack { b; from = t.ctx.x_self () })
+    log_durably t (E_ballot { b; cb = b }) (fun () ->
+        t.ctx.x_send from (Msg.New_state_ack { b; from = t.ctx.x_self () }))
   end
 
 let start_restoring t =
@@ -703,6 +743,44 @@ let begin_rejoin t ~delivered =
   Hashtbl.reset t.decided_by_key;
   t.decided_join <- None;
   t.decided_max_lc <- 0
+
+(* What a node snapshot must capture of its cert member: the durable
+   promises (ballots) and the accepted-but-undecided log. Everything
+   else is group-recoverable. *)
+let persistent_state t = (t.ballot, t.cballot, prepared_list t)
+
+(* Node-level restart from the member's own disk: like [begin_rejoin],
+   but the ballots and the accepted log survived (snapshot + WAL
+   replay), so the promises behind every pre-crash NEW_LEADER_ACK and
+   ACCEPT_ACK still hold — the member can answer a later leader
+   recovery without violating quorum-intersection arguments.
+   [delivered] is re-derived by the replica from its own replayed
+   delivered-strong records. Decided state still comes back wholesale
+   with NEW_STATE (the member stays [Recovering], neither voting nor
+   acking, until it lands). *)
+let restart t ~ballot ~cballot ~prepared ~delivered =
+  t.status <- Recovering;
+  t.ballot <- max t.ballot ballot;
+  t.cballot <- max t.cballot cballot;
+  t.last_delivered <- delivered;
+  t.last_sent <- delivered;
+  t.last_activity <- t.ctx.x_now ();
+  t.pruned_below <- max t.pruned_below delivered;
+  t.undelivered <- [];
+  t.do_not_wait <- [];
+  t.recovery_acks <- [];
+  t.state_acks <- [];
+  Hashtbl.reset t.prepared;
+  Hashtbl.reset t.prepared_at;
+  Hashtbl.reset t.decided;
+  Hashtbl.reset t.decided_by_key;
+  t.decided_join <- None;
+  t.decided_max_lc <- 0;
+  List.iter
+    (fun (p : Msg.prepared_strong) ->
+      Hashtbl.replace t.prepared p.Msg.ps_tid p;
+      Hashtbl.replace t.prepared_at p.Msg.ps_tid (t.ctx.x_now ()))
+    prepared
 
 (* A rejoining member asks for the group state; only the leader answers
    (with a targeted [New_state] under its current ballot — the same

@@ -52,6 +52,17 @@ type ctx = {
 
 type status = Leader | Follower | Recovering | Restoring
 
+(** Durable certification events (the Raft persistent-state contract):
+    an [E_ballot] is appended to the node's WAL before any ack promising
+    that ballot leaves the member, an [E_accept] before the ACCEPT_ACK
+    for that transaction. Decisions and the delivery frontier are not
+    logged — decided state is group-recoverable via NEW_STATE, and the
+    frontier is re-derived from the replica's own delivered-strong
+    records at replay. *)
+type event =
+  | E_ballot of { b : int; cb : int }
+  | E_accept of Msg.prepared_strong
+
 val status_name : status -> string
 
 type t
@@ -105,6 +116,33 @@ val prune_decided : t -> keep_after:int -> unit
     transactions above the snapshot — and moves the member to
     [Follower], after which it votes again. *)
 val begin_rejoin : t -> delivered:int -> unit
+
+(** {1 Node-level persistence} *)
+
+(** Install the durable-append hook (persistence mode): [log ev ~k]
+    must append [ev] to stable storage and call [k] exactly once the
+    write is fsynced — or never, if the node crashes first. Without a
+    hook, continuations run inline (memory-only mode). *)
+val set_log : t -> (event -> k:(unit -> unit) -> unit) -> unit
+
+(** What a node snapshot captures of this member:
+    [(ballot, cballot, prepared)] — the durable promises and the
+    accepted-but-undecided log. Everything else is group-recoverable. *)
+val persistent_state : t -> int * int * Msg.prepared_strong list
+
+(** Node-level restart from the member's own disk: like {!begin_rejoin},
+    but the ballots and accepted log survived (snapshot + WAL replay),
+    so every pre-crash ACCEPT_ACK / NEW_LEADER_ACK promise still holds.
+    [delivered] is the strong frontier the replica re-derived from its
+    replayed delivered-strong records. The member stays [Recovering]
+    until NEW_STATE restores the decided log. *)
+val restart :
+  t ->
+  ballot:int ->
+  cballot:int ->
+  prepared:Msg.prepared_strong list ->
+  delivered:int ->
+  unit
 
 (** Dispatch a group message; [false] if the message is not for the
     certification service. *)

@@ -469,8 +469,6 @@ let migrate t ~dc =
    at the DC the session migrated to; a shed commit (admission control)
    re-executes after a short randomized backoff so retries from many
    clients do not resynchronize against the admission bound. *)
-let overload_backoff_us = 10_000
-
 let run_txn ?label ?(strong = false) ?(max_retries = max_int) t body =
   let rec go attempts =
     let outcome =
@@ -483,8 +481,8 @@ let run_txn ?label ?(strong = false) ?(max_retries = max_int) t body =
           t.cur <- None;
           None
       | Overloaded ->
-          sleep t
-            (overload_backoff_us + Sim.Rng.int t.rng overload_backoff_us);
+          let backoff = Config.overload_backoff_us t.cfg in
+          sleep t (backoff + Sim.Rng.int t.rng backoff);
           None
     in
     match outcome with

@@ -138,6 +138,13 @@ type t = {
                                    certifications before coordinators shed
                                    new COMMIT_STRONG requests (R_overloaded);
                                    0 disables admission control *)
+  persistence : bool;  (* per-node WAL + snapshot disks: replicas fsync
+                          before acking and survive node-level crashes;
+                          off = the memory-only model of PRs 1-5 *)
+  disk_fsync_us : int;  (* simulated disk fsync latency per node *)
+  disk_mb_per_s : int;  (* simulated disk sequential write bandwidth *)
+  snapshot_interval_us : int;  (* period of the snapshot+truncate
+                                  compaction bounding WAL replay *)
   costs : costs;
   seed : int;
   use_hlc : bool;  (* hybrid logical clocks instead of physical waits (§9) *)
@@ -154,6 +161,8 @@ let default ?(topo = Net.Topology.three_dcs ()) ?(partitions = 8) ?(f = 1)
     ?link_faults ?(metrics_probe_us = 10_000) ?(gc_grace_us = 10_000_000)
     ?(sync_chunk = 256) ?(sync_pull_deadline_us = 300_000)
     ?(client_failover_us = 0) ?(admission_max_pending = 0)
+    ?(persistence = false) ?disk_fsync_us ?disk_mb_per_s
+    ?(snapshot_interval_us = 2_000_000)
     ?(costs = default_costs)
     ?(seed = 42)
     ?(use_hlc = false) ?(trace_enabled = false) ?(record_history = false)
@@ -183,6 +192,23 @@ let default ?(topo = Net.Topology.three_dcs ()) ?(partitions = 8) ?(f = 1)
     invalid_arg "Config.default: bad client_failover_us";
   if admission_max_pending < 0 then
     invalid_arg "Config.default: bad admission_max_pending";
+  (* Disk characteristics default from the topology so one deployment
+     description carries both network and storage; per-run overrides
+     remain possible for disk-speed sweeps. *)
+  let disk_fsync_us =
+    match disk_fsync_us with
+    | Some v -> v
+    | None -> Net.Topology.disk_fsync_us topo
+  in
+  let disk_mb_per_s =
+    match disk_mb_per_s with
+    | Some v -> v
+    | None -> Net.Topology.disk_mb_per_s topo
+  in
+  if disk_fsync_us < 0 then invalid_arg "Config.default: bad disk_fsync_us";
+  if disk_mb_per_s <= 0 then invalid_arg "Config.default: bad disk_mb_per_s";
+  if snapshot_interval_us <= 0 then
+    invalid_arg "Config.default: bad snapshot_interval_us";
   {
     topo;
     partitions;
@@ -203,6 +229,10 @@ let default ?(topo = Net.Topology.three_dcs ()) ?(partitions = 8) ?(f = 1)
     sync_pull_deadline_us;
     client_failover_us;
     admission_max_pending;
+    persistence;
+    disk_fsync_us;
+    disk_mb_per_s;
+    snapshot_interval_us;
     costs;
     seed;
     use_hlc;
@@ -231,6 +261,33 @@ let rto_cap_us t = t.detection_delay_us + Net.Topology.max_rtt_us t.topo
    the worst-case strong-commit stall after a leader-home rejoin scales
    with the deployment rather than a fixed 1 s. *)
 let reclaim_debounce_us t = t.fd_period_us + Net.Topology.max_rtt_us t.topo
+
+(* Backoff a rejoining replica holds against a sync peer it dropped for
+   missing a pull-round deadline. A peer that went silent for a whole
+   round is either dead or badly degraded: bar it for one full Ω
+   suspicion window — so that a genuinely dead peer is confirmed by the
+   detector (whose rehabilitation clears the bar early on recovery)
+   before we would repoll it — rounded up to whole deadline rounds,
+   plus two further rounds of quarantine so a merely-slow peer sits out
+   at least that long even under an aggressive detector. At the
+   defaults (500 ms detection, 300 ms deadline) this is
+   ceil(500/300) + 2 = 4 rounds = 1.2 s — exactly the hand-tuned 4x
+   multiplier of PR 4, now scaling with the detector and the deadline
+   instead of being a magic constant. *)
+let sync_drop_backoff_us t =
+  let d = t.sync_pull_deadline_us in
+  let detect_rounds = (t.detection_delay_us + d - 1) / d in
+  (detect_rounds + 2) * d
+
+(* Base of the randomized backoff a client sleeps after an R_overloaded
+   shed before resubmitting. The shed means the DC's
+   pending-certification queue is at its admission bound; the queue
+   drains at broadcast granularity (decisions and DELIVER advance with
+   the metadata exchange), so wait two broadcast periods for meaningful
+   drain before retrying. The client adds uniform jitter of the same
+   magnitude to desynchronize retry storms, giving the 10-20 ms window
+   of PR 5 at the default 5 ms broadcast period. *)
+let overload_backoff_us t = 2 * t.broadcast_period_us
 
 (* Does this mode track uniformity (exchange STABLEVEC between siblings
    and expose remote transactions only when uniform)? *)

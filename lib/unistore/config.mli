@@ -102,6 +102,17 @@ type t = {
           coordinators shed new COMMIT_STRONG requests with a retryable
           {!Msg.t.R_overloaded} reply instead of queueing them; [0]
           disables shedding (the pre-overload-harness behaviour) *)
+  persistence : bool;
+      (** give every replica node a simulated disk (WAL + snapshots,
+          {!Store.Wal}): acks wait for fsync, nodes survive node-level
+          crash/restart by local replay; [false] keeps the memory-only
+          model where any crash is total state loss *)
+  disk_fsync_us : int;  (** per-node disk fsync latency *)
+  disk_mb_per_s : int;  (** per-node disk sequential write bandwidth *)
+  snapshot_interval_us : int;
+      (** period of each node's snapshot+truncate compaction; bounds WAL
+          replay after a restart by the snapshot interval's worth of
+          traffic instead of the run length *)
   costs : costs;
   seed : int;
   use_hlc : bool;
@@ -139,6 +150,10 @@ val default :
   ?sync_pull_deadline_us:int ->
   ?client_failover_us:int ->
   ?admission_max_pending:int ->
+  ?persistence:bool ->
+  ?disk_fsync_us:int ->
+  ?disk_mb_per_s:int ->
+  ?snapshot_interval_us:int ->
   ?costs:costs ->
   ?seed:int ->
   ?use_hlc:bool ->
@@ -165,6 +180,20 @@ val rto_cap_us : t -> int
     enough for an in-flight election round to settle, and much tighter
     than the former fixed 1 s on typical deployments. *)
 val reclaim_debounce_us : t -> int
+
+(** Derived backoff against a sync peer dropped from a rejoin pull round
+    ([Replica]): one Ω suspicion window rounded up to whole pull-round
+    deadlines, plus two rounds of quarantine. 4× the deadline (1.2 s) at
+    the defaults — PR 4's hand-tuned multiplier, now scaling with the
+    detector and the deadline. *)
+val sync_drop_backoff_us : t -> int
+
+(** Derived base of the randomized client backoff after an
+    [R_overloaded] shed: two broadcast periods, enough for the
+    pending-certification queue to drain measurably before the retry
+    (the client adds equal-magnitude uniform jitter, giving the 10–20 ms
+    window at the default 5 ms period). *)
+val overload_backoff_us : t -> int
 
 (** Whether the mode exchanges STABLEVEC between siblings and exposes
     remote transactions only when uniform (all modes except [Cure_ft]). *)

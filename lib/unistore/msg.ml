@@ -86,6 +86,14 @@ type t =
   | Prepare of { from : addr; tid : Types.tid; writes : Types.write list; snap : Vc.t }
   | Prepare_ack of { tid : Types.tid; part : int; ts : int }
   | Commit of { tid : Types.tid; vec : Vc.t; lc : int; origin : int }
+  (* Presumed-abort resolution of causal-2PC orphans (persistence mode):
+     a restarted participant that replayed a prepared-but-uncommitted
+     entry from its WAL asks the coordinator what became of [tid]. A
+     coordinator holding a durable decision re-sends [Commit]; one with
+     no record of the transaction answers [Commit_abort] (presumed
+     abort), and the participant discards the prepared entry. *)
+  | Commit_query of { from : addr; tid : Types.tid; part : int }
+  | Commit_abort of { tid : Types.tid }
   (* ---- replication and forwarding (Algorithm A4) ------------------- *)
   | Replicate of { origin : int; txs : Types.tx_rec list }
   | Heartbeat of { origin : int; ts : int }
@@ -204,6 +212,8 @@ let cost (c : Config.costs) = function
   | Prepare _ -> c.c_prepare
   | Prepare_ack _ -> c.c_base
   | Commit _ -> c.c_commit
+  | Commit_query _ -> c.c_base
+  | Commit_abort _ -> c.c_commit
   | Replicate { txs; _ } -> c.c_base + (c.c_replicate_tx * List.length txs)
   | Heartbeat _ -> c.c_vec
   | Kv_up _ | Stable_down _ | Knownvec_global _ -> c.c_vec
@@ -283,6 +293,8 @@ let size_bytes = function
       header_bytes + 16 + writes_bytes writes + vc_bytes snap
   | Prepare_ack _ -> header_bytes + 24
   | Commit { vec; _ } -> header_bytes + 24 + vc_bytes vec
+  | Commit_query _ -> header_bytes + 24
+  | Commit_abort _ -> header_bytes + 8
   | Replicate { txs; _ } ->
       List.fold_left (fun acc tx -> acc + tx_bytes tx) (header_bytes + 8) txs
   | Heartbeat _ -> header_bytes + 16
@@ -346,6 +358,8 @@ let kind = function
   | Prepare _ -> "prepare"
   | Prepare_ack _ -> "prepare_ack"
   | Commit _ -> "commit"
+  | Commit_query _ -> "commit_query"
+  | Commit_abort _ -> "commit_abort"
   | Replicate _ -> "replicate"
   | Heartbeat _ -> "heartbeat"
   | Kv_up _ -> "kv_up"

@@ -25,6 +25,14 @@ type event =
   | Degrade of { src : int; dst : int; extra_us : int }  (* gray link *)
   | Restore of { src : int; dst : int }
   | Set_drop of float  (* change the steady-state loss rate *)
+  (* Node-level failure domain (persistence deployments): one replica
+     process crashes and restarts from its own disk while its DC stays
+     up. Do not mix with a [Crash_dc] of the same DC in one schedule —
+     a node restarted into a crashed DC cannot catch up. *)
+  | Crash_node of { dc : int; part : int }
+  | Restart_node of { dc : int; part : int }
+  | Slow_disk of { dc : int; part : int; factor : int }  (* gray disk *)
+  | Restore_disk of { dc : int; part : int }
 
 type step = { at_us : int; ev : event }
 
@@ -40,6 +48,11 @@ let pp_event ppf = function
       Fmt.pf ppf "degrade dc%d -> dc%d (+%dus)" src dst extra_us
   | Restore { src; dst } -> Fmt.pf ppf "restore dc%d -> dc%d" src dst
   | Set_drop p -> Fmt.pf ppf "set drop %.3f" p
+  | Crash_node { dc; part } -> Fmt.pf ppf "crash node %d.%d" dc part
+  | Restart_node { dc; part } -> Fmt.pf ppf "restart node %d.%d" dc part
+  | Slow_disk { dc; part; factor } ->
+      Fmt.pf ppf "slow disk %d.%d (x%d)" dc part factor
+  | Restore_disk { dc; part } -> Fmt.pf ppf "restore disk %d.%d" dc part
 
 let pp_step ppf { at_us; ev } = Fmt.pf ppf "%8dus %a" at_us pp_event ev
 
@@ -47,18 +60,25 @@ let pp_step ppf { at_us; ev } = Fmt.pf ppf "%8dus %a" at_us pp_event ev
 let inject_event sys ev =
   let net = System.network sys in
   let trace = System.trace sys in
-  let faults =
+  (* lazily: a node-only schedule must not flip inter-DC links onto the
+     lossy transport just by being injected *)
+  let faults () =
     match System.faults sys with
     | Some f -> f
     | None -> Network.enable_faults net
   in
   Sim.Trace.emitf trace ~source:"nemesis" ~kind:"inject" "%a" pp_event ev;
   match ev with
-  | Crash_dc dc -> System.fail_dc sys dc
-  | Recover_dc dc -> System.recover_dc sys dc
-  | Partition (a, b) -> Net.Faults.partition faults a b
-  | Heal (a, b) -> Net.Faults.heal faults a b
+  | Crash_dc dc ->
+      ignore (faults ());
+      System.fail_dc sys dc
+  | Recover_dc dc ->
+      ignore (faults ());
+      System.recover_dc sys dc
+  | Partition (a, b) -> Net.Faults.partition (faults ()) a b
+  | Heal (a, b) -> Net.Faults.heal (faults ()) a b
   | Heal_all ->
+      let faults = faults () in
       Net.Faults.heal_all faults;
       let dcs = Net.Topology.dcs (Network.topology net) in
       for src = 0 to dcs - 1 do
@@ -67,9 +87,13 @@ let inject_event sys ev =
         done
       done
   | Degrade { src; dst; extra_us } ->
-      Net.Faults.degrade_link faults ~src ~dst ~extra_us
-  | Restore { src; dst } -> Net.Faults.clear_degrade faults ~src ~dst
-  | Set_drop p -> Net.Faults.set_drop faults p
+      Net.Faults.degrade_link (faults ()) ~src ~dst ~extra_us
+  | Restore { src; dst } -> Net.Faults.clear_degrade (faults ()) ~src ~dst
+  | Set_drop p -> Net.Faults.set_drop (faults ()) p
+  | Crash_node { dc; part } -> System.fail_node sys ~dc ~part
+  | Restart_node { dc; part } -> System.restart_node sys ~dc ~part
+  | Slow_disk { dc; part; factor } -> System.set_disk_slow sys ~dc ~part ~factor
+  | Restore_disk { dc; part } -> System.set_disk_slow sys ~dc ~part ~factor:1
 
 (* Schedule every step of [sched] onto the system's engine. Call before
    [System.run]. *)
@@ -125,6 +149,44 @@ let degrade_during_sync ~rejoiner ~peer ~extra_us ~from_us ~until_us =
 let crash_during_sync ~peer ~at_us = [ { at_us; ev = Crash_dc peer } ]
 
 (* ------------------------------------------------------------------ *)
+(* Scripted node-level fragments (persistence deployments).             *)
+
+(* Rolling restart of a whole DC: node [0..partitions-1] in turn
+   crashes at [start_us + i*stagger_us] and restarts [down_us] later.
+   With [stagger_us > down_us] at most one node is down at a time — the
+   ops-procedure roll the rolling bench drives under live traffic. *)
+let rolling_restart ~dc ~partitions ~start_us ~down_us ~stagger_us =
+  List.concat
+    (List.init partitions (fun part ->
+         let at = start_us + (part * stagger_us) in
+         [
+           { at_us = at; ev = Crash_node { dc; part } };
+           { at_us = at + down_us; ev = Restart_node { dc; part } };
+         ]))
+
+(* Supervisor-style restart loop: the same node crash/restarts [cycles]
+   times, [period_us] apart — the flapping process a broken supervisor
+   produces. Each cycle must recover from whatever the previous one
+   left on disk. *)
+let restart_loop ~dc ~part ~start_us ~cycles ~down_us ~period_us =
+  List.concat
+    (List.init cycles (fun i ->
+         let at = start_us + (i * period_us) in
+         [
+           { at_us = at; ev = Crash_node { dc; part } };
+           { at_us = at + down_us; ev = Restart_node { dc; part } };
+         ]))
+
+(* Gray disk: one node's fsyncs run [factor] times slower for a window
+   (firmware stall, dying SSD). The node stays up — acks gated on
+   fsync simply slow down. *)
+let gray_disk ~dc ~part ~factor ~from_us ~until_us =
+  [
+    { at_us = from_us; ev = Slow_disk { dc; part; factor } };
+    { at_us = until_us; ev = Restore_disk { dc; part } };
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Seeded random schedules.                                             *)
 
 (* Crash at most [max_crashes] DCs (never the majority — the paper's
@@ -133,7 +195,8 @@ let crash_during_sync ~peer ~at_us = [ { at_us; ev = Crash_dc peer } ]
    assertions apply. The same seed always yields the same schedule. *)
 let random_schedule ~seed ~dcs ~horizon_us ?(max_crashes = 1)
     ?(max_partitions = 2) ?(max_degrades = 2) ?(max_recoveries = 0)
-    ?(max_sync_partitions = 0) ?(max_sync_degrades = 0) () =
+    ?(max_sync_partitions = 0) ?(max_sync_degrades = 0)
+    ?(max_node_crashes = 0) ?(node_partitions = 1) () =
   if dcs < 2 then invalid_arg "Nemesis.random_schedule: need at least 2 DCs";
   if horizon_us <= 0 then invalid_arg "Nemesis.random_schedule: bad horizon";
   let rng = Rng.create (seed lxor 0x4e454d) in
@@ -232,6 +295,19 @@ let random_schedule ~seed ~dcs ~horizon_us ?(max_crashes = 1)
           (* restored by the final Heal_all *)
         done)
       (List.rev !recoveries);
+  (* Node-level crash/restart cycles (persistence deployments; pass
+     [max_crashes:0] — node restarts into a crashed DC cannot catch
+     up). Drawn after every pre-existing draw so older seeds keep their
+     schedules; each node restarts well before the final heal. *)
+  if max_node_crashes > 0 then
+    for _ = 1 to max_node_crashes do
+      let dc = Rng.int rng dcs in
+      let part = Rng.int rng (max 1 node_partitions) in
+      let at = t () in
+      let down = (horizon_us / 32) + Rng.int rng (max 1 (horizon_us / 16)) in
+      push at (Crash_node { dc; part });
+      push (at + down) (Restart_node { dc; part })
+    done;
   (* final heal, comfortably before the horizon *)
   push (3 * horizon_us / 4) Heal_all;
   List.sort (fun s1 s2 -> compare s1.at_us s2.at_us) !steps

@@ -18,6 +18,17 @@ type event =
   | Degrade of { src : int; dst : int; extra_us : int }  (** gray link *)
   | Restore of { src : int; dst : int }
   | Set_drop of float  (** change the steady-state loss rate *)
+  | Crash_node of { dc : int; part : int }
+      (** kill one replica process; its disk survives
+          ([Config.persistence] runs only) *)
+  | Restart_node of { dc : int; part : int }
+      (** restart a crashed node from its own disk: snapshot + WAL
+          replay, then suffix pull — no WAN snapshot transfer. Do not
+          mix with [Crash_dc] of the same DC in one schedule: the DC
+          domain destroys the disks. *)
+  | Slow_disk of { dc : int; part : int; factor : int }
+      (** gray disk: multiply fsync latency / divide bandwidth *)
+  | Restore_disk of { dc : int; part : int }
 
 type step = { at_us : int; ev : event }
 type schedule = step list
@@ -56,6 +67,25 @@ val degrade_during_sync :
 (** Crash a polled sibling mid-round. *)
 val crash_during_sync : peer:int -> at_us:int -> schedule
 
+(** Rolling restart of one whole DC: crash/restart each partition of
+    [dc] in turn, [down_us] down per node, [stagger_us] between node
+    starts (make it > [down_us] so at most one node of the DC is ever
+    down). *)
+val rolling_restart :
+  dc:int -> partitions:int -> start_us:int -> down_us:int -> stagger_us:int ->
+  schedule
+
+(** Supervisor restart loop: crash/restart the same node [cycles]
+    times, [down_us] down per cycle, one cycle every [period_us]. *)
+val restart_loop :
+  dc:int -> part:int -> start_us:int -> cycles:int -> down_us:int ->
+  period_us:int ->
+  schedule
+
+(** Gray-disk fault on one node for \[[from_us], [until_us]\]. *)
+val gray_disk :
+  dc:int -> part:int -> factor:int -> from_us:int -> until_us:int -> schedule
+
 (** Deterministic seeded schedule: at most [max_crashes] DC crashes
     (default 1), up to [max_partitions] transient partitions (default 2)
     and [max_degrades] gray links (default 2), all within the middle of
@@ -66,9 +96,12 @@ val crash_during_sync : peer:int -> at_us:int -> schedule
     (defaults 0), each crash/recover cycle additionally gets that many
     partitions / gray links between the recovering DC and random sync
     peers, cut inside the crash→recover window and lasting until the
-    final [Heal_all] — adversity aimed at the recovery itself. All
-    defaults draw nothing from the Rng (and new draws come after every
-    pre-existing one), so existing seeds keep their schedules. *)
+    final [Heal_all] — adversity aimed at the recovery itself. With
+    [max_node_crashes] > 0 (default 0; persistence runs only), that
+    many node crash/restart cycles hit random replicas (partition drawn
+    below [node_partitions], default 1). All defaults draw nothing from
+    the Rng (and new draws come after every pre-existing one), so
+    existing seeds keep their schedules. *)
 val random_schedule :
   seed:int ->
   dcs:int ->
@@ -79,5 +112,7 @@ val random_schedule :
   ?max_recoveries:int ->
   ?max_sync_partitions:int ->
   ?max_sync_degrades:int ->
+  ?max_node_crashes:int ->
+  ?node_partitions:int ->
   unit ->
   schedule

@@ -30,6 +30,8 @@ type prepared_causal = {
   pc_tid : Types.tid;
   pc_writes : Types.write list;
   pc_ts : int;
+  pc_from : Msg.addr;  (* coordinator, queried if the 2PC is orphaned *)
+  pc_at : int;  (* when prepared; drives the orphan-query timer *)
 }
 
 (* State of a transaction this replica coordinates. *)
@@ -42,10 +44,100 @@ type coord_tx = {
   mutable ct_ops : Types.opdesc list;  (* read set incl. written keys *)
   mutable ct_read : (int * Store.Keyspace.key) option;  (* outstanding read: req, key *)
   mutable ct_pending : int;  (* outstanding PREPARE_ACKs *)
+  mutable ct_acked : int list;  (* partitions whose ack arrived (dedup) *)
   mutable ct_max_ts : int;
   mutable ct_commit_req : int;
   mutable ct_lc : int;
+  mutable ct_started : int;  (* when the 2PC began (PREPARE retry timer) *)
+  mutable ct_deciding : bool;  (* decision logged, COMMITs not yet sent *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Node-level persistence (Config.persistence): what the replica's
+   write-ahead log records, and what its periodic snapshots capture.
+
+   Externally visible promises gate on the fsync of their record
+   (memory state runs ahead of the disk; a crash rebuilds it by
+   replay): a PREPARE_ACK on [W_prepare], the coordinator's COMMITs and
+   client reply on [W_decide], certification acks on [W_cert] (the Raft
+   persistent-state contract — see [Cert.event]). Applied state is
+   logged asynchronously ([W_commit]/[W_replicate]/[W_strong]): losing
+   the un-fsynced suffix of those only loses state some peer still
+   holds, which the post-restart catch-up pull re-fetches. *)
+type wal_record =
+  | W_genesis
+      (* first record of a from-empty log: its presence proves the WAL
+         covers the node's whole history. A log without it (and without
+         a snapshot) started mid-life — after a scrub or during a WAN
+         rejoin whose re-seeding snapshot never installed — and cannot
+         rebuild the state alone; restart falls back to the WAN rejoin. *)
+  | W_prepare of prepared_causal
+  | W_commit of Types.tx_rec  (* own-origin causal commit applied *)
+  | W_replicate of int * Types.tx_rec list  (* origin, applied remote txs *)
+  | W_strong of Types.tx_rec list * int  (* delivered strong batch, ts *)
+  | W_decide of Types.tid * Vclock.Vc.t * int * int
+      (* commit decision of a 2PC this replica coordinates: vec, lc,
+         origin. Aborts are never logged (presumed abort). *)
+  | W_cert of Cert.event
+
+(* A snapshot bounds replay: everything the WAL records, materialized.
+   Vectors other than knownVec are gossip-rebuilt; coordinator [txns]
+   state is volatile (clients re-drive via failover, participants via
+   COMMIT_QUERY against the durable decisions). *)
+type node_snapshot = {
+  ns_oplog : (Store.Keyspace.key * Store.Oplog.entry list) list;
+  ns_known : Vclock.Vc.t;
+  ns_prepared : prepared_causal list;
+  ns_committed : Types.tx_rec list array;  (* per origin, newest first *)
+  ns_propagated : Types.tx_rec list;
+  ns_last_prep : int;
+  ns_frontier_tids : Types.tid list array;
+  ns_frontier_ts : int array;
+  ns_decisions : (Types.tid * (Vclock.Vc.t * int * int)) list;
+  ns_cert : (int * int * Msg.prepared_strong list) option;
+      (* ballot, cballot, accepted log — [Cert.persistent_state] *)
+}
+
+(* On-disk record sizes (the disk's bandwidth charge), with the same
+   per-element weights as the wire estimator in [Msg]. *)
+let wal_record_bytes = function
+  | W_genesis -> 8
+  | W_prepare p -> 24 + Msg.writes_bytes p.pc_writes
+  | W_commit tx -> 8 + Msg.tx_bytes tx
+  | W_replicate (_, txs) ->
+      List.fold_left (fun acc tx -> acc + Msg.tx_bytes tx) 16 txs
+  | W_strong (txs, _) ->
+      List.fold_left (fun acc tx -> acc + Msg.tx_bytes tx) 16 txs
+  | W_decide (_, vec, _, _) -> 32 + Msg.vc_bytes vec
+  | W_cert (Cert.E_ballot _) -> 24
+  | W_cert (Cert.E_accept p) -> 8 + Msg.prepared_bytes p
+
+let node_snapshot_bytes ns =
+  let txs_bytes l = List.fold_left (fun acc tx -> acc + Msg.tx_bytes tx) 8 l in
+  List.fold_left
+    (fun acc (_, es) ->
+      List.fold_left
+        (fun acc (e : Store.Oplog.entry) -> acc + 24 + Msg.vc_bytes e.vec)
+        (acc + 8) es)
+    8 ns.ns_oplog
+  + Msg.vc_bytes ns.ns_known
+  + List.fold_left
+      (fun acc p -> acc + 32 + Msg.writes_bytes p.pc_writes)
+      8 ns.ns_prepared
+  + Array.fold_left (fun acc l -> acc + txs_bytes l) 8 ns.ns_committed
+  + txs_bytes ns.ns_propagated
+  + Array.fold_left
+      (fun acc l -> acc + 8 + (16 * List.length l))
+      8 ns.ns_frontier_tids
+  + (8 * Array.length ns.ns_frontier_ts)
+  + 8
+  + List.fold_left
+      (fun acc (_, (vec, _, _)) -> acc + 32 + Msg.vc_bytes vec)
+      8 ns.ns_decisions
+  + (match ns.ns_cert with
+    | None -> 8
+    | Some (_, _, ps) ->
+        List.fold_left (fun acc p -> acc + Msg.prepared_bytes p) 24 ps)
 
 (* Per-group progress of an outstanding certification request. *)
 type cert_group = {
@@ -149,6 +241,12 @@ type t = {
   oplog : Store.Oplog.t;
   (* --- §5.1 metadata ------------------------------------------------ *)
   known_vec : Vc.t;
+  (* Durable subset of [known_vec]: advanced only when the WAL record
+     carrying the corresponding entries has fsynced. The GC-driving
+     cross-DC gossip sends this vector in persistence mode — peers must
+     never prune log entries this node could still lose in a crash
+     (memory runs ahead of disk; promises to others must not). *)
+  durable_known : Vc.t;
   stable_vec : Vc.t;
   uniform_vec : Vc.t;
   local_agg : Vc.t array;  (* dissemination tree: child partition aggregates *)
@@ -195,6 +293,14 @@ type t = {
   frontier_ts : int array;
   (* --- Fig. 6 measurement --------------------------------------------- *)
   pending_vis : (int * int) list ref array;  (* per origin: (local ts, arrival) *)
+  (* --- node-level persistence ----------------------------------------- *)
+  mutable disk : (wal_record, node_snapshot) Store.Wal.t option;
+  (* committed decisions of 2PCs this replica coordinated, durable via
+     [W_decide] and retained for presumed-abort resolution of orphaned
+     prepares: tid -> (decided-at, vec, lc, origin); pruned by
+     [resolve_orphans] once participants had ample time to query *)
+  coord_decisions : (Types.tid, int * Vc.t * int * int) Hashtbl.t;
+  mutable replaying : bool;  (* WAL replay in progress: do not re-log *)
 }
 
 let dcs t = Config.dcs t.cfg
@@ -203,7 +309,11 @@ let partitions t = t.cfg.Config.partitions
 (* The REDBLUE pseudo-group sits after all real partitions. *)
 let rb_group t = partitions t
 
-let alive t = not (Network.dc_failed t.net t.dc)
+(* Dead if the whole DC crashed or this one node did: either way the
+   process is gone, so deferred continuations and timers must not run. *)
+let alive t =
+  (not (Network.dc_failed t.net t.dc))
+  && (t.addr < 0 || not (Network.node_down t.net t.addr))
 
 (* Local clock: physical (NTP-style, skewed) or hybrid — the hybrid
    clock is the physical clock merged with every timestamp the replica
@@ -249,6 +359,7 @@ let create cfg eng net ~dc ~part ~uid ~skew ~history ~trace ~metrics =
     c_strong_abort = Sim.Metrics.counter metrics "strong_aborted_total";
     oplog = Store.Oplog.create ();
     known_vec = Vc.create ~dcs:d;
+    durable_known = Vc.create ~dcs:d;
     stable_vec = Vc.create ~dcs:d;
     uniform_vec = Vc.create ~dcs:d;
     local_agg = Array.init cfg.Config.partitions (fun _ -> Vc.create ~dcs:d);
@@ -276,6 +387,9 @@ let create cfg eng net ~dc ~part ~uid ~skew ~history ~trace ~metrics =
     frontier_tids = Array.make d [];
     frontier_ts = Array.make d (-1);
     pending_vis = Array.init d (fun _ -> ref []);
+    disk = None;
+    coord_decisions = Hashtbl.create 16;
+    replaying = false;
   }
 
 let dc_of t = t.dc
@@ -302,6 +416,31 @@ let send t dst msg =
 
 let sibling t dc = t.env.e_lookup dc t.part
 let local_replica t part = t.env.e_lookup t.dc part
+
+(* --- durable-append helpers (no-ops without a disk) ------------------- *)
+
+let persistent t = t.disk <> None
+
+(* Append [r] and run [k] once it is fsynced; inline in memory-only
+   mode. Replay never re-logs what it is replaying. *)
+let log_durably t r k =
+  match t.disk with
+  | Some w when not t.replaying -> ignore (Store.Wal.append w ~k r)
+  | _ -> k ()
+
+(* Applied-state records (replication, deliveries, local commits) need
+   no ack gate, but they do carry [known_vec] advances: capture the
+   vector at append time and fold it into [durable_known] at fsync, so
+   the GC gossip only ever vouches for recoverable state. *)
+let log_async t r =
+  match t.disk with
+  | Some w when not t.replaying ->
+      let at_append = Vc.copy t.known_vec in
+      ignore
+        (Store.Wal.append w
+           ~k:(fun () -> Vc.merge_into t.durable_known at_append)
+           r)
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Waits. Threshold waits go into per-vector heaps popped when the
@@ -465,9 +604,12 @@ let start_tx t ~client ~client_id ~req ~tid ~past =
       ct_ops = [];
       ct_read = None;
       ct_pending = 0;
+      ct_acked = [];
       ct_max_ts = 0;
       ct_commit_req = -1;
       ct_lc = 0;
+      ct_started = 0;
+      ct_deciding = false;
     }
   in
   Hashtbl.replace t.txns tid ct;
@@ -539,6 +681,7 @@ let handle_commit_causal t ~client ~req ~tid ~lc =
         ct.ct_pending <- List.length parts;
         ct.ct_commit_req <- req;
         ct.ct_lc <- lc;
+        ct.ct_started <- now t;
         List.iter
           (fun l ->
             let writes = List.rev !(Hashtbl.find ct.ct_wbuff l) in
@@ -547,23 +690,39 @@ let handle_commit_causal t ~client ~req ~tid ~lc =
           parts
       end
 
-let handle_prepare_ack t ~tid ~ts =
+let handle_prepare_ack t ~tid ~part ~ts =
   match Hashtbl.find_opt t.txns tid with
   | None -> ()
+  | Some ct when ct.ct_deciding || List.mem part ct.ct_acked ->
+      ()  (* duplicate ack (PREPARE retried after a participant restart) *)
   | Some ct ->
+      ct.ct_acked <- part :: ct.ct_acked;
       ct.ct_max_ts <- max ct.ct_max_ts ts;
       ct.ct_pending <- ct.ct_pending - 1;
       if ct.ct_pending = 0 then begin
+        ct.ct_deciding <- true;
         let vec = Vc.copy ct.ct_snap in
         Vc.set vec t.dc (max (Vc.get vec t.dc) ct.ct_max_ts);
         let parts = Hashtbl.fold (fun l _ acc -> l :: acc) ct.ct_wbuff [] in
-        List.iter
-          (fun l ->
-            send t (local_replica t l)
-              (Msg.Commit { tid; vec; lc = ct.ct_lc; origin = ct.ct_client_id }))
-          parts;
-        Hashtbl.remove t.txns tid;
-        send t ct.ct_client (Msg.R_committed { req = ct.ct_commit_req; vec })
+        (* Persistence: the commit decision must be on disk before any
+           COMMIT leaves — otherwise a coordinator crash between the
+           sends would presume abort for a transaction some participant
+           already applied. While the fsync is in flight the entry stays
+           in [txns], so a COMMIT_QUERY gets no answer and retries. *)
+        log_durably t
+          (W_decide (tid, vec, ct.ct_lc, ct.ct_client_id))
+          (fun () ->
+            if persistent t then
+              Hashtbl.replace t.coord_decisions tid
+                (now t, vec, ct.ct_lc, ct.ct_client_id);
+            List.iter
+              (fun l ->
+                send t (local_replica t l)
+                  (Msg.Commit
+                     { tid; vec; lc = ct.ct_lc; origin = ct.ct_client_id }))
+              parts;
+            Hashtbl.remove t.txns tid;
+            send t ct.ct_client (Msg.R_committed { req = ct.ct_commit_req; vec }))
       end
 
 (* ------------------------------------------------------------------ *)
@@ -577,22 +736,37 @@ let handle_get_version t ~from ~tid ~key ~snap =
 
 let handle_prepare t ~from ~tid ~writes ~snap =
   bump_uniform_remote t snap;
-  (* The prepare time exceeds the clock (as in the paper), this replica's
-     replication frontier (preserving Property 1), previously issued
-     prepare times (distinct local timestamps per partition), and the
-     snapshot's local entry (so a commit vector strictly dominates its
-     snapshot and per-client local timestamps strictly increase). *)
-  let ts =
-    max (clock t)
-      (max (Vc.get snap t.dc)
-         (max (Vc.get t.known_vec t.dc) t.last_prep_ts)
-      + 1)
-  in
-  t.last_prep_ts <- ts;
-  observe_clock t ts;
-  t.prepared_causal <-
-    { pc_tid = tid; pc_writes = writes; pc_ts = ts } :: t.prepared_causal;
-  send t from (Msg.Prepare_ack { tid; part = t.part; ts })
+  match
+    List.find_opt (fun p -> Types.tid_equal p.pc_tid tid) t.prepared_causal
+  with
+  | Some p ->
+      (* duplicate PREPARE (the coordinator retried after a restart or a
+         lost ack): re-ack at the recorded — already durable — timestamp
+         instead of preparing twice *)
+      send t from (Msg.Prepare_ack { tid; part = t.part; ts = p.pc_ts })
+  | None ->
+      (* The prepare time exceeds the clock (as in the paper), this
+         replica's replication frontier (preserving Property 1),
+         previously issued prepare times (distinct local timestamps per
+         partition), and the snapshot's local entry (so a commit vector
+         strictly dominates its snapshot and per-client local timestamps
+         strictly increase). *)
+      let ts =
+        max (clock t)
+          (max (Vc.get snap t.dc)
+             (max (Vc.get t.known_vec t.dc) t.last_prep_ts)
+          + 1)
+      in
+      t.last_prep_ts <- ts;
+      observe_clock t ts;
+      let p =
+        { pc_tid = tid; pc_writes = writes; pc_ts = ts; pc_from = from;
+          pc_at = now t }
+      in
+      t.prepared_causal <- p :: t.prepared_causal;
+      (* the ack promises the entry survives a node crash: fsync first *)
+      log_durably t (W_prepare p) (fun () ->
+          send t from (Msg.Prepare_ack { tid; part = t.part; ts }))
 
 let handle_commit t ~tid ~vec ~lc ~origin =
   at_clock t (Vc.get vec t.dc) (fun () ->
@@ -622,11 +796,43 @@ let handle_commit t ~tid ~vec ~lc ~origin =
           in
           let q = t.committed_causal.(t.dc) in
           q := tx :: !q;
+          log_async t (W_commit tx);
           History.system_commit t.history ~tid ~writes:p.pc_writes ~vec ~lc
             ~origin ~accumulate:true;
           Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"commit"
             "%a local-ts=%d writes=%d" Types.tid_pp tid (Vc.get vec t.dc)
             (List.length p.pc_writes))
+
+(* ------------------------------------------------------------------ *)
+(* Presumed-abort resolution of orphaned causal 2PCs (persistence
+   mode). A node crash can strand either side of the intra-DC 2PC: a
+   participant holding a durable prepared entry whose coordinator died
+   (the entry's timestamp blocks the replication frontier forever), or
+   a coordinator whose participant died before acking. The participant
+   asks the coordinator for the outcome; the coordinator answers from
+   its durable decision log. "No record" means abort — safe, because no
+   COMMIT ever leaves before the decision is fsynced ([W_decide]). *)
+
+let handle_commit_query t ~from ~tid =
+  if Hashtbl.mem t.txns tid then ()  (* still deciding; asked again later *)
+  else
+    match Hashtbl.find_opt t.coord_decisions tid with
+    | Some (_, vec, lc, origin) ->
+        send t from (Msg.Commit { tid; vec; lc; origin })
+    | None -> send t from (Msg.Commit_abort { tid })
+
+let handle_commit_abort t ~tid =
+  if List.exists (fun p -> Types.tid_equal p.pc_tid tid) t.prepared_causal
+  then begin
+    Sim.Metrics.incr
+      (Sim.Metrics.counter t.metrics "causal_presumed_aborts_total");
+    Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"presumed-abort"
+      "%a dropped (coordinator holds no decision)" Types.tid_pp tid;
+    t.prepared_causal <-
+      List.filter
+        (fun p -> not (Types.tid_equal p.pc_tid tid))
+        t.prepared_causal
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Replication, heartbeats, forwarding (Algorithm A4).                  *)
@@ -713,13 +919,16 @@ let handle_replicate t ~origin ~txs =
           q := tx :: !q
         end;
         Vc.set t.known_vec origin ts;
-        if t.cfg.Config.measure_visibility && t.part = 0 && origin <> t.dc
+        if
+          t.cfg.Config.measure_visibility && t.part = 0 && origin <> t.dc
+          && not t.replaying
         then begin
           let pv = t.pending_vis.(origin) in
           pv := (ts, now t) :: !pv
         end
       end)
-    txs
+    txs;
+  if txs <> [] then log_async t (W_replicate (origin, txs))
 
 let handle_heartbeat t ~origin ~ts =
   if ts > Vc.get t.known_vec origin then Vc.set t.known_vec origin ts
@@ -829,8 +1038,12 @@ let broadcast_vecs t =
       if Config.tracks_uniformity t.cfg && dcs t > 1 then
         send t (sibling t i)
           (Msg.Stablevec { dc = t.dc; vec = Vc.copy t.stable_vec });
+      (* peers prune their catch-up logs below this claim: in
+         persistence mode only vouch for what a node-level crash
+         cannot lose *)
+      let gc_vec = if persistent t then t.durable_known else t.known_vec in
       send t (sibling t i)
-        (Msg.Knownvec_global { dc = t.dc; vec = Vc.copy t.known_vec })
+        (Msg.Knownvec_global { dc = t.dc; vec = Vc.copy gc_vec })
     end
   done;
   prune_committed t
@@ -1161,6 +1374,10 @@ let deliver_strong t txs ~strong_ts =
               ~vec:tx.Types.tx_vec ~tag)
         tx.Types.tx_writes)
     txs;
+  (* logged including empty (heartbeat) batches: the replayed strong
+     frontier seeds [Cert.restart ~delivered], and an understated
+     frontier would re-deliver — and re-apply — decided transactions *)
+  log_async t (W_strong (txs, strong_ts));
   if strong_ts > Vc.strong t.known_vec then Vc.set_strong t.known_vec strong_ts;
   (* dummy heartbeats deliver empty write sets; only real updates are
      worth tracing *)
@@ -1290,6 +1507,111 @@ let make_cert t =
 
 let cert t = t.cert
 
+(* ------------------------------------------------------------------ *)
+(* Node-level persistence: the simulated disk, periodic snapshots, and
+   orphan resolution (see DESIGN.md §4g).                               *)
+
+(* Attach the simulated disk and route certification's durable events
+   ([Cert.set_log]) into it. [System] calls this — after [make_cert] —
+   when [Config.persistence] is set. *)
+let enable_persistence t =
+  let w =
+    Store.Wal.create ~eng:t.eng
+      ~metrics:
+        ( t.metrics,
+          [ ("dc", string_of_int t.dc); ("part", string_of_int t.part) ] )
+      ~fsync_us:t.cfg.Config.disk_fsync_us
+      ~mb_per_s:t.cfg.Config.disk_mb_per_s ~size:wal_record_bytes
+      ~snap_size:node_snapshot_bytes ()
+  in
+  t.disk <- Some w;
+  (* the node boots with empty state, so a from-scratch log is complete *)
+  ignore (Store.Wal.append w W_genesis);
+  match t.cert with
+  | Some c ->
+      Cert.set_log c (fun ev ~k -> ignore (Store.Wal.append w ~k (W_cert ev)))
+  | None -> ()
+
+let set_disk_slow t ~factor =
+  match t.disk with Some w -> Store.Wal.set_slow w ~factor | None -> ()
+
+let scrub_disk t =
+  match t.disk with Some w -> Store.Wal.scrub w | None -> ()
+
+let tear_disk_next t =
+  match t.disk with Some w -> Store.Wal.tear_next w | None -> ()
+
+(* Copy-out of everything a restart needs. Shared immutable structure
+   (tx records, oplog entries and their commit vectors) is retained by
+   reference — in particular a transaction's oplog entries keep sharing
+   its record's vector array, which [handle_sync_request] relies on to
+   recognise unpropagated commits physically. *)
+let snapshot_of t =
+  {
+    ns_oplog =
+      List.map
+        (fun key -> (key, Store.Oplog.entries t.oplog key))
+        (Store.Oplog.keys t.oplog);
+    ns_known = Vc.copy t.known_vec;
+    ns_prepared = t.prepared_causal;
+    ns_committed = Array.map (fun q -> !q) t.committed_causal;
+    ns_propagated = !(t.propagated_log);
+    ns_last_prep = t.last_prep_ts;
+    ns_frontier_tids = Array.copy t.frontier_tids;
+    ns_frontier_ts = Array.copy t.frontier_ts;
+    ns_decisions =
+      Hashtbl.fold
+        (fun tid (_, vec, lc, origin) acc -> (tid, (vec, lc, origin)) :: acc)
+        t.coord_decisions [];
+    ns_cert =
+      (match t.cert with Some c -> Some (Cert.persistent_state c) | None -> None);
+  }
+
+(* Snapshot the state as of every append issued so far: memory runs
+   ahead of the disk, so the image covers all records below the current
+   sequence — the WAL truncates there once the write lands. *)
+let take_snapshot t =
+  match t.disk with
+  | None -> ()
+  | Some w -> Store.Wal.snapshot w ~seq:(Store.Wal.next_seq w - 1) (snapshot_of t)
+
+(* How long either side of the intra-DC 2PC stays quiet before probing:
+   well above a prepare round trip plus an fsync, well below a rolling
+   restart's dwell time, so orphans resolve while the roll proceeds. *)
+let orphan_age_us = 1_000_000
+
+(* Periodic persistence housekeeping: participants query the outcome of
+   stale prepares (presumed abort), coordinators re-send PREPAREs that a
+   participant crash swallowed (participants dedup by tid), and old
+   decisions are pruned once every participant had ample time to ask. *)
+let resolve_orphans t =
+  let cutoff = now t - orphan_age_us in
+  List.iter
+    (fun p ->
+      if p.pc_at <= cutoff then
+        send t p.pc_from
+          (Msg.Commit_query { from = t.addr; tid = p.pc_tid; part = t.part }))
+    t.prepared_causal;
+  Hashtbl.iter
+    (fun tid ct ->
+      if ct.ct_pending > 0 && not ct.ct_deciding && ct.ct_started <= cutoff
+      then begin
+        ct.ct_started <- now t;
+        Hashtbl.iter
+          (fun l ws ->
+            if not (List.mem l ct.ct_acked) then
+              send t (local_replica t l)
+                (Msg.Prepare
+                   { from = t.addr; tid; writes = List.rev !ws;
+                     snap = ct.ct_snap }))
+          ct.ct_wbuff
+      end)
+    t.txns;
+  let prune_below = now t - (10 * orphan_age_us) in
+  Hashtbl.filter_map_inplace
+    (fun _ ((at, _, _, _) as d) -> if at < prune_below then None else Some d)
+    t.coord_decisions
+
 (* Start the periodic tasks (Algorithm A4 line 1, Algorithm A5 line 1,
    heartbeats for strong transactions). [phase] staggers replicas.
    The generation check retires a previous incarnation's tasks across a
@@ -1353,6 +1675,22 @@ let start_timers t ~phase =
               done;
               Cert.prune_decided c ~keep_after:(!floor - 1_500_000)
           | None -> ());
+          true
+        end
+        else false)
+  end;
+  if persistent t then begin
+    (* periodic snapshot + truncate bounds WAL replay after a crash *)
+    Engine.every t.eng ~period:cfg.Config.snapshot_interval_us
+      ~phase:(phase + 4) (fun () ->
+        if live () then begin
+          take_snapshot t;
+          true
+        end
+        else false);
+    Engine.every t.eng ~period:500_000 ~phase:(phase + 5) (fun () ->
+        if live () then begin
+          resolve_orphans t;
           true
         end
         else false)
@@ -1449,6 +1787,7 @@ let wipe_state t =
     Vc.set_strong v 0
   in
   zero t.known_vec;
+  zero t.durable_known;
   zero t.stable_vec;
   zero t.uniform_vec;
   Array.iter zero t.local_agg;
@@ -1493,7 +1832,7 @@ let sync_peers t s =
   | [] -> live
   | eligible -> eligible
 
-let sync_drop_backoff_us t = 4 * t.cfg.Config.sync_pull_deadline_us
+let sync_drop_backoff_us t = Config.sync_drop_backoff_us t.cfg
 
 (* Drop [dc] from the current round: it missed the pull deadline, never
    produced a snapshot chunk, or became Ω-suspected before answering.
@@ -1653,6 +1992,14 @@ let finish_sync t s =
   Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"sync-done"
     "caught up in %d us (replaying %d deferred)" took
     (List.length s.s_deferred);
+  (* re-seed the disk: a full snapshot makes the log replayable again
+     (the WAN-installed base never hit the WAL), resumes state logging,
+     and marks everything recovered as durable *)
+  if persistent t then begin
+    t.replaying <- false;
+    take_snapshot t;
+    Vc.merge_into t.durable_known t.known_vec
+  end;
   (* resume normal operation: fresh periodic tasks, immediate metadata
      broadcast so siblings unpin the GC floors, and trust recomputed from
      the suspicions recorded while syncing (possibly reclaiming
@@ -1856,8 +2203,10 @@ let dispatch t msg =
   | Msg.Version { tid; key; value; lc } -> handle_version t ~tid ~key ~value ~lc
   | Msg.Prepare { from; tid; writes; snap } ->
       handle_prepare t ~from ~tid ~writes ~snap
-  | Msg.Prepare_ack { tid; ts; _ } -> handle_prepare_ack t ~tid ~ts
+  | Msg.Prepare_ack { tid; part; ts } -> handle_prepare_ack t ~tid ~part ~ts
   | Msg.Commit { tid; vec; lc; origin } -> handle_commit t ~tid ~vec ~lc ~origin
+  | Msg.Commit_query { from; tid; part = _ } -> handle_commit_query t ~from ~tid
+  | Msg.Commit_abort { tid } -> handle_commit_abort t ~tid
   | Msg.Replicate { origin; txs } -> handle_replicate t ~origin ~txs
   | Msg.Heartbeat { origin; ts } -> handle_heartbeat t ~origin ~ts
   | Msg.Kv_up { part; vec } -> handle_kv_up t ~part ~vec
@@ -1893,12 +2242,8 @@ let dispatch t msg =
    and heartbeats replay after the data they vouch for. *)
 let complete_sync t s = List.iter (dispatch t) (finish_sync t s)
 
-(* Re-enter the system after the DC recovered: wipe what the crash
-   destroyed, park the certification member in Recovering, and drive the
-   snapshot/pull state machine off a retry tick until caught up. The
-   periodic tasks stay down throughout — [finish_sync] re-arms them. *)
-let begin_rejoin t ~on_done =
-  t.timer_gen <- t.timer_gen + 1;
+(* Build the sync state machine and wire its late-bound reactions. *)
+let make_sync t ~on_done =
   let s =
     {
       s_phase = Sync_snapshot;
@@ -1937,10 +2282,10 @@ let begin_rejoin t ~on_done =
             sync_drop_peer t s dc;
             s.s_try_complete ()
           end);
-  (match t.cert with
-  | Some c -> Cert.begin_rejoin c ~delivered:0
-  | None -> ());
-  request_snapshot t s;
+  s
+
+(* The retry tick driving the sync until it completes. *)
+let arm_sync_retry t s =
   let period = 500_000 in
   Engine.every t.eng ~period ~phase:(t.uid * 13 mod period) (fun () ->
       match t.sync with
@@ -1963,6 +2308,175 @@ let begin_rejoin t ~on_done =
               end);
           match t.sync with Some s' when s' == s -> true | _ -> false)
       | _ -> false)
+
+(* Re-enter the system after the DC recovered: wipe what the crash
+   destroyed, park the certification member in Recovering, and drive the
+   snapshot/pull state machine off a retry tick until caught up. The
+   periodic tasks stay down throughout — [finish_sync] re-arms them. *)
+let begin_rejoin t ~on_done =
+  t.timer_gen <- t.timer_gen + 1;
+  (* During a WAN rejoin the disk holds no base (it was scrubbed with
+     the machine): suppress state logging until [finish_sync] re-seeds
+     it with a full snapshot, so a crash mid-rejoin never leaves a
+     base-less log that looks replayable. *)
+  if persistent t then t.replaying <- true;
+  let s = make_sync t ~on_done in
+  (match t.cert with
+  | Some c -> Cert.begin_rejoin c ~delivered:0
+  | None -> ());
+  request_snapshot t s;
+  arm_sync_retry t s
+
+(* ------------------------------------------------------------------ *)
+(* Node-level crash/restart: recover from the replica's own disk and
+   catch up the missed suffix from a peer (tentpole of the persistence
+   subsystem; DESIGN.md §4g). Distinct from the whole-DC path above:
+   the disk survives, so no WAN snapshot transfer is needed.            *)
+
+(* The process dies: timers retire, a running sync is abandoned, and
+   un-fsynced WAL appends are lost (the in-flight head may tear). The
+   network side ([Network.fail_node]) is driven by [System].            *)
+let crash_node t =
+  t.timer_gen <- t.timer_gen + 1;
+  t.sync <- None;
+  Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"node-crash" "process down";
+  match t.disk with Some w -> Store.Wal.crash w | None -> ()
+
+let install_snapshot t ns =
+  List.iter
+    (fun (key, es) ->
+      (* [Oplog.entries] lists newest first; re-append oldest first *)
+      List.iter
+        (fun (e : Store.Oplog.entry) ->
+          Store.Oplog.append t.oplog key ~op:e.op ~vec:e.vec ~tag:e.tag)
+        (List.rev es))
+    ns.ns_oplog;
+  Vc.merge_into t.known_vec ns.ns_known;
+  t.prepared_causal <-
+    List.map (fun p -> { p with pc_at = now t }) ns.ns_prepared;
+  Array.iteri (fun i l -> t.committed_causal.(i) := l) ns.ns_committed;
+  t.propagated_log := ns.ns_propagated;
+  t.last_prep_ts <- ns.ns_last_prep;
+  Array.iteri (fun i l -> t.frontier_tids.(i) <- l) ns.ns_frontier_tids;
+  Array.iteri (fun i v -> t.frontier_ts.(i) <- v) ns.ns_frontier_ts;
+  List.iter
+    (fun (tid, (vec, lc, origin)) ->
+      Hashtbl.replace t.coord_decisions tid (now t, vec, lc, origin))
+    ns.ns_decisions
+
+(* Replay one WAL record on top of the snapshot. Applied-state records
+   re-run the ordinary apply paths (their dedup makes replay idempotent
+   against the snapshot); certification events fold into [cert_acc] for
+   a single [Cert.restart] at the end. History is not re-recorded — the
+   checker's log survives the process. *)
+let replay_record t cert_acc = function
+  | W_genesis -> ()
+  | W_prepare p ->
+      t.prepared_causal <- { p with pc_at = now t } :: t.prepared_causal;
+      t.last_prep_ts <- max t.last_prep_ts p.pc_ts;
+      observe_clock t p.pc_ts
+  | W_commit tx ->
+      t.prepared_causal <-
+        List.filter
+          (fun q -> not (Types.tid_equal q.pc_tid tx.Types.tx_tid))
+          t.prepared_causal;
+      let tag = Types.tx_tag tx in
+      List.iter
+        (fun w ->
+          Store.Oplog.append t.oplog w.Types.wkey ~op:w.Types.wop
+            ~vec:tx.Types.tx_vec ~tag)
+        tx.Types.tx_writes;
+      let q = t.committed_causal.(t.dc) in
+      q := tx :: !q
+  | W_replicate (origin, txs) -> handle_replicate t ~origin ~txs
+  | W_strong (txs, strong_ts) -> deliver_strong t txs ~strong_ts
+  | W_decide (tid, vec, lc, origin) ->
+      Hashtbl.replace t.coord_decisions tid (now t, vec, lc, origin)
+  | W_cert (Cert.E_ballot { b; cb }) ->
+      let bal, cbal, prepared = !cert_acc in
+      cert_acc := (max bal b, max cbal cb, prepared)
+  | W_cert (Cert.E_accept p) ->
+      let bal, cbal, prepared = !cert_acc in
+      let prepared =
+        p
+        :: List.filter
+             (fun (q : Msg.prepared_strong) ->
+               not (Types.tid_equal q.Msg.ps_tid p.Msg.ps_tid))
+             prepared
+      in
+      cert_acc := (bal, cbal, prepared)
+
+(* Restart from the node's own disk: replay snapshot + WAL tail, hand
+   certification its durable promises back, then catch up the suffix
+   missed while down by entering the sync machine directly at the pull
+   phase — a clean node restart ships zero WAN snapshot bytes. Falls
+   back to the whole-DC WAN rejoin when the disk holds nothing (first
+   boot after a scrub). *)
+let restart_from_disk t ~on_done =
+  Sim.Metrics.incr (Sim.Metrics.counter t.metrics "node_restarts_total");
+  match t.disk with
+  | None -> begin_rejoin t ~on_done
+  | Some w -> (
+      match Store.Wal.recover w with
+      | None, [] ->
+          Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"node-restart"
+            "disk empty; falling back to WAN rejoin";
+          begin_rejoin t ~on_done
+      | None, tail when not (List.exists (function W_genesis -> true | _ -> false) tail) ->
+          (* a base-less log: the re-seeding snapshot after a scrub or
+             WAN rejoin never installed, so the tail alone cannot
+             rebuild the state *)
+          Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"node-restart"
+            "disk has no recoverable base; falling back to WAN rejoin";
+          Store.Wal.scrub w;
+          begin_rejoin t ~on_done
+      | snap, tail ->
+          t.timer_gen <- t.timer_gen + 1;
+          wipe_state t;
+          Hashtbl.reset t.coord_decisions;
+          t.replaying <- true;
+          let local_bytes = ref 0 in
+          (match snap with
+          | Some ns ->
+              local_bytes := node_snapshot_bytes ns;
+              install_snapshot t ns
+          | None -> ());
+          let cert_acc =
+            ref
+              (match snap with
+              | Some { ns_cert = Some st; _ } -> st
+              | _ -> (0, 0, []))
+          in
+          List.iter
+            (fun r ->
+              local_bytes := !local_bytes + wal_record_bytes r;
+              replay_record t cert_acc r)
+            tail;
+          t.replaying <- false;
+          (* everything recovered is on disk by definition *)
+          Vc.merge_into t.durable_known t.known_vec;
+          Sim.Metrics.incr
+            ~by:(List.length tail)
+            (Sim.Metrics.counter t.metrics "replay_entries_total");
+          Sim.Metrics.incr ~by:!local_bytes
+            (Sim.Metrics.counter t.metrics "local_catchup_bytes_total");
+          observe_clock t (Vc.get t.known_vec t.dc);
+          observe_clock t (Vc.strong t.known_vec);
+          Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"node-restart"
+            "replayed %d entries on top of %s; pulling the missed suffix"
+            (List.length tail)
+            (match snap with Some _ -> "a snapshot" | None -> "an empty disk");
+          (match t.cert with
+          | Some c ->
+              let ballot, cballot, prepared = !cert_acc in
+              Cert.restart c ~ballot ~cballot ~prepared
+                ~delivered:(Vc.strong t.known_vec)
+          | None -> ());
+          let s = make_sync t ~on_done in
+          s.s_phase <- Sync_pull;
+          request_cert_state t;
+          start_pull_round t s;
+          arm_sync_retry t s)
 
 let handle t msg =
   match t.sync with

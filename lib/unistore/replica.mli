@@ -104,6 +104,46 @@ val reset_peer_view : t -> dc:int -> unit
 (** Retained causal-log backlog for [origin] (grace-window tests). *)
 val committed_backlog : t -> origin:int -> int
 
+(** {2 Node-level persistence ([Config.persistence])}
+
+    Each replica process owns a simulated disk ({!Store.Wal}): a
+    checksummed write-ahead log plus periodic snapshots. Externally
+    visible promises (PREPARE_ACK, the 2PC commit decision, the
+    certification acks) gate on their record's fsync; applied state is
+    logged asynchronously and a crash loses only what a peer still
+    holds. See DESIGN.md §4g. *)
+
+(** Attach the simulated disk (call after {!make_cert}; [System] does
+    this when [Config.persistence] is set). *)
+val enable_persistence : t -> unit
+
+(** Node-level process crash: retire the timers, abandon any running
+    sync, power-cut the disk (un-fsynced appends lost, the in-flight
+    head may tear). Pair with [Net.Network.fail_node]. *)
+val crash_node : t -> unit
+
+(** Restart after {!crash_node}: recover snapshot + WAL tail from the
+    node's own disk (truncating a torn suffix), restore certification's
+    durable promises, then pull only the suffix missed while down from
+    a live sibling — no WAN snapshot transfer. Falls back to
+    {!begin_rejoin} if the disk is empty. [on_done] runs once caught
+    up. *)
+val restart_from_disk : t -> on_done:(unit -> unit) -> unit
+
+(** Destroy the disk (whole-DC failure domain: the machine is lost). *)
+val scrub_disk : t -> unit
+
+(** Gray-disk fault: multiply fsync latency / divide bandwidth by
+    [factor]; restore with [factor:1]. *)
+val set_disk_slow : t -> factor:int -> unit
+
+(** Arm a deterministic torn tail for the next crash (tests/benches). *)
+val tear_disk_next : t -> unit
+
+(** Force a snapshot + WAL truncate now (tests; normally periodic on
+    [Config.snapshot_interval_us]). *)
+val take_snapshot : t -> unit
+
 (** {2 State accessors (tests, benches, convergence checks)} *)
 
 val oplog : t -> Store.Oplog.t

@@ -111,6 +111,47 @@ let recovery_json reg =
              ("dcs_syncing_peak", Json.Float peak_syncing);
            ])
 
+(* Persistence section, present only when per-node disks ran
+   ([Config.persistence]; every metric below is interned lazily so
+   memory-only runs and their golden artifacts are untouched): WAL
+   fsync latency and volume, node restarts, replay sizes, and the
+   local-vs-WAN catch-up split that the zero-WAN-restart verdict reads. *)
+let persistence_json reg =
+  let counter_total name =
+    List.fold_left
+      (fun acc (_, c) -> acc + Metrics.counter_value c)
+      0
+      (Metrics.counters_matching reg name)
+  in
+  match Metrics.histograms_matching reg "wal_fsync_us" with
+  | [] -> None
+  | fsyncs ->
+      (* fsync histograms are per node; merge by reporting the worst and
+         the global count/sum through a combined view *)
+      let count = List.fold_left (fun a (_, h) -> a + Metrics.h_count h) 0 fsyncs in
+      let sum = List.fold_left (fun a (_, h) -> a +. Metrics.h_sum h) 0.0 fsyncs in
+      let worst =
+        List.fold_left
+          (fun a (_, h) -> match Metrics.h_max h with Some m -> max a m | None -> a)
+          0 fsyncs
+      in
+      Some
+        (Json.Obj
+           [
+             ("wal_fsyncs", Json.Int count);
+             ( "wal_fsync_mean_us",
+               if count = 0 then Json.Null
+               else Json.Float (sum /. float_of_int count) );
+             ("wal_fsync_max_us", Json.Int worst);
+             ("wal_appended_bytes", Json.Int (counter_total "wal_appended_bytes_total"));
+             ("wal_torn_truncations", Json.Int (counter_total "wal_torn_truncations_total"));
+             ("node_restarts", Json.Int (counter_total "node_restarts_total"));
+             ("replay_entries", Json.Int (counter_total "replay_entries_total"));
+             ("local_catchup_bytes", Json.Int (counter_total "local_catchup_bytes_total"));
+             ("wan_snapshot_bytes", Json.Int (counter_total "sync_snapshot_bytes_total"));
+             ("presumed_aborts", Json.Int (counter_total "causal_presumed_aborts_total"));
+           ])
+
 (* Overload section, present only when admission control or an open-loop
    driver left traces in the registry (all the metrics below are interned
    lazily, so closed-loop runs and their golden artifacts are
@@ -175,6 +216,9 @@ let of_system ?(name = "run") sys =
     @ (match recovery_json reg with
       | None -> []
       | Some r -> [ ("recovery", r) ])
+    @ (match persistence_json reg with
+      | None -> []
+      | Some p -> [ ("persistence", p) ])
     @ (match overload_json reg with
       | None -> []
       | Some o -> [ ("overload", o) ])

@@ -223,6 +223,10 @@ let create cfg =
   Array.iter (Array.iter (fun r -> Replica.set_env r env)) replicas;
   if Config.has_strong cfg && not (Config.centralized_cert cfg) then
     Array.iter (Array.iter Replica.make_cert) replicas;
+  (* per-replica simulated disks (after make_cert: certification's
+     durable events route into the same WAL) *)
+  if cfg.Config.persistence then
+    Array.iter (Array.iter Replica.enable_persistence) replicas;
   (* start periodic tasks, staggered so replicas do not broadcast in
      lock-step *)
   Array.iter
@@ -419,6 +423,9 @@ let rec recover_dc t dc =
 
 and really_recover_dc t dc =
   Network.recover_dc t.net dc;
+  (* the DC-level failure domain destroys machines, disks included: a
+     recovered DC always rebuilds over the WAN, never from local disks *)
+  Array.iter Replica.scrub_disk t.replicas.(dc);
   (* peers must treat the rejoiner as knowing nothing until its fresh
      vectors gossip in: zero its matrix rows so the GC floors pin at 0
      instead of releasing when the grace window closes *)
@@ -478,6 +485,36 @@ let spawn_client t ~dc body =
 let fail_dc t dc =
   Network.fail_dc t.net dc;
   Detector.crash t.detector ~dc
+
+(* ------------------------------------------------------------------ *)
+(* Node-level failures: one replica process dies while its DC stays up.
+   The node's simulated disk survives (persistence mode), so a restart
+   recovers locally and pulls only the missed suffix — no WAN snapshot.
+   Whole-DC crashes above remain the machine-destroying domain.         *)
+
+let fail_node t ~dc ~part =
+  Network.fail_node t.net t.addrs.(dc).(part);
+  Replica.crash_node t.replicas.(dc).(part);
+  Sim.Trace.emitf t.trace ~source:"system" ~kind:"node-crash"
+    "node %d.%d crashed" dc part
+
+let node_down t ~dc ~part = Network.node_down t.net t.addrs.(dc).(part)
+
+let restart_node t ~dc ~part =
+  if not (Network.node_down t.net t.addrs.(dc).(part)) then
+    Sim.Trace.emitf t.trace ~source:"system" ~kind:"node-recover-ignored"
+      "ignoring restart for node %d.%d: not down" dc part
+  else begin
+    Network.recover_node t.net t.addrs.(dc).(part);
+    Sim.Trace.emitf t.trace ~source:"system" ~kind:"node-recover"
+      "node %d.%d restarting from its disk" dc part;
+    Replica.restart_from_disk t.replicas.(dc).(part) ~on_done:(fun () ->
+        Sim.Trace.emitf t.trace ~source:"system" ~kind:"node-recover"
+          "node %d.%d caught up" dc part)
+  end
+
+let set_disk_slow t ~dc ~part ~factor =
+  Replica.set_disk_slow t.replicas.(dc).(part) ~factor
 
 let detector t = t.detector
 

@@ -81,6 +81,29 @@ val recover_dc : t -> int -> unit
     {!recover_dc}. Client failover skips syncing DCs. *)
 val dc_syncing : t -> int -> bool
 
+(** {2 Node-level failures (persistence mode)}
+
+    The machine-granularity failure domain: one replica process dies
+    while its DC stays up. Its simulated disk survives, so the restart
+    recovers snapshot + WAL locally and pulls only the suffix missed
+    while down — zero WAN snapshot bytes — falling back to the whole-DC
+    WAN rejoin only when the disk is unrecoverable. *)
+
+(** Crash one replica process: it stops sending/receiving, its timers
+    retire, un-fsynced WAL appends are lost (the in-flight head may
+    tear). *)
+val fail_node : t -> dc:int -> part:int -> unit
+
+(** Restart a crashed node from its own disk (warned no-op if the node
+    is not down). *)
+val restart_node : t -> dc:int -> part:int -> unit
+
+val node_down : t -> dc:int -> part:int -> bool
+
+(** Gray-disk fault: multiply the node's fsync latency (and divide its
+    write bandwidth) by [factor]; restore with [factor:1]. *)
+val set_disk_slow : t -> dc:int -> part:int -> factor:int -> unit
+
 (** The deployment's Ω failure detector. *)
 val detector : t -> Detector.t
 

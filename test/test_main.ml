@@ -30,6 +30,7 @@ let () =
       ("admission", Test_admission.suite);
       ("nemesis", Test_nemesis.suite);
       ("recovery", Test_recovery.suite);
+      ("persistence", Test_persistence.suite);
       ("adversity", Test_adversity.suite);
       ("report", Test_report.suite);
       ("properties", Test_properties.suite);

@@ -1,0 +1,398 @@
+(* Per-node persistence: the simulated disk's crash-consistency
+   contract (acked records survive, recovery is prefix-closed, torn
+   tails truncate), and node-level crash/restart end to end — a clean
+   restart recovers snapshot + WAL locally and pulls only the missed
+   suffix (zero WAN snapshot bytes), a scrubbed disk falls back to the
+   whole-DC WAN rejoin, and gray disks / restart loops keep liveness. *)
+
+module U = Unistore
+module Client = U.Client
+module Fiber = Sim.Fiber
+module Wal = Store.Wal
+
+let counter_total reg name =
+  List.fold_left
+    (fun acc (_, c) -> acc + Sim.Metrics.counter_value c)
+    0
+    (Sim.Metrics.counters_matching reg name)
+
+(* {1 WAL unit and property tests} *)
+
+let make_wal eng =
+  Wal.create ~eng ~fsync_us:500 ~mb_per_s:200 ~size:(fun _ -> 64)
+    ~snap_size:(fun _ -> 256) ()
+
+(* Acked records survive a crash and read back in order; the ~k
+   continuation is exactly the durability barrier. *)
+let test_wal_roundtrip () =
+  let eng = Sim.Engine.create () in
+  let w = make_wal eng in
+  let acked = ref [] in
+  for i = 1 to 20 do
+    ignore (Wal.append w ~k:(fun () -> acked := i :: !acked) i)
+  done;
+  Sim.Engine.run eng ~until:1_000_000;
+  Alcotest.(check bool) "group commit drained" true (Wal.quiescent w);
+  Alcotest.(check int) "every append acked" 20 (List.length !acked);
+  Wal.crash w;
+  let snap, tail = Wal.recover w in
+  Alcotest.(check bool) "no snapshot yet" true (snap = None);
+  Alcotest.(check (list int)) "records replay oldest-first, no dup/skip"
+    (List.init 20 (fun i -> i + 1))
+    tail
+
+(* Crash-consistency sweep: power-cut the disk at every instant around
+   the fsync boundaries. Whatever the cut point, recovery must return a
+   contiguous prefix of the appended sequence (no holes, no
+   reordering), and that prefix must contain every record whose ack ran
+   before the cut — durability promises survive, unacked tails may
+   vanish. *)
+let test_wal_crash_every_boundary () =
+  let n = 12 in
+  (* appends arrive every 300us against a 500us fsync: cut points walk
+     across group-commit batches of varying size *)
+  for cut = 0 to 60 do
+    let cut_us = cut * 100 in
+    let eng = Sim.Engine.create () in
+    let w = make_wal eng in
+    let acked = ref [] in
+    for i = 1 to n do
+      Sim.Engine.schedule eng ~delay:(i * 300) (fun () ->
+          ignore (Wal.append w ~k:(fun () -> acked := i :: !acked) i))
+    done;
+    Sim.Engine.run eng ~until:cut_us;
+    Wal.crash w;
+    let _, tail = Wal.recover w in
+    let prefix_len = List.length tail in
+    Alcotest.(check (list int))
+      (Printf.sprintf "cut at %dus: recovery is prefix-closed" cut_us)
+      (List.init prefix_len (fun i -> i + 1))
+      tail;
+    List.iter
+      (fun i ->
+        if not (List.mem i tail) then
+          Alcotest.failf "cut at %dus: acked record %d lost" cut_us i)
+      !acked
+  done
+
+(* A torn final record — the half-written sector a power cut leaves —
+   is truncated on recovery, and everything after it with it. *)
+let test_wal_torn_tail () =
+  let eng = Sim.Engine.create () in
+  let w = make_wal eng in
+  for i = 1 to 10 do
+    ignore (Wal.append w i)
+  done;
+  Sim.Engine.run eng ~until:1_000_000;
+  Wal.tear_next w;
+  Wal.crash w;
+  let _, tail = Wal.recover w in
+  let len = List.length tail in
+  Alcotest.(check bool) "torn tail truncated" true (len < 10);
+  Alcotest.(check (list int)) "surviving prefix still contiguous"
+    (List.init len (fun i -> i + 1))
+    tail;
+  (* the disk keeps working after recovery: sequence numbers resume *)
+  ignore (Wal.append w 99);
+  Sim.Engine.run eng ~until:2_000_000;
+  Wal.crash w;
+  let _, tail' = Wal.recover w in
+  Alcotest.(check (list int)) "appends resume after truncation"
+    (List.init len (fun i -> i + 1) @ [ 99 ])
+    tail'
+
+(* Snapshots bound replay: once installed, recovery returns the
+   snapshot plus only the log suffix above its boundary. *)
+let test_wal_snapshot_bounds_replay () =
+  let eng = Sim.Engine.create () in
+  let w = make_wal eng in
+  for i = 1 to 8 do
+    ignore (Wal.append w i)
+  done;
+  Sim.Engine.run eng ~until:100_000;
+  Wal.snapshot w ~seq:(Wal.next_seq w - 1) "snap@8";
+  Sim.Engine.run eng ~until:200_000;
+  for i = 9 to 12 do
+    ignore (Wal.append w i)
+  done;
+  Sim.Engine.run eng ~until:300_000;
+  Wal.crash w;
+  let snap, tail = Wal.recover w in
+  Alcotest.(check (option string)) "snapshot recovered" (Some "snap@8") snap;
+  Alcotest.(check (list int)) "only the suffix above the boundary replays"
+    [ 9; 10; 11; 12 ] tail
+
+(* {1 Node-level crash/restart, end to end} *)
+
+let persistent_system ?(partitions = 2) ?(seed = 17) () =
+  let sys =
+    Util.make_system ~partitions ~seed ~persistence:true
+      ~snapshot_interval_us:1_500_000 ~client_failover_us:150_000 ()
+  in
+  sys
+
+let run_workload sys ~until ~keys =
+  let commits = Array.make (Array.length keys) 0 in
+  Array.iteri
+    (fun i k ->
+      let dc = i mod 2 in
+      ignore
+        (U.System.spawn_client sys ~dc (fun c ->
+             while U.System.now sys < until do
+               Client.start c;
+               Client.update c k (Crdt.Ctr_add 1);
+               (match Client.commit c with
+               | `Committed _ -> commits.(i) <- commits.(i) + 1
+               | `Aborted -> ());
+               Fiber.sleep 80_000
+             done)))
+    keys;
+  commits
+
+let read_back sys ~dc ~keys =
+  let final = Array.make (Array.length keys) (-1) in
+  ignore
+    (U.System.spawn_client sys ~dc (fun c ->
+         Client.start c;
+         Array.iteri (fun i k -> final.(i) <- Client.read_int c k) keys;
+         ignore (Client.commit c)));
+  final
+
+(* Clean node restart: dc2/part0 dies mid-workload and comes back from
+   its own disk. The restart replays locally, pulls only the suffix it
+   missed, and never transfers a WAN snapshot; the recovered node
+   converges and serves every commit exactly once. *)
+let test_clean_node_restart () =
+  let sys = persistent_system () in
+  let keys = [| 100; 101 |] in
+  Array.iter (fun k -> U.System.preload sys k (Crdt.Ctr_add 0)) keys;
+  U.Nemesis.inject sys
+    [
+      { U.Nemesis.at_us = 2_000_000; ev = Crash_node { dc = 2; part = 0 } };
+      { at_us = 3_000_000; ev = Restart_node { dc = 2; part = 0 } };
+    ];
+  let commits = run_workload sys ~until:5_000_000 ~keys in
+  let strong_commits = ref 0 in
+  ignore
+    (U.System.spawn_client sys ~dc:0 (fun c ->
+         while U.System.now sys < 5_000_000 do
+           Client.start c ~strong:true;
+           Client.update c 200 (Crdt.Ctr_add 1);
+           (match Client.commit c with
+           | `Committed _ -> incr strong_commits
+           | `Aborted -> ());
+           Fiber.sleep 150_000
+         done));
+  U.System.preload sys 200 (Crdt.Ctr_add 0);
+  Util.run sys ~until:9_000_000;
+  Alcotest.(check bool) "node is back" false
+    (U.System.node_down sys ~dc:2 ~part:0);
+  Util.assert_por sys;
+  Util.assert_convergence sys;
+  Alcotest.(check int) "no strong transaction left pending" 0
+    (U.System.pending_strong sys);
+  Alcotest.(check bool) "workload committed through the restart" true
+    (commits.(0) > 10 && commits.(1) > 10 && !strong_commits > 5);
+  let final = read_back sys ~dc:2 ~keys in
+  Util.run sys ~until:9_500_000;
+  Array.iteri
+    (fun i k ->
+      Alcotest.(check int)
+        (Printf.sprintf "key %d visible exactly once at the restarted node" k)
+        commits.(i) final.(i))
+    keys;
+  let reg = U.System.metrics sys in
+  Alcotest.(check int) "one node restart" 1
+    (counter_total reg "node_restarts_total");
+  Alcotest.(check bool) "local replay did the heavy lifting" true
+    (counter_total reg "replay_entries_total" > 0
+    && counter_total reg "local_catchup_bytes_total" > 0);
+  Alcotest.(check int) "zero WAN snapshot bytes for a clean restart" 0
+    (counter_total reg "sync_snapshot_bytes_total");
+  Alcotest.(check bool) "the WAL was exercised" true
+    (counter_total reg "wal_appended_bytes_total" > 0)
+
+(* Torn-tail restart: the crash corrupts the disk's final record. The
+   restart truncates it, replays the surviving prefix and re-pulls the
+   difference from a live sibling — still no WAN snapshot — and the run
+   is deterministic under its seed. *)
+let test_torn_tail_restart () =
+  let run_once () =
+    let sys = persistent_system ~seed:23 () in
+    let keys = [| 100; 101 |] in
+    Array.iter (fun k -> U.System.preload sys k (Crdt.Ctr_add 0)) keys;
+    Sim.Engine.schedule (U.System.engine sys) ~delay:1_999_000 (fun () ->
+        U.Replica.tear_disk_next (U.System.replica sys ~dc:2 ~part:0));
+    U.Nemesis.inject sys
+      [
+        { U.Nemesis.at_us = 2_000_000; ev = Crash_node { dc = 2; part = 0 } };
+        { at_us = 3_000_000; ev = Restart_node { dc = 2; part = 0 } };
+      ];
+    let commits = run_workload sys ~until:4_500_000 ~keys in
+    Util.run sys ~until:8_000_000;
+    Util.assert_convergence sys;
+    let final = read_back sys ~dc:2 ~keys in
+    Util.run sys ~until:8_500_000;
+    Array.iteri
+      (fun i _ ->
+        Alcotest.(check int) "exactly once despite the torn tail"
+          commits.(i) final.(i))
+      keys;
+    let reg = U.System.metrics sys in
+    Alcotest.(check bool) "the torn record was truncated" true
+      (counter_total reg "wal_torn_truncations_total" >= 1);
+    Alcotest.(check int) "still no WAN snapshot" 0
+      (counter_total reg "sync_snapshot_bytes_total");
+    (Array.to_list commits, Array.to_list final)
+  in
+  let a = run_once () and b = run_once () in
+  Alcotest.(check (pair (list int) (list int)))
+    "torn-tail recovery replays deterministically under the seed" a b
+
+(* A scrubbed disk (unrecoverable local state) falls back to the
+   whole-DC WAN rejoin: snapshot transfer plus pull rounds. *)
+let test_scrubbed_disk_falls_back () =
+  let sys = persistent_system ~seed:31 () in
+  let keys = [| 100; 101 |] in
+  Array.iter (fun k -> U.System.preload sys k (Crdt.Ctr_add 0)) keys;
+  Sim.Engine.schedule (U.System.engine sys) ~delay:2_000_000 (fun () ->
+      U.System.fail_node sys ~dc:2 ~part:0;
+      U.Replica.scrub_disk (U.System.replica sys ~dc:2 ~part:0));
+  Sim.Engine.schedule (U.System.engine sys) ~delay:3_000_000 (fun () ->
+      U.System.restart_node sys ~dc:2 ~part:0);
+  let commits = run_workload sys ~until:4_500_000 ~keys in
+  Util.run sys ~until:8_000_000;
+  Util.assert_convergence sys;
+  let final = read_back sys ~dc:2 ~keys in
+  Util.run sys ~until:8_500_000;
+  Array.iteri
+    (fun i _ ->
+      Alcotest.(check int) "exactly once after the WAN rejoin" commits.(i)
+        final.(i))
+    keys;
+  let reg = U.System.metrics sys in
+  Alcotest.(check bool) "the empty disk forced a WAN snapshot" true
+    (counter_total reg "sync_snapshot_bytes_total" > 0)
+
+(* Gray disk: a 20x-slow fsync stretches commit latency but breaks
+   nothing — the workload keeps committing and the DCs converge once
+   the disk is restored. *)
+let test_gray_disk () =
+  let sys = persistent_system ~seed:41 () in
+  let keys = [| 100; 101 |] in
+  Array.iter (fun k -> U.System.preload sys k (Crdt.Ctr_add 0)) keys;
+  U.Nemesis.inject sys
+    (U.Nemesis.gray_disk ~dc:0 ~part:0 ~factor:20 ~from_us:1_500_000
+       ~until_us:3_500_000);
+  let commits = run_workload sys ~until:5_000_000 ~keys in
+  Util.run sys ~until:8_000_000;
+  Util.assert_por sys;
+  Util.assert_convergence sys;
+  Alcotest.(check bool) "commits continued under the gray disk" true
+    (commits.(0) > 10 && commits.(1) > 10);
+  match
+    Sim.Metrics.histograms_matching (U.System.metrics sys) "wal_fsync_us"
+  with
+  | [] -> Alcotest.fail "wal_fsync_us histogram missing"
+  | hs ->
+      let worst =
+        List.fold_left
+          (fun acc (_, h) ->
+            match Sim.Metrics.h_max h with
+            | Some m -> max acc m
+            | None -> acc)
+          0 hs
+      in
+      Alcotest.(check bool) "the slow fsyncs were observed" true
+        (worst >= 20 * 500)
+
+(* Supervisor restart loop: the same node crash/restarts repeatedly
+   under live traffic and the system converges with every restart
+   recovered locally. *)
+let test_restart_loop () =
+  let sys = persistent_system ~seed:53 () in
+  let keys = [| 100; 101 |] in
+  Array.iter (fun k -> U.System.preload sys k (Crdt.Ctr_add 0)) keys;
+  U.Nemesis.inject sys
+    (U.Nemesis.restart_loop ~dc:2 ~part:1 ~start_us:1_500_000 ~cycles:3
+       ~down_us:400_000 ~period_us:1_200_000);
+  let commits = run_workload sys ~until:5_500_000 ~keys in
+  Util.run sys ~until:9_500_000;
+  Util.assert_convergence sys;
+  Alcotest.(check bool) "commits continued through the loop" true
+    (commits.(0) > 10 && commits.(1) > 10);
+  let reg = U.System.metrics sys in
+  Alcotest.(check int) "every cycle restarted the node" 3
+    (counter_total reg "node_restarts_total");
+  Alcotest.(check int) "every restart recovered locally" 0
+    (counter_total reg "sync_snapshot_bytes_total")
+
+(* Seeded schedules: node crashes draw nothing by default (existing
+   seeds keep their schedules) and pair each crash with a restart. *)
+let test_random_schedule_node_crashes () =
+  let horizon = 8_000_000 in
+  let base =
+    U.Nemesis.random_schedule ~seed:7 ~dcs:3 ~horizon_us:horizon ()
+  in
+  let with_nodes =
+    U.Nemesis.random_schedule ~seed:7 ~dcs:3 ~horizon_us:horizon
+      ~max_node_crashes:2 ~node_partitions:4 ()
+  in
+  let is_node s =
+    match s.U.Nemesis.ev with
+    | U.Nemesis.Crash_node _ | U.Nemesis.Restart_node _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "no node events by default" true
+    (not (List.exists is_node base));
+  Alcotest.(check bool) "node budget only appends to the base schedule" true
+    (List.sort compare (List.filter (fun s -> not (is_node s)) with_nodes)
+    = List.sort compare base);
+  let crashes =
+    List.filter_map
+      (fun s ->
+        match s.U.Nemesis.ev with
+        | U.Nemesis.Crash_node { dc; part } -> Some (s.U.Nemesis.at_us, dc, part)
+        | _ -> None)
+      with_nodes
+  in
+  Alcotest.(check int) "the full crash budget was drawn" 2
+    (List.length crashes);
+  List.iter
+    (fun (at, dc, part) ->
+      match
+        List.find_opt
+          (fun s ->
+            match s.U.Nemesis.ev with
+            | U.Nemesis.Restart_node r ->
+                r.dc = dc && r.part = part && s.U.Nemesis.at_us > at
+            | _ -> false)
+          with_nodes
+      with
+      | Some _ -> ()
+      | None -> Alcotest.fail "node crash without a paired restart")
+    crashes
+
+let suite =
+  [
+    Alcotest.test_case "acked WAL records survive a crash in order" `Quick
+      test_wal_roundtrip;
+    Alcotest.test_case "recovery is prefix-closed at every cut point" `Quick
+      test_wal_crash_every_boundary;
+    Alcotest.test_case "a torn tail truncates and the log resumes" `Quick
+      test_wal_torn_tail;
+    Alcotest.test_case "snapshots bound replay to the suffix" `Quick
+      test_wal_snapshot_bounds_replay;
+    Alcotest.test_case "clean node restart recovers locally, zero WAN bytes"
+      `Slow test_clean_node_restart;
+    Alcotest.test_case "torn-tail restart truncates, replays, rejoins" `Slow
+      test_torn_tail_restart;
+    Alcotest.test_case "scrubbed disk falls back to the WAN rejoin" `Slow
+      test_scrubbed_disk_falls_back;
+    Alcotest.test_case "gray disk slows commits but breaks nothing" `Slow
+      test_gray_disk;
+    Alcotest.test_case "supervisor restart loop converges" `Slow
+      test_restart_loop;
+    Alcotest.test_case "seeded schedules pair node crashes with restarts"
+      `Quick test_random_schedule_node_crashes;
+  ]

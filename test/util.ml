@@ -11,12 +11,13 @@ let make_system ?(topo = default_topo ()) ?(partitions = 4) ?(f = 1)
     ?(mode = U.Config.Unistore) ?(conflict = U.Config.Serializable)
     ?(seed = 42) ?(clock_skew_us = 1_000) ?leader_dc ?link_faults
     ?detection_delay_us ?fd_period_us ?gc_grace_us ?sync_pull_deadline_us
-    ?client_failover_us ?(trace_enabled = false) () =
+    ?client_failover_us ?persistence ?disk_fsync_us ?snapshot_interval_us
+    ?(trace_enabled = false) () =
   let cfg =
     U.Config.default ~topo ~partitions ~f ~mode ~conflict ~seed ~clock_skew_us
       ?leader_dc ?link_faults ?detection_delay_us ?fd_period_us ?gc_grace_us
-      ?sync_pull_deadline_us ?client_failover_us ~trace_enabled
-      ~record_history:true ()
+      ?sync_pull_deadline_us ?client_failover_us ?persistence ?disk_fsync_us
+      ?snapshot_interval_us ~trace_enabled ~record_history:true ()
   in
   U.System.create cfg
 
