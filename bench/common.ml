@@ -50,32 +50,57 @@ let collect sys ~mode ~clients =
 
    Every artifact carries a [sim_events_per_sec] field: engine events
    executed by the systems deployed for it divided by the wall-clock
-   time since the previous artifact. Benches register each deployment
-   with [track] ([run_experiment]/[run_rubis] do it automatically);
-   [emit_artifact] drains the tracked set — event counts are final by
-   the time an artifact is written. The field is the one
-   wall-clock-dependent value in an artifact; everything else stays
-   seed-deterministic. *)
+   time those engines spent inside [Engine.run] — not the wall time
+   between artifacts, which would charge deployment setup and JSON
+   writing to the simulator and understate throughput on short runs.
+   Benches register each deployment with [track]
+   ([run_experiment]/[run_rubis] do it automatically); [emit_artifact]
+   drains the tracked set — both totals are final by the time an
+   artifact is written. The field is the one wall-clock-dependent value
+   in an artifact; everything else stays seed-deterministic. *)
 
 let tracked : U.System.t list ref = ref []
 let events_done = ref 0  (* events of already-drained systems *)
-let events_emitted = ref 0  (* events attributed to previous artifacts *)
-let last_emit_wall = ref (Unix.gettimeofday ())
+let wall_done = ref 0.0  (* their cumulative Engine.run wall seconds *)
+let events_emitted = ref 0  (* share attributed to previous artifacts *)
+let wall_emitted = ref 0.0
 
 let track sys = tracked := sys :: !tracked
 
 let sim_events_per_sec () =
   List.iter
     (fun s ->
-      events_done := !events_done + Sim.Engine.executed_events (U.System.engine s))
+      let eng = U.System.engine s in
+      events_done := !events_done + Sim.Engine.executed_events eng;
+      wall_done := !wall_done +. Sim.Engine.run_wall_seconds eng)
     !tracked;
   tracked := [];
-  let now = Unix.gettimeofday () in
-  let dt = now -. !last_emit_wall in
   let ev = !events_done - !events_emitted in
+  let dt = !wall_done -. !wall_emitted in
   events_emitted := !events_done;
-  last_emit_wall := now;
+  wall_emitted := !wall_done;
   if ev = 0 || dt <= 0.0 then None else Some (float_of_int ev /. dt)
+
+(* Process-wide GC delta since the previous artifact: allocation trends
+   stay visible even in non-profiled runs. Words are doubles ([float]
+   fields of [Gc.stat]) because they overflow int on 32-bit. *)
+let last_gc = ref (Gc.quick_stat ())
+
+let gc_summary () =
+  let g = Gc.quick_stat () in
+  let prev = !last_gc in
+  last_gc := g;
+  Sim.Json.Obj
+    [
+      ("minor_words", Sim.Json.Float (g.Gc.minor_words -. prev.Gc.minor_words));
+      ( "promoted_words",
+        Sim.Json.Float (g.Gc.promoted_words -. prev.Gc.promoted_words) );
+      ("major_words", Sim.Json.Float (g.Gc.major_words -. prev.Gc.major_words));
+      ( "minor_collections",
+        Sim.Json.Int (g.Gc.minor_collections - prev.Gc.minor_collections) );
+      ( "major_collections",
+        Sim.Json.Int (g.Gc.major_collections - prev.Gc.major_collections) );
+    ]
 
 (* Deploy [cfg], spawn [clients] closed-loop clients round-robin across
    DCs running [body], measure for [window_us] after [warmup_us]. *)
@@ -164,20 +189,39 @@ let write_json path json =
   close_out oc
 
 (* Write [json] as [BENCH_<name>.json] under the [--json] directory (a
-   no-op when the flag was not given). *)
+   no-op when the flag was not given). Every artifact gains the
+   engine-window [sim_events_per_sec] rate (when systems were tracked)
+   and a [gc] allocation/collection delta since the previous artifact. *)
 let emit_artifact ~name json =
   match artifact_path ~prefix:"BENCH" ~name with
   | None -> ()
   | Some path ->
       let json =
-        match (json, sim_events_per_sec ()) with
-        | Sim.Json.Obj fields, Some rate ->
-            Sim.Json.Obj
-              (fields @ [ ("sim_events_per_sec", Sim.Json.Float rate) ])
-        | j, _ -> j
+        match json with
+        | Sim.Json.Obj fields ->
+            let rate =
+              match sim_events_per_sec () with
+              | Some r -> [ ("sim_events_per_sec", Sim.Json.Float r) ]
+              | None -> []
+            in
+            Sim.Json.Obj (fields @ rate @ [ ("gc", gc_summary ()) ])
+        | j -> j
       in
       write_json path json;
       Fmt.pr "  [json: %s]@." path
+
+(* Write a Brendan-Gregg folded-stack export as [PROF_<name>.folded]
+   (speedscope / flamegraph.pl input); no-op without [--json]. *)
+let emit_folded ~name contents =
+  match !json_dir with
+  | None -> ()
+  | Some dir ->
+      mkdir_p dir;
+      let path = Filename.concat dir (Fmt.str "PROF_%s.folded" name) in
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      Fmt.pr "  [folded: %s]@." path
 
 (* Write a Chrome-trace export as [TRACE_<name>.json]. *)
 let emit_trace ~name trace =

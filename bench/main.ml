@@ -38,12 +38,14 @@ let artefacts =
     ("ablations", fun () -> Common.timed "ablations" Ablations.run);
     ("overload", fun () -> Common.timed "overload" Overload.run);
     ("rolling", fun () -> Common.timed "rolling" Rolling.run);
+    ("profile", fun () -> Profile.run ());
     ("micro", fun () -> Common.timed "micro" Microbench.run);
   ]
 
 let default_sequence =
   [ "scenarios"; "nemesis"; "recovery"; "adversity"; "overload"; "rolling";
-    "tab-latency"; "fig6"; "fig5"; "ablations"; "micro"; "fig3"; "fig4" ]
+    "profile"; "tab-latency"; "fig6"; "fig5"; "ablations"; "micro"; "fig3";
+    "fig4" ]
 
 (* Strip [--json <dir>] (setting [Common.json_dir]) and return the
    remaining artefact names. *)

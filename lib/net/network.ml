@@ -49,6 +49,10 @@ type 'm node = {
      they are external sessions, not part of the DC's failure domain,
      so they keep sending and receiving while the DC is crashed *)
   client : bool;
+  (* profiling identity: handler events run as "<name>/handle:<kind>".
+     Labels are interned once per (node, kind) through [lab_cache]. *)
+  name : string;
+  lab_cache : (string, Sim.Prof.label) Hashtbl.t;
   cost : 'm -> int;
   handler : 'm -> unit;
   mutable busy_until : int;
@@ -124,6 +128,12 @@ type 'm t = {
   rx_flows : (int * int, 'm rx_flow) Hashtbl.t;
   mutable trace : Sim.Trace.t;
   mutable meter : 'm meter option;
+  (* transport-level profiling labels, interned on first use so the
+     profiler can be enabled either before or after [create] *)
+  prof : Sim.Prof.t;
+  mutable lab_deliver : Sim.Prof.label;
+  mutable lab_ack : Sim.Prof.label;
+  mutable lab_retransmit : Sim.Prof.label;
   mutable rto_cap_us : int;  (* retransmission-backoff ceiling *)
   mutable sent : int;
   mutable dropped_crash : int;
@@ -159,6 +169,10 @@ let create eng topo =
     rx_flows = Hashtbl.create 256;
     trace = Sim.Trace.disabled;
     meter = None;
+    prof = Sim.Engine.prof eng;
+    lab_deliver = Sim.Prof.none;
+    lab_ack = Sim.Prof.none;
+    lab_retransmit = Sim.Prof.none;
     rto_cap_us = default_rto_cap_us;
     sent = 0;
     dropped_crash = 0;
@@ -171,6 +185,43 @@ let create eng topo =
 
 let topology t = t.topo
 let engine t = t.eng
+
+(* Transport-level attribution labels, interned lazily: [Prof.label]
+   returns [none] while the profiler is off, so the memo only sticks
+   once it is on. *)
+let lab_deliver t =
+  if t.lab_deliver <> Sim.Prof.none then t.lab_deliver
+  else begin
+    let l = Sim.Prof.label t.prof "net/deliver" in
+    t.lab_deliver <- l;
+    l
+  end
+
+let lab_ack t =
+  if t.lab_ack <> Sim.Prof.none then t.lab_ack
+  else begin
+    let l = Sim.Prof.label t.prof "net/ack" in
+    t.lab_ack <- l;
+    l
+  end
+
+let lab_retransmit t =
+  if t.lab_retransmit <> Sim.Prof.none then t.lab_retransmit
+  else begin
+    let l = Sim.Prof.label t.prof "net/retransmit" in
+    t.lab_retransmit <- l;
+    l
+  end
+
+(* "<node>/handle:<kind>" label for a handler-execution event, cached
+   per (node, kind). Only called when the profiler is on. *)
+let handler_label t n kind =
+  match Hashtbl.find_opt n.lab_cache kind with
+  | Some l -> l
+  | None ->
+      let l = Sim.Prof.label t.prof (n.name ^ "/handle:" ^ kind) in
+      Hashtbl.replace n.lab_cache kind l;
+      l
 
 (* Install a fault model: switches inter-DC channels to the lossy
    transport with the ack/retransmission layer. Idempotent. *)
@@ -293,15 +344,20 @@ let count_drop t cause ~src_dc ~dst_dc =
     Sim.Trace.emitf t.trace ~source:"net" ~kind:"drop" "%s dc%d->dc%d"
       (drop_cause_name cause) src_dc dst_dc
 
-let register t ?(client = false) ~dc ~cost handler =
+let register t ?(client = false) ?name ~dc ~cost handler =
   if dc < 0 || dc >= Topology.dcs t.topo then
     invalid_arg "Network.register: no such data center";
   let addr = t.node_count in
+  let name =
+    match name with Some n -> n | None -> "node" ^ string_of_int addr
+  in
   let node =
     {
       addr;
       dc;
       client;
+      name;
+      lab_cache = Hashtbl.create 8;
       cost;
       handler;
       busy_until = 0;
@@ -449,7 +505,16 @@ let process t dst_node msg =
   dst_node.busy_until <- finish;
   dst_node.busy_us <- dst_node.busy_us + cost;
   let ep = epoch_of t dst_node in
-  Sim.Engine.schedule_at t.eng ~time:finish (fun () ->
+  (* handler events carry the node's own identity plus the message kind
+     (when a meter names kinds), so replica work is attributed to
+     "dcN/replica/handle:Replicate" rather than to whoever sent it *)
+  let label =
+    if Sim.Prof.is_on t.prof then
+      handler_label t dst_node
+        (match t.meter with Some m -> m.kind_of msg | None -> "msg")
+    else Sim.Prof.none
+  in
+  Sim.Engine.schedule_at t.eng ~label ~time:finish (fun () ->
       if (not (node_failed t dst_node)) && ep = epoch_of t dst_node then begin
         dst_node.processed <- dst_node.processed + 1;
         (match t.meter with
@@ -473,7 +538,7 @@ let direct_send t ~src_node ~dst_node msg =
   in
   Hashtbl.replace t.fifo key arrival;
   let ep = (epoch_of t src_node, epoch_of t dst_node) in
-  Sim.Engine.schedule_at t.eng ~time:arrival (fun () ->
+  Sim.Engine.schedule_at t.eng ~label:(lab_deliver t) ~time:arrival (fun () ->
       if ep <> (epoch_of t src_node, epoch_of t dst_node) then ()
       else if node_failed t dst_node then
         count_drop t Crash ~src_dc:src_node.dc ~dst_dc:dst_node.dc
@@ -535,7 +600,7 @@ let rec send_ack t ~src ~dst ~upto =
             transit_us t ~src_dc:dst_node.dc ~dst_dc:src_node.dc + extra_us
           in
           let ep = (epoch_of t src_node, epoch_of t dst_node) in
-          Sim.Engine.schedule t.eng ~delay (fun () ->
+          Sim.Engine.schedule t.eng ~label:(lab_ack t) ~delay (fun () ->
               if
                 ep = (epoch_of t src_node, epoch_of t dst_node)
                 && not (node_failed t src_node)
@@ -631,7 +696,7 @@ and transmit t f ~src ~dst seq msg =
   | Faults.Deliver { extra_us; duplicate } ->
       let ep = (epoch_of t src_node, epoch_of t dst_node) in
       let deliver_after delay =
-        Sim.Engine.schedule t.eng ~delay (fun () ->
+        Sim.Engine.schedule t.eng ~label:(lab_deliver t) ~delay (fun () ->
             if ep = (epoch_of t src_node, epoch_of t dst_node) then
               deliver_data t ~src ~dst seq msg)
       in
@@ -641,7 +706,8 @@ and transmit t f ~src ~dst seq msg =
 let rec arm_timer t f ~src ~dst fl =
   if (not fl.timer_armed) && fl.unacked <> [] then begin
     fl.timer_armed <- true;
-    Sim.Engine.schedule t.eng ~delay:fl.rto_us (fun () ->
+    Sim.Engine.schedule t.eng ~label:(lab_retransmit t) ~delay:fl.rto_us
+      (fun () ->
         fl.timer_armed <- false;
         if fl.unacked <> [] then begin
           let src_node = node t src and dst_node = node t dst in

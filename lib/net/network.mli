@@ -35,9 +35,20 @@ val engine : 'm t -> Sim.Engine.t
     merely {e colocated} with [dc] for latency purposes: it is not part
     of the DC's failure domain, so it keeps sending and receiving while
     the DC is crashed (messages between it and the dead DC's own nodes
-    still drop), and its channels survive the DC's recovery. *)
+    still drop), and its channels survive the DC's recovery.
+
+    [~name] is the node's profiling identity: handler-execution events
+    are attributed to ["<name>/handle:<kind>"] (kind from the installed
+    meter's [kind_of], or ["msg"] without one). Defaults to
+    ["node<addr>"]. *)
 val register :
-  'm t -> ?client:bool -> dc:int -> cost:('m -> int) -> ('m -> unit) -> addr
+  'm t ->
+  ?client:bool ->
+  ?name:string ->
+  dc:int ->
+  cost:('m -> int) ->
+  ('m -> unit) ->
+  addr
 
 val dc_of : 'm t -> addr -> int
 val dc_failed : 'm t -> int -> bool

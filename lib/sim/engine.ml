@@ -2,7 +2,22 @@
 
    Simulated time is [int] microseconds. The run loop pops the earliest
    event and executes its thunk; thunks schedule further events. Ties on
-   time break on scheduling order, so runs are fully deterministic. *)
+   time break on scheduling order, so runs are fully deterministic.
+
+   Self-profiling ([Sim.Prof]): every event carries an attribution
+   label. An event scheduled without an explicit label inherits the
+   label of the event currently executing, so labelling the roots
+   (periodic timers, network deliveries, fiber spawns, disk
+   completions) attributes the whole downstream cascade. With the
+   profiler disabled — the default — the cost is one integer compare
+   per schedule and one branch per executed event, and labels are all
+   [Prof.none]; event ordering is identical either way, so enabling
+   profiling never changes a run's simulated behaviour.
+
+   [run] also accrues the wall-clock time spent inside the event loop
+   ([run_wall_seconds]); the bench harness divides executed events by
+   it for the [sim_events_per_sec] artifact line, excluding setup and
+   artifact-writing time from the denominator. *)
 
 type t = {
   queue : (unit -> unit) Heap.t;
@@ -11,6 +26,9 @@ type t = {
   mutable stopped : bool;
   rng : Rng.t;
   mutable executed : int;
+  prof : Prof.t;
+  mutable cur_label : Prof.label;  (* label of the executing event *)
+  mutable run_wall : float;  (* wall seconds spent inside [run] *)
 }
 
 let create ?(seed = 42) () =
@@ -21,21 +39,28 @@ let create ?(seed = 42) () =
     stopped = false;
     rng = Rng.create seed;
     executed = 0;
+    prof = Prof.create ();
+    cur_label = Prof.none;
+    run_wall = 0.0;
   }
 
 let now t = t.now
 let rng t = t.rng
 let executed_events t = t.executed
 let pending_events t = Heap.size t.queue
+let prof t = t.prof
+let current_label t = t.cur_label
+let run_wall_seconds t = t.run_wall
 
-let schedule_at t ~time f =
+let schedule_at t ?(label = Prof.none) ~time f =
   let time = if time < t.now then t.now else time in
   t.seq <- t.seq + 1;
-  Heap.push t.queue ~time ~seq:t.seq f
+  let tag = if label <> Prof.none then label else t.cur_label in
+  Heap.push t.queue ~time ~seq:t.seq ~tag f
 
-let schedule t ~delay f =
+let schedule t ?(label = Prof.none) ~delay f =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
-  schedule_at t ~time:(t.now + delay) f
+  schedule_at t ~label ~time:(t.now + delay) f
 
 let stop t = t.stopped <- true
 
@@ -47,7 +72,7 @@ let run ?until t =
     else
       match Heap.pop t.queue with
       | None -> ()
-      | Some { time; value = f; _ } ->
+      | Some { time; value = f; tag; _ } ->
           if time > limit then begin
             (* Leave the clock at the limit; the event is lost, which is
                fine because [run ~until] is only used to end experiments. *)
@@ -56,17 +81,25 @@ let run ?until t =
           else begin
             t.now <- time;
             t.executed <- t.executed + 1;
-            f ();
+            if Prof.is_on t.prof then begin
+              t.cur_label <- tag;
+              Prof.account t.prof tag f;
+              t.cur_label <- Prof.none
+            end
+            else f ();
             loop ()
           end
   in
-  loop ()
+  let t0 = Prof.wall t.prof in
+  Fun.protect
+    ~finally:(fun () -> t.run_wall <- t.run_wall +. (Prof.wall t.prof -. t0))
+    loop
 
 (* Periodic task: reschedules itself every [period] while [f] returns
    [true]. [phase] offsets the first firing, which the network layer uses
    to avoid lock-step broadcasts across replicas. *)
-let every t ~period ?phase f =
+let every t ?(label = Prof.none) ~period ?phase f =
   if period <= 0 then invalid_arg "Engine.every: period must be positive";
   let phase = match phase with Some p -> p | None -> period in
-  let rec tick () = if f () then schedule t ~delay:period tick in
-  schedule t ~delay:phase tick
+  let rec tick () = if f () then schedule t ~label ~delay:period tick in
+  schedule t ~label ~delay:phase tick

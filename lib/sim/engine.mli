@@ -1,7 +1,12 @@
 (** Deterministic discrete-event simulation engine.
 
     Simulated time is [int] microseconds starting at 0. Events scheduled
-    for the same instant fire in scheduling order. *)
+    for the same instant fire in scheduling order.
+
+    Every event carries a {!Prof.label} for self-profiling; an event
+    scheduled without one inherits the label of the event currently
+    executing (so labelling roots attributes whole cascades). Labels
+    never affect event ordering. *)
 
 type t
 
@@ -17,11 +22,25 @@ val rng : t -> Rng.t
 val executed_events : t -> int
 val pending_events : t -> int
 
-(** Schedule a thunk [delay] microseconds from now. *)
-val schedule : t -> delay:int -> (unit -> unit) -> unit
+(** The engine's profiler (one per engine, disabled by default). *)
+val prof : t -> Prof.t
+
+(** Label of the event currently executing ([Prof.none] outside the
+    run loop). *)
+val current_label : t -> Prof.label
+
+(** Wall-clock seconds spent inside {!run} so far — the engine-only
+    window the [sim_events_per_sec] artifact line divides by. *)
+val run_wall_seconds : t -> float
+
+(** Schedule a thunk [delay] microseconds from now. [label] attributes
+    the event for profiling; [Prof.none] (the default) inherits the
+    scheduling event's label. *)
+val schedule : t -> ?label:Prof.label -> delay:int -> (unit -> unit) -> unit
 
 (** Schedule a thunk at an absolute time (clamped to now if in the past). *)
-val schedule_at : t -> time:int -> (unit -> unit) -> unit
+val schedule_at :
+  t -> ?label:Prof.label -> time:int -> (unit -> unit) -> unit
 
 (** Stop the run loop after the current event. *)
 val stop : t -> unit
@@ -32,4 +51,5 @@ val run : ?until:int -> t -> unit
 
 (** [every t ~period ?phase f] runs [f] every [period] microseconds
     (first run after [phase]) for as long as [f] returns [true]. *)
-val every : t -> period:int -> ?phase:int -> (unit -> bool) -> unit
+val every :
+  t -> ?label:Prof.label -> period:int -> ?phase:int -> (unit -> bool) -> unit

@@ -3,10 +3,17 @@
    (single-assignment cell) or sleep for simulated time; while it is
    blocked, other simulation events run. Clients of the data store are
    written as fibers, which keeps workload code direct-style while all
-   protocol handlers remain plain event handlers. *)
+   protocol handlers remain plain event handlers.
+
+   Profiling: a fiber resolves its attribution label once at spawn
+   (explicit [?label], else inherited from the spawner) and pins every
+   wakeup — sleep expiries and ivar resumptions — to it. The pinning
+   matters for ivar wakeups: the fill happens inside some other
+   handler's event, and without an explicit label the resumption would
+   inherit the *filler's* label instead of the fiber's. *)
 
 module Ivar = struct
-  type 'a state = Empty of ('a -> unit) list | Full of 'a
+  type 'a state = Empty of (Prof.label * ('a -> unit)) list | Full of 'a
   type 'a t = { mutable state : 'a state }
 
   let create () = { state = Empty [] }
@@ -17,18 +24,20 @@ module Ivar = struct
     | Empty waiters ->
         iv.state <- Full v;
         (* Run waiters as fresh events at the current instant so a fill
-           inside a handler cannot reentrantly grow the handler's stack. *)
+           inside a handler cannot reentrantly grow the handler's stack.
+           Each waiter carries the label it registered under. *)
         List.iter
-          (fun k -> Engine.schedule eng ~delay:0 (fun () -> k v))
+          (fun (label, k) ->
+            Engine.schedule eng ~label ~delay:0 (fun () -> k v))
           (List.rev waiters)
 
   let is_filled iv = match iv.state with Full _ -> true | Empty _ -> false
   let peek iv = match iv.state with Full v -> Some v | Empty _ -> None
 
-  let upon eng iv k =
+  let upon ?(label = Prof.none) eng iv k =
     match iv.state with
-    | Full v -> Engine.schedule eng ~delay:0 (fun () -> k v)
-    | Empty waiters -> iv.state <- Empty (k :: waiters)
+    | Full v -> Engine.schedule eng ~label ~delay:0 (fun () -> k v)
+    | Empty waiters -> iv.state <- Empty ((label, k) :: waiters)
 end
 
 type _ Effect.t +=
@@ -38,8 +47,13 @@ type _ Effect.t +=
 let await iv = Effect.perform (Await iv)
 let sleep delay = Effect.perform (Sleep delay)
 
-let spawn eng f =
+let spawn eng ?(label = Prof.none) f =
   let open Effect.Deep in
+  (* Resolve inheritance now: wakeups fire from other contexts later,
+     where the scheduler's current label is not this fiber's. *)
+  let label =
+    if label <> Prof.none then label else Engine.current_label eng
+  in
   let handler =
     {
       retc = (fun () -> ());
@@ -50,16 +64,16 @@ let spawn eng f =
           | Await iv ->
               Some
                 (fun (k : (b, unit) continuation) ->
-                  Ivar.upon eng iv (fun v -> continue k v))
+                  Ivar.upon ~label eng iv (fun v -> continue k v))
           | Sleep delay ->
               Some
                 (fun (k : (b, unit) continuation) ->
-                  Engine.schedule eng ~delay (fun () -> continue k ()))
+                  Engine.schedule eng ~label ~delay (fun () -> continue k ()))
           | _ -> None);
     }
   in
   (* Start the fiber as an event so spawning inside a fiber is safe. *)
-  Engine.schedule eng ~delay:0 (fun () -> match_with f () handler)
+  Engine.schedule eng ~label ~delay:0 (fun () -> match_with f () handler)
 
 (* Convenience: await n ivars of the same type, in order. *)
 let await_all ivs = List.map await ivs

@@ -19,8 +19,9 @@ module Ivar : sig
   val peek : 'a t -> 'a option
 
   (** [upon eng iv k] runs [k v] once [iv] holds [v] (immediately, as an
-      event, if already filled). *)
-  val upon : Engine.t -> 'a t -> ('a -> unit) -> unit
+      event, if already filled). [label] attributes the wakeup event for
+      profiling; the default inherits the *filler*'s label. *)
+  val upon : ?label:Prof.label -> Engine.t -> 'a t -> ('a -> unit) -> unit
 end
 
 (** Block the current fiber until the ivar is filled. Must be called from
@@ -30,8 +31,10 @@ val await : 'a Ivar.t -> 'a
 (** Suspend the current fiber for the given simulated microseconds. *)
 val sleep : int -> unit
 
-(** Start a fiber. The body may use {!await} and {!sleep}. *)
-val spawn : Engine.t -> (unit -> unit) -> unit
+(** Start a fiber. The body may use {!await} and {!sleep}. [label]
+    attributes the fiber's start and every later wakeup for profiling
+    (default: inherited from the spawning event, resolved at spawn). *)
+val spawn : Engine.t -> ?label:Prof.label -> (unit -> unit) -> unit
 
 (** Await every ivar in the list, returning values in list order. *)
 val await_all : 'a Ivar.t list -> 'a list

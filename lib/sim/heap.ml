@@ -2,7 +2,10 @@
    (time, seq) so that events scheduled for the same instant fire in
    insertion order, which keeps simulations deterministic. *)
 
-type 'a entry = { time : int; seq : int; value : 'a }
+(* [tag] is an opaque client annotation riding the entry (the engine
+   stores the event's attribution label there); it plays no part in the
+   ordering. *)
+type 'a entry = { time : int; seq : int; tag : int; value : 'a }
 
 type 'a t = {
   mutable data : 'a entry array;
@@ -11,7 +14,7 @@ type 'a t = {
 }
 
 let create dummy_value =
-  let dummy = { time = 0; seq = 0; value = dummy_value } in
+  let dummy = { time = 0; seq = 0; tag = 0; value = dummy_value } in
   { data = Array.make 64 dummy; size = 0; dummy }
 
 let size h = h.size
@@ -24,9 +27,9 @@ let grow h =
   Array.blit h.data 0 data 0 h.size;
   h.data <- data
 
-let push h ~time ~seq value =
+let push h ~time ~seq ?(tag = 0) value =
   if h.size = Array.length h.data then grow h;
-  let e = { time; seq; value } in
+  let e = { time; seq; tag; value } in
   h.data.(h.size) <- e;
   h.size <- h.size + 1;
   (* sift up *)

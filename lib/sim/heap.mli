@@ -3,7 +3,7 @@
     Used as the simulator event queue. Ties on [time] break on [seq]
     (insertion order), which makes runs deterministic. *)
 
-type 'a entry = { time : int; seq : int; value : 'a }
+type 'a entry = { time : int; seq : int; tag : int; value : 'a }
 
 type 'a t
 
@@ -14,8 +14,10 @@ val create : 'a -> 'a t
 val size : 'a t -> int
 val is_empty : 'a t -> bool
 
-(** [push h ~time ~seq v] inserts [v] with key [(time, seq)]. *)
-val push : 'a t -> time:int -> seq:int -> 'a -> unit
+(** [push h ~time ~seq ?tag v] inserts [v] with key [(time, seq)].
+    [tag] (default 0) is an opaque annotation returned with the entry;
+    the engine stores the event's attribution label there. *)
+val push : 'a t -> time:int -> seq:int -> ?tag:int -> 'a -> unit
 
 (** Smallest entry, without removing it. *)
 val peek : 'a t -> 'a entry option

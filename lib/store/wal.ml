@@ -31,6 +31,10 @@ type ('a, 's) t = {
   m_fsync : Sim.Metrics.histogram option;
   m_bytes : Sim.Metrics.counter option;
   m_torn : Sim.Metrics.counter option;
+  (* profiling labels for disk-completion events, interned lazily so
+     the profiler may be enabled after the WAL is built *)
+  mutable lab_fsync : Sim.Prof.label;
+  mutable lab_snapshot : Sim.Prof.label;
 }
 
 let crc_of ~seq payload = Hashtbl.hash (seq, payload)
@@ -64,7 +68,25 @@ let create ~eng ?metrics ~fsync_us ~mb_per_s ~size ~snap_size () =
     m_torn =
       m (fun mt ~labels ->
           Sim.Metrics.counter mt ~labels "wal_torn_truncations_total");
+    lab_fsync = Sim.Prof.none;
+    lab_snapshot = Sim.Prof.none;
   }
+
+let lab_fsync t =
+  if t.lab_fsync <> Sim.Prof.none then t.lab_fsync
+  else begin
+    let l = Sim.Prof.label (Sim.Engine.prof t.eng) "wal/fsync" in
+    t.lab_fsync <- l;
+    l
+  end
+
+let lab_snapshot t =
+  if t.lab_snapshot <> Sim.Prof.none then t.lab_snapshot
+  else begin
+    let l = Sim.Prof.label (Sim.Engine.prof t.eng) "wal/snapshot" in
+    t.lab_snapshot <- l;
+    l
+  end
 
 (* Write-time charge for [bytes]: one fsync plus the bandwidth cost,
    both inflated by the gray-disk factor. *)
@@ -95,7 +117,7 @@ let rec maybe_fsync t =
     let bytes = List.fold_left (fun a r -> a + r.bytes) 0 batch in
     let delay = write_delay t bytes in
     let gen = t.gen in
-    Sim.Engine.schedule t.eng ~delay (fun () ->
+    Sim.Engine.schedule t.eng ~label:(lab_fsync t) ~delay (fun () ->
         if t.gen = gen then begin
           t.durable <- List.rev_append t.inflight t.durable;
           t.inflight <- [];
@@ -126,7 +148,7 @@ let snapshot t ~seq state =
   t.snap_writing <- true;
   let bytes = max 1 (t.snap_size state) in
   let delay = write_delay t bytes in
-  Sim.Engine.schedule t.eng ~delay (fun () ->
+  Sim.Engine.schedule t.eng ~label:(lab_snapshot t) ~delay (fun () ->
       if t.gen = gen && t.snap_req = req then begin
         (* atomic rename: the new snapshot and the truncation appear
            together *)

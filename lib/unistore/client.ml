@@ -127,7 +127,8 @@ let create ~id ~eng ~net ~cfg ~history ~trace ~metrics ~dc ~replicas_of_dc =
   (* ~client:true — the session lives *near* the DC, not *in* it: a DC
      crash must not kill the client, or it could never fail over *)
   t.addr <-
-    Network.register net ~client:true ~dc ~cost:(Msg.cost cfg.Config.costs)
+    Network.register net ~client:true ~name:"client" ~dc
+      ~cost:(Msg.cost cfg.Config.costs)
       handler;
   t
 

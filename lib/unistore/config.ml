@@ -149,8 +149,11 @@ type t = {
   seed : int;
   use_hlc : bool;  (* hybrid logical clocks instead of physical waits (§9) *)
   trace_enabled : bool;  (* record a structured event trace (Sim.Trace) *)
+  trace_capacity : int;  (* span-buffer bound; older spans drop past it *)
   record_history : bool;  (* keep full transaction records (checker) *)
   measure_visibility : bool;  (* record remote-visibility delays (Fig 6) *)
+  profile : bool;  (* enable the engine's self-profiler (Sim.Prof) *)
+  profile_sample_every : int;  (* wall-clock sampling stride (1 = all) *)
 }
 
 let default ?(topo = Net.Topology.three_dcs ()) ?(partitions = 8) ?(f = 1)
@@ -165,8 +168,9 @@ let default ?(topo = Net.Topology.three_dcs ()) ?(partitions = 8) ?(f = 1)
     ?(snapshot_interval_us = 2_000_000)
     ?(costs = default_costs)
     ?(seed = 42)
-    ?(use_hlc = false) ?(trace_enabled = false) ?(record_history = false)
-    ?(measure_visibility = false) () =
+    ?(use_hlc = false) ?(trace_enabled = false) ?(trace_capacity = 100_000)
+    ?(record_history = false) ?(measure_visibility = false)
+    ?(profile = false) ?(profile_sample_every = 64) () =
   let dcs = Net.Topology.dcs topo in
   if 2 * f + 1 > dcs && not (f + 1 <= dcs && f > 0) then
     invalid_arg "Config.default: need at least f+1 data centers";
@@ -209,6 +213,10 @@ let default ?(topo = Net.Topology.three_dcs ()) ?(partitions = 8) ?(f = 1)
   if disk_mb_per_s <= 0 then invalid_arg "Config.default: bad disk_mb_per_s";
   if snapshot_interval_us <= 0 then
     invalid_arg "Config.default: bad snapshot_interval_us";
+  if trace_capacity <= 0 then
+    invalid_arg "Config.default: bad trace_capacity";
+  if profile_sample_every <= 0 then
+    invalid_arg "Config.default: bad profile_sample_every";
   {
     topo;
     partitions;
@@ -237,8 +245,11 @@ let default ?(topo = Net.Topology.three_dcs ()) ?(partitions = 8) ?(f = 1)
     seed;
     use_hlc;
     trace_enabled;
+    trace_capacity;
     record_history;
     measure_visibility;
+    profile;
+    profile_sample_every;
   }
 
 let dcs t = Net.Topology.dcs t.topo

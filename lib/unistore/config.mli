@@ -123,8 +123,19 @@ type t = {
   trace_enabled : bool;
       (** record a structured event trace ({!Sim.Trace}) of commits,
           replication, deliveries and leadership changes *)
+  trace_capacity : int;
+      (** bound on the trace's in-memory span buffer; once full, the
+          oldest spans are dropped and counted ({!Sim.Trace.dropped}) *)
   record_history : bool;  (** keep full transaction records (checker) *)
   measure_visibility : bool;  (** record remote-visibility delays (Fig 6) *)
+  profile : bool;
+      (** enable the engine's self-profiler ({!Sim.Prof}): per-label
+          event counts, allocation deltas and sampled wall time for
+          every event the run executes *)
+  profile_sample_every : int;
+      (** wall-clock sampling stride of the profiler: every Nth event is
+          timed with the monotonic clock (1 = every event; counts and
+          allocation words are always exact) *)
 }
 
 (** Build a configuration; every argument has a sensible default matching
@@ -158,8 +169,11 @@ val default :
   ?seed:int ->
   ?use_hlc:bool ->
   ?trace_enabled:bool ->
+  ?trace_capacity:int ->
   ?record_history:bool ->
   ?measure_visibility:bool ->
+  ?profile:bool ->
+  ?profile_sample_every:int ->
   unit ->
   t
 

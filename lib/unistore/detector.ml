@@ -111,7 +111,12 @@ let arm t dc =
   let live () = t.gens.(dc) = gen && not (Network.dc_failed t.net dc) in
   (* stagger DCs so pings do not cross the WAN in lock-step *)
   let phase = 1 + (dc * period / dcs) in
-  Engine.every t.eng ~period ~phase (fun () ->
+  let lab name =
+    if Sim.Prof.is_on (Engine.prof t.eng) then
+      Sim.Prof.label (Engine.prof t.eng) name
+    else Sim.Prof.none
+  in
+  Engine.every t.eng ~label:(lab "detector/ping") ~period ~phase (fun () ->
       if not (live ()) then false
       else begin
         for peer = 0 to dcs - 1 do
@@ -121,7 +126,8 @@ let arm t dc =
         done;
         true
       end);
-  Engine.every t.eng ~period ~phase:(phase + (period / 2)) (fun () ->
+  Engine.every t.eng ~label:(lab "detector/check") ~period
+    ~phase:(phase + (period / 2)) (fun () ->
       if not (live ()) then false
       else begin
         let v = t.views.(dc) in
@@ -187,7 +193,7 @@ let create cfg eng net ~trace ~metrics ~on_suspect ~on_restore =
   in
   for dc = 0 to dcs - 1 do
     t.addrs.(dc) <-
-      Network.register net ~dc
+      Network.register net ~dc ~name:"detector"
         ~cost:(Msg.cost cfg.Config.costs)
         (fun msg -> handle t ~observer:dc msg)
   done;

@@ -112,9 +112,11 @@ let inject sys (sched : schedule) =
       "Nemesis.inject: partitions with dcs > 2f+1 allow split-brain \
        certification; raise f or shrink the topology";
   let eng = System.engine sys in
+  let label = Sim.Prof.label (Engine.prof eng) "nemesis/inject" in
   List.iter
     (fun { at_us; ev } ->
-      Engine.schedule_at eng ~time:at_us (fun () -> inject_event sys ev))
+      Engine.schedule_at eng ~label ~time:at_us (fun () ->
+          inject_event sys ev))
     sched
 
 (* ------------------------------------------------------------------ *)

@@ -1622,14 +1622,26 @@ let start_timers t ~phase =
   t.timer_gen <- t.timer_gen + 1;
   let gen = t.timer_gen in
   let live () = t.timer_gen = gen && alive t in
-  Engine.every t.eng ~period:cfg.Config.propagate_period_us ~phase (fun () ->
+  (* timer labels are per-DC (not per-partition): partitions of one DC
+     do identical periodic work, and per-partition labels would explode
+     the profile's cardinality without adding signal *)
+  let lab task =
+    if Sim.Prof.is_on (Engine.prof t.eng) then
+      Sim.Prof.label (Engine.prof t.eng) (Fmt.str "dc%d/replica/%s" t.dc task)
+    else Sim.Prof.none
+  in
+  Engine.every t.eng
+    ~label:(lab "propagate")
+    ~period:cfg.Config.propagate_period_us ~phase (fun () ->
       if live () then begin
         propagate_local_txs t;
         run_forwarding t;
         true
       end
       else false);
-  Engine.every t.eng ~period:cfg.Config.broadcast_period_us
+  Engine.every t.eng
+    ~label:(lab "broadcast")
+    ~period:cfg.Config.broadcast_period_us
     ~phase:(phase + 1) (fun () ->
       if live () then begin
         broadcast_vecs t;
@@ -1637,7 +1649,9 @@ let start_timers t ~phase =
       end
       else false);
   if Config.has_strong cfg && not (Config.centralized_cert cfg) then begin
-    Engine.every t.eng ~period:cfg.Config.strong_heartbeat_us
+    Engine.every t.eng
+      ~label:(lab "strong_heartbeat")
+      ~period:cfg.Config.strong_heartbeat_us
       ~phase:(phase + 2) (fun () ->
         if live () then begin
           (match t.cert with
@@ -1652,7 +1666,9 @@ let start_timers t ~phase =
         else false);
     (* housekeeping runs far less often than heartbeats: it walks the
        whole decided table *)
-    Engine.every t.eng ~period:500_000 ~phase:(phase + 3) (fun () ->
+    Engine.every t.eng
+      ~label:(lab "housekeeping")
+      ~period:500_000 ~phase:(phase + 3) (fun () ->
         if live () then begin
           (match t.cert with
           | Some c ->
@@ -1681,14 +1697,18 @@ let start_timers t ~phase =
   end;
   if persistent t then begin
     (* periodic snapshot + truncate bounds WAL replay after a crash *)
-    Engine.every t.eng ~period:cfg.Config.snapshot_interval_us
+    Engine.every t.eng
+      ~label:(lab "snapshot")
+      ~period:cfg.Config.snapshot_interval_us
       ~phase:(phase + 4) (fun () ->
         if live () then begin
           take_snapshot t;
           true
         end
         else false);
-    Engine.every t.eng ~period:500_000 ~phase:(phase + 5) (fun () ->
+    Engine.every t.eng
+      ~label:(lab "orphans")
+      ~period:500_000 ~phase:(phase + 5) (fun () ->
         if live () then begin
           resolve_orphans t;
           true
@@ -2287,7 +2307,12 @@ let make_sync t ~on_done =
 (* The retry tick driving the sync until it completes. *)
 let arm_sync_retry t s =
   let period = 500_000 in
-  Engine.every t.eng ~period ~phase:(t.uid * 13 mod period) (fun () ->
+  let label =
+    if Sim.Prof.is_on (Engine.prof t.eng) then
+      Sim.Prof.label (Engine.prof t.eng) (Fmt.str "dc%d/replica/sync" t.dc)
+    else Sim.Prof.none
+  in
+  Engine.every t.eng ~label ~period ~phase:(t.uid * 13 mod period) (fun () ->
       match t.sync with
       | Some s' when s' == s && alive t -> (
           (match s.s_phase with

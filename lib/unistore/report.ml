@@ -222,6 +222,16 @@ let of_system ?(name = "run") sys =
     @ (match overload_json reg with
       | None -> []
       | Some o -> [ ("overload", o) ])
+    (* self-profiling section, present only when the engine's profiler
+       ran ([Config.profile]); dropped trace spans likewise surface only
+       when the bounded span buffer actually overflowed — both gates
+       keep non-profiled golden artifacts byte-identical *)
+    @ (let p = Sim.Engine.prof (System.engine sys) in
+       if Sim.Prof.total_events p > 0 then
+         [ ("profile", Sim.Prof.to_json p) ]
+       else [])
+    @ (let dropped = Sim.Trace.dropped (System.trace sys) in
+       if dropped > 0 then [ ("trace_dropped", Json.Int dropped) ] else [])
     @ [ ("metrics", Metrics.to_json reg) ])
 
 (* ------------------------------------------------------------------ *)
@@ -249,6 +259,12 @@ let pp_phase_breakdown ppf sys =
             pp_opt_ms
             (Metrics.h_percentile h 99.0))
         phases
+
+(* Top-N hot paths from the engine's self-profiler; silent when the run
+   was not profiled. *)
+let pp_hot_paths ?n ppf sys =
+  let p = Sim.Engine.prof (System.engine sys) in
+  if Sim.Prof.total_events p > 0 then Sim.Prof.pp_top ?n ppf p
 
 let pp_uniformity_lag ppf sys =
   let reg = System.metrics sys in

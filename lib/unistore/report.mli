@@ -18,13 +18,23 @@ val phases_json : Sim.Metrics.t -> Sim.Json.t
 
 (** The full report for a run: name, mode, seed, simulated duration,
     throughput, commit/abort counts, latency summaries ([all] /
-    [causal] / [strong]), [strong_phases], and the metrics snapshot. *)
+    [causal] / [strong]), [strong_phases], and the metrics snapshot.
+    When the run was profiled ([Config.profile]) a ["profile"] section
+    carries the per-label event/allocation breakdown; when the bounded
+    trace buffer overflowed, ["trace_dropped"] counts the lost spans.
+    Both are omitted otherwise, keeping non-profiled artifacts
+    byte-identical. *)
 val of_system : ?name:string -> System.t -> Sim.Json.t
 
 (** Print the strong-transaction phase breakdown (per-phase count and
     mean/p50/p90/p99 milliseconds); prints nothing when no strong
     transaction ran. *)
 val pp_phase_breakdown : Format.formatter -> System.t -> unit
+
+(** Print the top-[n] (default 12) hot-path table from the engine's
+    self-profiler: per-label event counts, allocation words per event
+    and estimated wall share; prints nothing for unprofiled runs. *)
+val pp_hot_paths : ?n:int -> Format.formatter -> System.t -> unit
 
 (** Print the uniformity-lag probe summary (knownVec − uniformVec):
     aggregate histogram statistics plus the peak lag per DC; prints

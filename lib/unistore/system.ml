@@ -66,6 +66,7 @@ let make_rb_certs cfg eng net ~addrs ~rng ~certify_of_dc =
     in
     let addr =
       Network.register net ~dc
+        ~name:(Fmt.str "dc%d/rbcert" dc)
         ~cost:(Msg.cost_centralized cfg.Config.costs)
         handler
     in
@@ -139,12 +140,18 @@ let make_rb_certs cfg eng net ~addrs ~rng ~certify_of_dc =
 
 let create cfg =
   let eng = Engine.create ~seed:cfg.Config.seed () in
+  (* the profiler must be on before anything is built: nodes and timers
+     intern their attribution labels during assembly *)
+  if cfg.Config.profile then
+    Sim.Prof.enable ~sample_every:cfg.Config.profile_sample_every
+      (Engine.prof eng);
+  let prof_label name = Sim.Prof.label (Engine.prof eng) name in
   let rng = Rng.split (Engine.rng eng) ~id:0x515 in
   let net = Network.create eng cfg.Config.topo in
   let history = History.create ~record_full:cfg.Config.record_history () in
   History.set_clock history (fun () -> Engine.now eng);
   let trace =
-    Sim.Trace.create
+    Sim.Trace.create ~capacity:cfg.Config.trace_capacity
       ~clock:(fun () -> Engine.now eng)
       ~enabled:cfg.Config.trace_enabled ()
   in
@@ -184,6 +191,7 @@ let create cfg =
           (fun r ->
             Network.register net
               ~dc:(Replica.dc_of r)
+              ~name:(Fmt.str "dc%d/replica" (Replica.dc_of r))
               ~cost:(Msg.cost cfg.Config.costs)
               (fun msg -> Replica.handle r msg))
           row)
@@ -237,7 +245,9 @@ let create cfg =
   (* the REDBLUE leader needs dummy strong heartbeats too: partition 0's
      replica of the leader DC submits them *)
   if Config.centralized_cert cfg then
-    Engine.every eng ~period:cfg.Config.strong_heartbeat_us
+    Engine.every eng
+      ~label:(prof_label "rbcert/heartbeat")
+      ~period:cfg.Config.strong_heartbeat_us
       ~phase:(Rng.int rng cfg.Config.strong_heartbeat_us) (fun () ->
         let lead, _ = rb_certs.(0) in
         ignore lead;
@@ -268,7 +278,9 @@ let create cfg =
         | None -> ());
         true);
   if Config.centralized_cert cfg then
-    Engine.every eng ~period:500_000 ~phase:123 (fun () ->
+    Engine.every eng
+      ~label:(prof_label "rbcert/housekeeping")
+      ~period:500_000 ~phase:123 (fun () ->
         Array.iteri
           (fun dc (c, _) ->
             if not (Network.dc_failed net dc) then begin
@@ -343,7 +355,9 @@ let create cfg =
             "pending_certifications")
     in
     let period = cfg.Config.metrics_probe_us in
-    Engine.every eng ~period ~phase:(period / 2) (fun () ->
+    Engine.every eng
+      ~label:(prof_label "sim/probe")
+      ~period ~phase:(period / 2) (fun () ->
         for dc = 0 to dcs - 1 do
           if not (Network.dc_failed net dc) then begin
             let pending = ref 0 in
@@ -471,7 +485,9 @@ let new_client t ~dc =
    store's replies. *)
 let spawn_client t ~dc body =
   let client = new_client t ~dc in
-  Sim.Fiber.spawn t.eng (fun () -> body client);
+  Sim.Fiber.spawn t.eng
+    ~label:(Sim.Prof.label (Engine.prof t.eng) "fiber/client")
+    (fun () -> body client);
   client
 
 (* ------------------------------------------------------------------ *)

@@ -135,11 +135,12 @@ let install sys ~arrivals:times ~body =
       sessions = 0;
     }
   in
+  let label = Sim.Prof.label (Sim.Engine.prof eng) "fiber/openloop" in
   List.iteri
     (fun i at ->
       let dc = i mod dcs in
       let rng = Sim.Rng.split base_rng ~id:i in
-      Sim.Engine.schedule_at eng ~time:at (fun () ->
+      Sim.Engine.schedule_at eng ~label ~time:at (fun () ->
           stats.arrivals <- stats.arrivals + 1;
           (* interned on first arrival only: closed-loop runs keep
              byte-identical metric snapshots *)
@@ -154,7 +155,7 @@ let install sys ~arrivals:times ~body =
           stats.in_flight <- stats.in_flight + 1;
           if stats.in_flight > stats.peak_in_flight then
             stats.peak_in_flight <- stats.in_flight;
-          Sim.Fiber.spawn eng (fun () ->
+          Sim.Fiber.spawn eng ~label (fun () ->
               (match body ~at_us:at client rng with
               | `Committed -> stats.committed <- stats.committed + 1
               | `Aborted -> stats.aborted <- stats.aborted + 1

@@ -16,6 +16,7 @@ let () =
       ("keyspace", Test_keyspace.suite);
       ("network", Test_network.suite);
       ("trace", Test_trace.suite);
+      ("prof", Test_prof.suite);
       ("protocol", Test_protocol_basic.suite);
       ("protocol-edge", Test_protocol_edge.suite);
       ("strong", Test_strong.suite);
