@@ -147,11 +147,15 @@ let run () =
   let v_zero_wan = wan_snapshot = 0 in
   let v_local_recovery = replayed > 0 && local_bytes > 0 in
   let v_p99_bounded = r.r_p99_ms > 0.0 && r.r_p99_ms <= p99_bound_ms in
+  (* the explorer's safety oracle over the recorded history: a roll must
+     not just look available, it must stay PoR-correct *)
+  let por = Explore.Oracle.por r.r_sys in
+  Common.note "PoR check: %s" por.Explore.Oracle.detail;
   Common.note
     "verdicts: converged=%b no-pending-strong=%b all-nodes-restarted=%b \
-     zero-wan-snapshot=%b local-recovery=%b p99-bounded=%b"
+     zero-wan-snapshot=%b local-recovery=%b p99-bounded=%b por=%b"
     v_converged v_no_pending v_all_restarted v_zero_wan v_local_recovery
-    v_p99_bounded;
+    v_p99_bounded por.Explore.Oracle.pass;
   (* torn-tail sub-run, twice: recovery truncates, still no WAN
      snapshot, and the run replays byte-identically under the seed *)
   Common.hr ();
@@ -183,6 +187,7 @@ let run () =
       ("zero_wan_snapshot", v_zero_wan);
       ("local_recovery", v_local_recovery);
       ("p99_bounded", v_p99_bounded);
+      ("por_safe", por.Explore.Oracle.pass);
       ("torn_tail_truncated", v_torn_truncated);
       ("torn_tail_zero_wan", v_torn_zero_wan);
       ("torn_tail_deterministic", v_torn_deterministic);
@@ -213,6 +218,7 @@ let run () =
          ("local_catchup_bytes", Json.Int local_bytes);
          ("wan_snapshot_bytes", Json.Int wan_snapshot);
          ("pending_strong", Json.Int r.r_pending);
+         ("por", Json.String por.Explore.Oracle.detail);
          ( "torn_tail",
            Json.Obj
              [

@@ -11,7 +11,8 @@ let fig1 () =
   Common.section "Figure 1 — transaction forwarding preserves Eventual \
                   Visibility";
   let cfg =
-    U.Config.default ~topo:(Net.Topology.three_dcs ()) ~partitions:4 ()
+    U.Config.default ~topo:(Net.Topology.three_dcs ()) ~partitions:4
+      ~record_history:true ()
   in
   let sys = U.System.create cfg in
   Common.track sys;
@@ -57,13 +58,16 @@ let fig1 () =
         List.iter (Common.note "DIVERGENCE: %s") errs;
         false
   in
-  (!forwarded, converged)
+  let por = Explore.Oracle.por sys in
+  Common.note "PoR check: %s" por.Explore.Oracle.detail;
+  (!forwarded, converged, por)
 
 let fig2 () =
   Common.section "Figure 2 — strong transactions wait for uniform \
                   dependencies (liveness)";
   let cfg =
-    U.Config.default ~topo:(Net.Topology.three_dcs ()) ~partitions:4 ()
+    U.Config.default ~topo:(Net.Topology.three_dcs ()) ~partitions:4
+      ~record_history:true ()
   in
   let sys = U.System.create cfg in
   Common.track sys;
@@ -123,11 +127,13 @@ let fig2 () =
         List.iter (Common.note "DIVERGENCE: %s") errs;
         false
   in
-  (!live, converged)
+  let por = Explore.Oracle.por sys in
+  Common.note "PoR check: %s" por.Explore.Oracle.detail;
+  (!live, converged, por)
 
 let run () =
-  let fwd, conv1 = fig1 () in
-  let live, conv2 = fig2 () in
+  let fwd, conv1, por1 = fig1 () in
+  let live, conv2, por2 = fig2 () in
   Common.emit_artifact ~name:"scenarios"
     (Sim.Json.Obj
        [
@@ -136,11 +142,15 @@ let run () =
              [
                ("forwarding_visible", Sim.Json.Bool fwd);
                ("converged", Sim.Json.Bool conv1);
+               ("por_safe", Sim.Json.Bool por1.Explore.Oracle.pass);
+               ("por", Sim.Json.String por1.Explore.Oracle.detail);
              ] );
          ( "fig2",
            Sim.Json.Obj
              [
                ("strong_liveness", Sim.Json.Bool live);
                ("converged", Sim.Json.Bool conv2);
+               ("por_safe", Sim.Json.Bool por2.Explore.Oracle.pass);
+               ("por", Sim.Json.String por2.Explore.Oracle.detail);
              ] );
        ])

@@ -1,0 +1,3 @@
+(* Entry point only; the CLI lives in Explore_cli so this unit's name
+   does not shadow the [explore] library. *)
+let () = Explore_cli.main ()

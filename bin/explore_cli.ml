@@ -1,0 +1,150 @@
+(* Adversarial schedule explorer CLI.
+
+     explore --trials N --seed S [--out DIR] [--horizon-us H]
+     explore --replay FILE [--replay FILE ...]
+
+   Exploration mode runs the swarm loop (lib/explore): each trial draws
+   a fault-mix profile and a seed, runs a bounded scenario and checks
+   the four always-on oracles. Novel trials (fresh coverage
+   fingerprint) are written to DIR/corpus/<fingerprint>.json. Failing
+   trials are delta-debugged to a minimal schedule and written to
+   DIR/REPRO_<hash>.json with a replay command; the exit status is 1
+   when any trial failed.
+
+   Replay mode re-runs a corpus entry or repro document and prints the
+   verdicts; exit 0 iff every oracle passes (a repro is expected to
+   exit 1 — that is the reproduction).
+
+   --plant-unsafe-ack (development / self-test) enables the WAL's
+   planted ack-before-fsync bug so the pipeline can be demonstrated
+   end to end. *)
+
+let read_json path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Sim.Json.of_string_opt s with
+  | Some j -> j
+  | None ->
+      Fmt.epr "explore: %s is not valid JSON@." path;
+      exit 2
+
+let write_json path j =
+  let oc = open_out path in
+  output_string oc (Sim.Json.to_string_pretty j);
+  output_char oc '\n';
+  close_out oc
+
+let rec mkdirs path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    mkdirs (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let replay_file path =
+  let j = read_json path in
+  match Explore.Explorer.case_of_json j with
+  | Error e ->
+      Fmt.epr "explore: %s: %s@." path e;
+      exit 2
+  | Ok case ->
+      let verdicts, _ = Explore.Explorer.replay case in
+      Fmt.pr "%s:@." path;
+      List.iter (Fmt.pr "  %a@." Explore.Oracle.pp_verdict) verdicts;
+      Explore.Oracle.ok verdicts
+
+let usage () =
+  Fmt.epr
+    "usage: explore --trials N --seed S [--out DIR] [--horizon-us H] \
+     [--plant-unsafe-ack]@.       explore --replay FILE [--replay FILE ...]@.";
+  exit 2
+
+let main () =
+  let trials = ref 20
+  and seed = ref 1
+  and out = ref "explore-out"
+  and horizon_us = ref 8_000_000
+  and replays = ref []
+  and plant = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--trials" :: v :: rest ->
+        trials := int_of_string v;
+        parse rest
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        parse rest
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | "--horizon-us" :: v :: rest ->
+        horizon_us := int_of_string v;
+        parse rest
+    | "--replay" :: v :: rest ->
+        replays := v :: !replays;
+        parse rest
+    | "--plant-unsafe-ack" :: rest ->
+        plant := true;
+        parse rest
+    | _ -> usage ()
+  in
+  (try parse (List.tl (Array.to_list Sys.argv))
+   with Failure _ -> usage ());
+  if !plant then Store.Wal.unsafe_ack := true;
+  if !replays <> [] then begin
+    let results = List.rev_map replay_file !replays in
+    exit (if List.for_all Fun.id results then 0 else 1)
+  end;
+  let module E = Explore.Explorer in
+  mkdirs (Filename.concat !out "corpus");
+  let on_trial (t : E.trial) =
+    Fmt.pr "trial %3d  seed %-10d  %s%s  fp %s@." t.t_index t.t_seed
+      (if Explore.Oracle.ok t.t_verdicts then "pass" else "FAIL")
+      (if t.t_novel then " novel" else "      ")
+      t.t_fingerprint
+  in
+  let outcome =
+    E.explore ~horizon_us:!horizon_us ~on_trial ~trials:!trials ~seed:!seed ()
+  in
+  List.iter
+    (fun (t : E.trial) ->
+      let file =
+        Filename.concat
+          (Filename.concat !out "corpus")
+          (t.t_fingerprint ^ ".json")
+      in
+      write_json file (E.trial_to_json t))
+    outcome.o_corpus;
+  Fmt.pr "explored %d trials: %d novel (corpus), %d failing@."
+    (List.length outcome.o_trials)
+    (List.length outcome.o_corpus)
+    (List.length outcome.o_failures);
+  List.iter
+    (fun (t : E.trial) ->
+      match Explore.Oracle.first_failure t.t_verdicts with
+      | None -> ()
+      | Some v ->
+          Fmt.pr "shrinking trial %d (oracle %s)...@." t.t_index
+            v.Explore.Oracle.oracle;
+          let case = E.case_of_trial t in
+          let fails = E.schedule_fails case ~oracle:v.Explore.Oracle.oracle in
+          let minimal = Explore.Shrink.minimize ~fails t.t_schedule in
+          let case = { case with E.c_schedule = minimal } in
+          let verdicts, _ = E.replay case in
+          let failing =
+            match Explore.Oracle.first_failure verdicts with
+            | Some v' -> v'
+            | None -> v
+          in
+          let doc = E.repro_to_json case ~failing in
+          let hash = E.fingerprint [ Sim.Json.to_string doc ] in
+          let file = Filename.concat !out ("REPRO_" ^ hash ^ ".json") in
+          write_json file doc;
+          Fmt.pr "  %d -> %d steps; wrote %s@."
+            (List.length t.t_schedule)
+            (List.length minimal) file;
+          Fmt.pr "  replay: dune exec bin/explore.exe -- --replay %s@." file)
+    outcome.o_failures;
+  exit (if outcome.o_failures = [] then 0 else 1)

@@ -159,8 +159,20 @@ val duplicates_suppressed : 'm t -> int
     network is quiescent. *)
 val unacked_backlog : 'm t -> int
 
+(** Unacknowledged messages whose meter kind satisfies [f] — lets a
+    drain loop wait for data-plane traffic to clear while ignoring
+    periodic background kinds (failure-detector pings, stability
+    gossip) that are always momentarily in flight. Counts the whole
+    backlog when no meter is installed. *)
+val unacked_matching : 'm t -> f:(string -> bool) -> int
+
 val node_processed : 'm t -> addr -> int
 val node_busy_us : 'm t -> addr -> int
 
 (** Fraction of elapsed simulated time the node's CPU was busy. *)
 val node_utilization : 'm t -> addr -> float
+
+(** One line per non-quiescent reliable-layer flow — sender flows with
+    unacked messages and receiver flows holding out-of-order buffers —
+    for post-mortem debugging of stuck channels. *)
+val dump_flows : 'm t -> string list

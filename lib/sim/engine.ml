@@ -70,25 +70,27 @@ let run ?until t =
   let rec loop () =
     if t.stopped then ()
     else
-      match Heap.pop t.queue with
+      match Heap.peek t.queue with
       | None -> ()
-      | Some { time; value = f; tag; _ } ->
-          if time > limit then begin
-            (* Leave the clock at the limit; the event is lost, which is
-               fine because [run ~until] is only used to end experiments. *)
-            t.now <- limit
+      | Some { time; _ } when time > limit ->
+          (* Leave the clock at the limit and the event in the queue: a
+             later [run] slice must see it — dropping it here kills
+             self-rescheduling loops (periodic tasks, retransmission
+             timers) for the rest of the simulation. *)
+          t.now <- max t.now limit
+      | Some _ ->
+          let { Heap.time; value = f; tag; _ } =
+            Option.get (Heap.pop t.queue)
+          in
+          t.now <- time;
+          t.executed <- t.executed + 1;
+          if Prof.is_on t.prof then begin
+            t.cur_label <- tag;
+            Prof.account t.prof tag f;
+            t.cur_label <- Prof.none
           end
-          else begin
-            t.now <- time;
-            t.executed <- t.executed + 1;
-            if Prof.is_on t.prof then begin
-              t.cur_label <- tag;
-              Prof.account t.prof tag f;
-              t.cur_label <- Prof.none
-            end
-            else f ();
-            loop ()
-          end
+          else f ();
+          loop ()
   in
   let t0 = Prof.wall t.prof in
   Fun.protect

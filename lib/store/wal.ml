@@ -39,6 +39,12 @@ type ('a, 's) t = {
 
 let crc_of ~seq payload = Hashtbl.hash (seq, payload)
 
+(* Planted-bug hook (test-only): when set, [append] runs the [?k]
+   durability continuation immediately instead of after the fsync —
+   the classic ack-before-fsync bug. The exploration harness's
+   self-test enables it to prove the durability oracle catches it. *)
+let unsafe_ack = ref false
+
 let create ~eng ?metrics ~fsync_us ~mb_per_s ~size ~snap_size () =
   let m f =
     Option.map (fun (m, labels) -> f m ~labels) metrics
@@ -137,6 +143,7 @@ let append t ?k payload =
   in
   t.buffered <- r :: t.buffered;
   (match k with
+  | Some k when !unsafe_ack -> Sim.Engine.schedule t.eng ~delay:0 k
   | Some k -> t.waiters <- (t.gen, seq, k) :: t.waiters
   | None -> ());
   maybe_fsync t;

@@ -88,3 +88,10 @@ val next_seq : ('a, 's) t -> int
 
 val quiescent : ('a, 's) t -> bool
 (** No buffered or in-flight records, no snapshot write under way. *)
+
+val unsafe_ack : bool ref
+(** Planted-bug hook, test-only. When set, [append] runs its [?k]
+    continuation immediately (next engine step) instead of after the
+    fsync — acknowledging before durability. The exploration harness's
+    self-test flips this to prove the durability oracle catches the
+    resulting lost-ack on a node crash. Leave [false] everywhere else. *)

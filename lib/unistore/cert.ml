@@ -480,11 +480,23 @@ let handle_accept = handle_accept_local
 (* ------------------------------------------------------------------ *)
 (* DECISION and LEARN_DECISION (Algorithm A9 lines 18–25).               *)
 
+(* A DECISION is a learned value: a quorum accepted it, so it is chosen
+   and immutable regardless of ballots that came after. Accepting
+   [b <= ballot] (and re-broadcasting under the current ballot) matters
+   after a leader restart: coordinators that latched a group quorum
+   before the crash keep sending the old ballot — their group is done,
+   so the PREPARE_STRONG retry never refreshes it — and an exact-match
+   guard would drop those decisions forever, leaving the restored
+   leader's prepared table stuck and [restoring_done] unreachable. *)
 let handle_decision t ~b ~tid ~dec ~vec ~lc =
-  if (t.status = Leader || t.status = Restoring) && t.ballot = b then
+  if (t.status = Leader || t.status = Restoring) && b <= t.ballot then
     t.ctx.x_at_clock (Vc.strong vec) (fun () ->
-        if t.ballot = b && t.ctx.x_alive () then
-          broadcast t (Msg.Learn_decision { b; tid; dec; vec; lc }))
+        if
+          b <= t.ballot
+          && (t.status = Leader || t.status = Restoring)
+          && t.ctx.x_alive ()
+        then
+          broadcast t (Msg.Learn_decision { b = t.ballot; tid; dec; vec; lc }))
 
 let restoring_done t =
   if
@@ -503,7 +515,7 @@ let restoring_done t =
 let handle_learn_decision t ~b ~tid ~dec ~vec ~lc =
   if
     (t.status = Leader || t.status = Follower || t.status = Restoring)
-    && t.ballot = b
+    && b <= t.ballot  (* chosen values survive ballot changes *)
   then begin
     match Hashtbl.find_opt t.prepared tid with
     | None -> ()  (* already decided or never accepted here *)

@@ -133,6 +133,7 @@ let create ~id ~eng ~net ~cfg ~history ~trace ~metrics ~dc ~replicas_of_dc =
   t
 
 let id t = t.id
+let in_flight t = Hashtbl.length t.pending > 0
 let dc t = t.dc
 let past t = t.past
 let lamport t = t.lc

@@ -41,6 +41,11 @@ val create :
 
 val id : t -> int
 
+(** Whether the session has a call outstanding (awaiting a reply or a
+    failover timeout). At quiescence every session should be idle — the
+    liveness oracle of [lib/explore] checks exactly that. *)
+val in_flight : t -> bool
+
 (** Install the deployment's view of which DCs a failover may target
     (live and done resyncing). Set by {!System.new_client}; only
     consulted when [Config.client_failover_us] > 0. *)

@@ -56,6 +56,229 @@ let pp_event ppf = function
 
 let pp_step ppf { at_us; ev } = Fmt.pf ppf "%8dus %a" at_us pp_event ev
 
+(* ------------------------------------------------------------------ *)
+(* Schedule (de)serialization: the corpus / repro interchange format of
+   the exploration harness. One JSON object per step, the event encoded
+   by an ["ev"] discriminator plus its fields, so schedules replay
+   byte-deterministically from a checked-in file. *)
+
+module Json = Sim.Json
+
+let event_to_json = function
+  | Crash_dc dc -> [ ("ev", Json.String "crash_dc"); ("dc", Json.Int dc) ]
+  | Recover_dc dc -> [ ("ev", Json.String "recover_dc"); ("dc", Json.Int dc) ]
+  | Partition (a, b) ->
+      [ ("ev", Json.String "partition"); ("a", Json.Int a); ("b", Json.Int b) ]
+  | Heal (a, b) ->
+      [ ("ev", Json.String "heal"); ("a", Json.Int a); ("b", Json.Int b) ]
+  | Heal_all -> [ ("ev", Json.String "heal_all") ]
+  | Degrade { src; dst; extra_us } ->
+      [
+        ("ev", Json.String "degrade");
+        ("src", Json.Int src);
+        ("dst", Json.Int dst);
+        ("extra_us", Json.Int extra_us);
+      ]
+  | Restore { src; dst } ->
+      [
+        ("ev", Json.String "restore");
+        ("src", Json.Int src);
+        ("dst", Json.Int dst);
+      ]
+  | Set_drop p -> [ ("ev", Json.String "set_drop"); ("p", Json.Float p) ]
+  | Crash_node { dc; part } ->
+      [
+        ("ev", Json.String "crash_node");
+        ("dc", Json.Int dc);
+        ("part", Json.Int part);
+      ]
+  | Restart_node { dc; part } ->
+      [
+        ("ev", Json.String "restart_node");
+        ("dc", Json.Int dc);
+        ("part", Json.Int part);
+      ]
+  | Slow_disk { dc; part; factor } ->
+      [
+        ("ev", Json.String "slow_disk");
+        ("dc", Json.Int dc);
+        ("part", Json.Int part);
+        ("factor", Json.Int factor);
+      ]
+  | Restore_disk { dc; part } ->
+      [
+        ("ev", Json.String "restore_disk");
+        ("dc", Json.Int dc);
+        ("part", Json.Int part);
+      ]
+
+let step_to_json { at_us; ev } =
+  Json.Obj (("at_us", Json.Int at_us) :: event_to_json ev)
+
+let schedule_to_json sched = Json.List (List.map step_to_json sched)
+
+let step_of_json j =
+  let int k =
+    match Option.bind (Json.member k j) Json.to_int_opt with
+    | Some v -> Ok v
+    | None -> Error (Fmt.str "step: missing or non-integer %S" k)
+  in
+  let float k =
+    match Option.bind (Json.member k j) Json.to_float_opt with
+    | Some v -> Ok v
+    | None -> Error (Fmt.str "step: missing or non-numeric %S" k)
+  in
+  let ( let* ) = Result.bind in
+  let* at_us = int "at_us" in
+  let* ev =
+    match Option.bind (Json.member "ev" j) Json.to_string_opt with
+    | None -> Error "step: missing \"ev\" discriminator"
+    | Some "crash_dc" ->
+        let* dc = int "dc" in
+        Ok (Crash_dc dc)
+    | Some "recover_dc" ->
+        let* dc = int "dc" in
+        Ok (Recover_dc dc)
+    | Some "partition" ->
+        let* a = int "a" in
+        let* b = int "b" in
+        Ok (Partition (a, b))
+    | Some "heal" ->
+        let* a = int "a" in
+        let* b = int "b" in
+        Ok (Heal (a, b))
+    | Some "heal_all" -> Ok Heal_all
+    | Some "degrade" ->
+        let* src = int "src" in
+        let* dst = int "dst" in
+        let* extra_us = int "extra_us" in
+        Ok (Degrade { src; dst; extra_us })
+    | Some "restore" ->
+        let* src = int "src" in
+        let* dst = int "dst" in
+        Ok (Restore { src; dst })
+    | Some "set_drop" ->
+        let* p = float "p" in
+        Ok (Set_drop p)
+    | Some "crash_node" ->
+        let* dc = int "dc" in
+        let* part = int "part" in
+        Ok (Crash_node { dc; part })
+    | Some "restart_node" ->
+        let* dc = int "dc" in
+        let* part = int "part" in
+        Ok (Restart_node { dc; part })
+    | Some "slow_disk" ->
+        let* dc = int "dc" in
+        let* part = int "part" in
+        let* factor = int "factor" in
+        Ok (Slow_disk { dc; part; factor })
+    | Some "restore_disk" ->
+        let* dc = int "dc" in
+        let* part = int "part" in
+        Ok (Restore_disk { dc; part })
+    | Some other -> Error (Fmt.str "step: unknown event %S" other)
+  in
+  Ok { at_us; ev }
+
+let schedule_of_json j =
+  match Json.to_list_opt j with
+  | None -> Error "schedule: expected a JSON list of steps"
+  | Some steps ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | s :: rest -> (
+            match step_of_json s with
+            | Ok step -> go (step :: acc) rest
+            | Error e -> Error e)
+      in
+      go [] steps
+
+(* ------------------------------------------------------------------ *)
+(* Schedule validation: the footguns that used to be doc warnings are
+   rejected as errors before anything is scheduled.                     *)
+
+let is_node_event = function
+  | Crash_node _ | Restart_node _ | Slow_disk _ | Restore_disk _ -> true
+  | _ -> false
+
+let validate cfg (sched : schedule) =
+  let err fmt = Fmt.kstr (fun s -> Error s) fmt in
+  let rec sorted = function
+    | s1 :: (s2 :: _ as rest) ->
+        if s1.at_us > s2.at_us then
+          err "steps out of order: %a scheduled after %a" pp_step s1 pp_step s2
+        else sorted rest
+    | _ -> Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let* () =
+    match List.find_opt (fun s -> s.at_us < 0) sched with
+    | Some s -> err "negative step time: %a" pp_step s
+    | None -> Ok ()
+  in
+  let* () = sorted sched in
+  (* a partition can make a live leader falsely suspected, so the
+     contested-ballot safety bound applies (see Config.default): two
+     f+1 certification quorums must intersect *)
+  let* () =
+    if
+      List.exists
+        (fun { ev; _ } -> match ev with Partition _ -> true | _ -> false)
+        sched
+      && Config.dcs cfg > (2 * cfg.Config.f) + 1
+    then
+      Error
+        "partitions with dcs > 2f+1 allow split-brain certification; raise f \
+         or shrink the topology"
+    else Ok ()
+  in
+  (* node-level events need a disk to survive on *)
+  let* () =
+    if (not cfg.Config.persistence) && List.exists (fun s -> is_node_event s.ev) sched
+    then
+      err "node-level events need Config.persistence (a node without a disk \
+           cannot restart locally)"
+    else Ok ()
+  in
+  (* the DC failure domain destroys disks: a node restarted into a
+     crashed DC cannot catch up, so the two domains must not mix on one
+     DC in one schedule *)
+  let crashed_dcs =
+    List.filter_map
+      (fun s -> match s.ev with Crash_dc dc -> Some dc | _ -> None)
+      sched
+  in
+  let* () =
+    match
+      List.find_opt
+        (fun s ->
+          match s.ev with
+          | Crash_node { dc; _ } | Restart_node { dc; _ } ->
+              List.mem dc crashed_dcs
+          | _ -> false)
+        sched
+    with
+    | Some s ->
+        err "%a mixes the node and DC failure domains: the same schedule \
+             crashes its whole DC, which destroys the disks"
+          pp_step s
+    | None -> Ok ()
+  in
+  (* every restart must restart something: a Restart_node with no prior
+     Crash_node of the same node is a schedule bug, not a no-op *)
+  let rec restarts down = function
+    | [] -> Ok ()
+    | { ev = Crash_node { dc; part }; _ } :: rest ->
+        restarts ((dc, part) :: down) rest
+    | ({ ev = Restart_node { dc; part }; _ } as s) :: rest ->
+        if List.mem (dc, part) down then
+          restarts (List.filter (( <> ) (dc, part)) down) rest
+        else err "%a has no prior crash of node %d.%d" pp_step s dc part
+    | _ :: rest -> restarts down rest
+  in
+  restarts [] sched
+
 (* Inject one event now. *)
 let inject_event sys ev =
   let net = System.network sys in
@@ -98,19 +321,9 @@ let inject_event sys ev =
 (* Schedule every step of [sched] onto the system's engine. Call before
    [System.run]. *)
 let inject sys (sched : schedule) =
-  (* a partition can make a live leader falsely suspected, so the
-     contested-ballot safety bound applies (see Config.default): two
-     f+1 certification quorums must intersect *)
-  let cfg = System.cfg sys in
-  if
-    List.exists
-      (fun { ev; _ } -> match ev with Partition _ -> true | _ -> false)
-      sched
-    && Config.dcs cfg > (2 * cfg.Config.f) + 1
-  then
-    invalid_arg
-      "Nemesis.inject: partitions with dcs > 2f+1 allow split-brain \
-       certification; raise f or shrink the topology";
+  (match validate (System.cfg sys) sched with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Nemesis.inject: " ^ e));
   let eng = System.engine sys in
   let label = Sim.Prof.label (Engine.prof eng) "nemesis/inject" in
   List.iter
@@ -301,15 +514,29 @@ let random_schedule ~seed ~dcs ~horizon_us ?(max_crashes = 1)
      [max_crashes:0] — node restarts into a crashed DC cannot catch
      up). Drawn after every pre-existing draw so older seeds keep their
      schedules; each node restarts well before the final heal. *)
-  if max_node_crashes > 0 then
+  if max_node_crashes > 0 then begin
+    (* two cycles may hit the same node, but their down windows must not
+       interleave — a restart of an already-restarted node is the
+       schedule bug [validate] rejects. A clashing draw is skipped (not
+       redrawn, keeping every other seed's schedule byte-identical). *)
+    let busy = ref [] in
     for _ = 1 to max_node_crashes do
       let dc = Rng.int rng dcs in
       let part = Rng.int rng (max 1 node_partitions) in
       let at = t () in
       let down = (horizon_us / 32) + Rng.int rng (max 1 (horizon_us / 16)) in
-      push at (Crash_node { dc; part });
-      push (at + down) (Restart_node { dc; part })
-    done;
+      let clashes =
+        List.exists
+          (fun (n, s, e) -> n = (dc, part) && at <= e && s <= at + down)
+          !busy
+      in
+      if not clashes then begin
+        busy := ((dc, part), at, at + down) :: !busy;
+        push at (Crash_node { dc; part });
+        push (at + down) (Restart_node { dc; part })
+      end
+    done
+  end;
   (* final heal, comfortably before the horizon *)
   push (3 * horizon_us / 4) Heal_all;
   List.sort (fun s1 s2 -> compare s1.at_us s2.at_us) !steps

@@ -36,12 +36,36 @@ type schedule = step list
 val pp_event : Format.formatter -> event -> unit
 val pp_step : Format.formatter -> step -> unit
 
+(** {2 Serialization}
+
+    The corpus / repro interchange format of the exploration harness
+    ([lib/explore]): one JSON object per step with an ["ev"]
+    discriminator, replayable byte-deterministically. *)
+
+val step_to_json : step -> Sim.Json.t
+val schedule_to_json : schedule -> Sim.Json.t
+val step_of_json : Sim.Json.t -> (step, string) result
+val schedule_of_json : Sim.Json.t -> (schedule, string) result
+
+(** {2 Validation}
+
+    [validate cfg sched] rejects the documented schedule footguns as
+    errors: steps out of time order or at negative times; partitions on
+    a topology with [dcs > 2f+1] (split-brain certification);
+    node-level events without [Config.persistence]; [Crash_node] /
+    [Restart_node] mixed with a [Crash_dc] of the same DC (the DC
+    failure domain destroys the disks); and [Restart_node] without a
+    prior [Crash_node] of the same node. {!inject} runs it and raises
+    [Invalid_argument] on any error. *)
+val validate : Config.t -> schedule -> (unit, string) result
+
 (** Inject one event immediately. Enables the network fault model on
     first use if the configuration did not install one. *)
 val inject_event : System.t -> event -> unit
 
 (** Schedule every step onto the system's engine (call before
-    {!System.run}). *)
+    {!System.run}). Validates the schedule first ({!validate}) and
+    raises [Invalid_argument] on a rejected one. *)
 val inject : System.t -> schedule -> unit
 
 (** Combine scripted schedule fragments into one time-ordered

@@ -1250,13 +1250,16 @@ let handle_already_decided t ~rid ~tid ~dec ~vec ~lc =
   | None -> ()
   | Some pc ->
       if Types.tid_equal pc.p_tid tid then begin
-        (* propagate the decision to groups we have a ballot for; the
-           leaders' RETRY task covers the rest *)
+        (* Propagate the decision to every involved group — including
+           those that never acked us (ballot still unknown): a Restoring
+           leader re-certifying its prepared table depends on this reply
+           to clear the entry, and its own RETRY task is off while it
+           restores. Leaders accept decisions from any older ballot, so
+           0 is a safe stand-in when none was learned. *)
         List.iter
           (fun (g, gs) ->
-            if gs.g_ballot >= 0 then
-              send t (group_leader_addr t g)
-                (Msg.Decision { b = gs.g_ballot; tid; dec; vec; lc }))
+            send t (group_leader_addr t g)
+              (Msg.Decision { b = max gs.g_ballot 0; tid; dec; vec; lc }))
           pc.p_groups;
         finish_cert t pc (Cert.Decided (dec, vec, lc))
       end

@@ -45,6 +45,10 @@ let now t = Engine.now t.eng
 let replica t ~dc ~part = t.replicas.(dc).(part)
 let clients t = List.rev t.clients
 
+(* Sessions with a call still outstanding (liveness-oracle hook). *)
+let clients_in_flight t =
+  List.length (List.filter Client.in_flight t.clients)
+
 (* Build the REDBLUE certification service: one node per DC forming a
    single Paxos group whose committed updates are pushed to the DC's data
    partitions. RETRY/recovery re-certification is delegated to partition

@@ -45,6 +45,11 @@ val now : t -> int
 val replica : t -> dc:int -> part:int -> Replica.t
 val clients : t -> Client.t list
 
+(** Number of client sessions with a call still outstanding — 0 at
+    quiescence. The exploration harness's liveness oracle asserts this
+    together with {!pending_strong} and {!dc_syncing}. *)
+val clients_in_flight : t -> int
+
 (** Install an initial version of a key at every data center, below
     every possible snapshot (the paper's initial transaction t0). Must
     be called before {!run}. *)

@@ -94,7 +94,12 @@ let client_body spec ~stop client =
   let zipf = Sim.Zipf.create ~n:spec.keys ~theta:spec.theta in
   let rec loop () =
     if not (stop ()) then begin
-      ignore (run_txn spec zipf rng client);
+      (* a DC failover mid-call raises Aborted (the session has already
+         migrated — drop the attempt and go on); admission control
+         raises Overloaded (shed — back off before retrying) *)
+      (try ignore (run_txn spec zipf rng client) with
+      | Client.Aborted -> ()
+      | Client.Overloaded -> Sim.Fiber.sleep (10_000 + Sim.Rng.int rng 10_000));
       if spec.think_time_us > 0 then Sim.Fiber.sleep spec.think_time_us;
       loop ()
     end

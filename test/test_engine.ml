@@ -44,6 +44,33 @@ let test_until_limit () =
   Alcotest.(check (list int)) "events within limit" [ 10; 20 ] (List.rev !fired);
   Alcotest.(check int) "clock clamped to limit" 25 (Sim.Engine.now eng)
 
+let test_until_preserves_future_events () =
+  (* Regression: [run ~until] used to pop-and-drop the first event past
+     the limit, so sliced runs silently killed retransmission timers and
+     self-rescheduling periodic loops. *)
+  let eng = Sim.Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun d -> Sim.Engine.schedule eng ~delay:d (fun () -> fired := d :: !fired))
+    [ 10; 20; 30; 40 ];
+  Sim.Engine.run eng ~until:25;
+  Sim.Engine.run eng ~until:35;
+  Alcotest.(check (list int)) "30 survives the slice boundary" [ 10; 20; 30 ]
+    (List.rev !fired);
+  Sim.Engine.run eng;
+  Alcotest.(check (list int)) "all fire across slices" [ 10; 20; 30; 40 ]
+    (List.rev !fired);
+  let ticks = ref 0 in
+  let eng2 = Sim.Engine.create () in
+  Sim.Engine.every eng2 ~period:10 (fun () ->
+      incr ticks;
+      !ticks < 100);
+  (* many slice boundaries, none aligned with the ticks *)
+  for i = 1 to 100 do
+    Sim.Engine.run eng2 ~until:(i * 11)
+  done;
+  Alcotest.(check int) "periodic loop survives 100 slices" 100 !ticks
+
 let test_stop () =
   let eng = Sim.Engine.create () in
   let count = ref 0 in
@@ -124,6 +151,8 @@ let suite =
       test_same_time_fifo;
     Alcotest.test_case "handlers can schedule" `Quick test_nested_scheduling;
     Alcotest.test_case "run ~until stops the clock" `Quick test_until_limit;
+    Alcotest.test_case "run ~until keeps future events queued" `Quick
+      test_until_preserves_future_events;
     Alcotest.test_case "stop halts the loop" `Quick test_stop;
     Alcotest.test_case "periodic task runs while true" `Quick test_every;
     Alcotest.test_case "periodic task honours phase" `Quick test_every_phase;

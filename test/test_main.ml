@@ -34,5 +34,6 @@ let () =
       ("persistence", Test_persistence.suite);
       ("adversity", Test_adversity.suite);
       ("report", Test_report.suite);
+      ("explore", Test_explore.suite);
       ("properties", Test_properties.suite);
     ]
