@@ -312,7 +312,34 @@ let rec try_deliver t =
         end
   end
 
+(* A member that sees a group message at a ballot ABOVE its own missed
+   an election — e.g. it was Recovering after a restart while the
+   NEW_LEADER round ran, so it could neither promise nor adopt the
+   outcome, and a quorum of the others completed it without us. The
+   exact-ballot checks then refuse every DELIVER and LEARN_DECISION
+   from the new leader, and nothing in the protocol revisits the stale
+   promise: the member is wedged as a non-delivering Follower forever
+   (and a restarting replica's sync, which waits on the strong frontier,
+   wedges with it). Chase the group instead: step back to Recovering
+   (stop voting, [handle_new_state] accepts again) and re-ask for the
+   state; a leader at or above our promise answers with NEW_STATE at
+   its ballot. Debounced on the bid clock — deliveries arrive in
+   bursts, and a Recovering member retries on later evidence if the
+   first request is lost. *)
+let chase_ballot t b =
+  if
+    b > t.ballot
+    && (t.status = Leader || t.status = Follower || t.status = Recovering)
+    && t.ctx.x_now () - t.last_bid >= t.bid_interval_us
+  then begin
+    t.last_bid <- t.ctx.x_now ();
+    t.status <- Recovering;
+    broadcast t
+      (Msg.State_request { from = t.ctx.x_self (); ballot = t.ballot })
+  end
+
 let handle_deliver t ~b ~ts =
+  chase_ballot t b;
   if
     (t.status = Leader || t.status = Follower)
     && t.ballot = b && t.last_delivered < ts
@@ -513,6 +540,7 @@ let restoring_done t =
   end
 
 let handle_learn_decision t ~b ~tid ~dec ~vec ~lc =
+  chase_ballot t b;
   if
     (t.status = Leader || t.status = Follower || t.status = Restoring)
     && b <= t.ballot  (* chosen values survive ballot changes *)
@@ -648,6 +676,12 @@ let install_state t ~prepared ~decided =
 
 let handle_new_leader_ack t ~b ~cballot ~prepared ~decided ~from_dc =
   if t.status = Recovering && t.ballot = b then begin
+    (* our election is making progress: push the reclaim debounce out so
+       leader-bound traffic cannot restart the election from under us —
+       the full round (acks, install, NEW_STATE fsync+acks) takes about
+       a debounce interval, so debouncing only from the bid start
+       livelocks on back-to-back re-elections *)
+    t.last_bid <- t.ctx.x_now ();
     if not (List.mem_assoc from_dc t.recovery_acks) then
       t.recovery_acks <-
         (from_dc, (cballot, prepared, decided)) :: t.recovery_acks;
@@ -674,6 +708,7 @@ let handle_new_leader_ack t ~b ~cballot ~prepared ~decided ~from_dc =
         (max max_prep max_dec)
         (fun () ->
           if t.status = Recovering && t.ballot = b && t.ctx.x_alive () then begin
+            t.last_bid <- t.ctx.x_now ();
             t.cballot <- b;
             t.last_ts <- max t.last_ts (max max_prep max_dec);
             t.state_acks <- [ t.ctx.x_dc ];
@@ -800,17 +835,35 @@ let restart t ~ballot ~cballot ~prepared ~delivered =
    carrying the ballot to beat — or bids itself when it trusts its own
    DC — so a rejoiner whose group currently has no live leader (the
    leader-home DC crashed and recovered before anyone took over) is not
-   left retrying into silence forever. *)
-let handle_state_request t ~from =
-  if t.status = Leader then
-    t.ctx.x_send from
-      (Msg.New_state
-         {
-           b = t.ballot;
-           prepared = prepared_list t;
-           decided = decided_list t;
-           from = t.ctx.x_self ();
-         })
+   left retrying into silence forever.
+
+   [ballot] is the requester's durable promise. A leader still working
+   below it (the requester crashed after promising a higher ballot the
+   rest of the group never completed) cannot answer usefully: its
+   [New_state {b}] fails the requester's [b >= ballot] check, and the
+   requester's periodic retry re-asks the same leader — a permanent
+   wedge. Lowering the requester's ballot would break its promise, so
+   the leader instead re-establishes itself above the requester's
+   ballot through the ordinary recovery protocol (the [handle_nack]
+   adopt-and-recover move), after which its [New_state] broadcast
+   reaches the requester at an acceptable ballot. *)
+let handle_state_request t ~from ~ballot =
+  if t.status = Leader then begin
+    if ballot > t.ballot then begin
+      t.ballot <- ballot;
+      t.last_bid <- t.ctx.x_now ();
+      recover t
+    end
+    else
+      t.ctx.x_send from
+        (Msg.New_state
+           {
+             b = t.ballot;
+             prepared = prepared_list t;
+             decided = decided_list t;
+             from = t.ctx.x_self ();
+           })
+  end
   else begin
     reclaim t;
     t.ctx.x_send from (Msg.Nack { b = t.ballot; from = t.ctx.x_self () })
@@ -818,6 +871,7 @@ let handle_state_request t ~from =
 
 let handle_new_state_ack t ~b ~from_dc =
   if t.status = Recovering && t.ballot = b then begin
+    t.last_bid <- t.ctx.x_now ();
     if not (List.mem from_dc t.state_acks) then
       t.state_acks <- from_dc :: t.state_acks;
     if List.length t.state_acks >= t.ctx.x_quorum then begin
@@ -945,7 +999,7 @@ let handle t msg =
   | Msg.New_state_ack { b; from } ->
       handle_new_state_ack t ~b ~from_dc:(t.ctx.x_dc_of from);
       true
-  | Msg.State_request { from } ->
-      handle_state_request t ~from;
+  | Msg.State_request { from; ballot } ->
+      handle_state_request t ~from ~ballot;
       true
   | _ -> false

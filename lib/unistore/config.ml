@@ -300,6 +300,14 @@ let sync_drop_backoff_us t =
    of PR 5 at the default 5 ms broadcast period. *)
 let overload_backoff_us t = 2 * t.broadcast_period_us
 
+(* Deadline of one origin-scoped repair pull round (gap repair after a
+   detected replication-continuity break) before rotating to another
+   source. The repair target faces exactly the adversity a rejoin pull
+   peer does — lossy links, partitions, suspicion — so the repair
+   machinery reuses the rejoin round deadline rather than introducing a
+   second knob to tune. *)
+let repair_deadline_us t = t.sync_pull_deadline_us
+
 (* Does this mode track uniformity (exchange STABLEVEC between siblings
    and expose remote transactions only when uniform)? *)
 let tracks_uniformity t =

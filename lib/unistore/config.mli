@@ -209,6 +209,12 @@ val sync_drop_backoff_us : t -> int
     window at the default 5 ms period). *)
 val overload_backoff_us : t -> int
 
+(** Deadline of one origin-scoped repair pull round (replication-gap
+    repair, [Replica.handle_replicate]) before the requester rotates to
+    another source. Reuses [sync_pull_deadline_us]: the repair target
+    faces the same adversity as a rejoin pull peer. *)
+val repair_deadline_us : t -> int
+
 (** Whether the mode exchanges STABLEVEC between siblings and exposes
     remote transactions only when uniform (all modes except [Cure_ft]). *)
 val tracks_uniformity : t -> bool

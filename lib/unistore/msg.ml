@@ -95,8 +95,40 @@ type t =
   | Commit_query of { from : addr; tid : Types.tid; part : int }
   | Commit_abort of { tid : Types.tid }
   (* ---- replication and forwarding (Algorithm A4) ------------------- *)
-  | Replicate of { origin : int; txs : Types.tx_rec list }
-  | Heartbeat of { origin : int; ts : int }
+  (* [from_ts] is the stream-continuity boundary: the sender claims the
+     message carries every transaction of [origin]'s stream with
+     timestamp in (from_ts, last]. A receiver whose frontier for
+     [origin] is below [from_ts] has a gap and must not jump — it
+     repairs instead (see Replica.handle_replicate). Overstating
+     [from_ts] is safe (spurious repair); understating it would hide a
+     gap, so senders derive it from what they actually shipped/retained,
+     never from a belief about the receiver. *)
+  | Replicate of { origin : int; txs : Types.tx_rec list; from_ts : int }
+  | Heartbeat of { origin : int; ts : int; from_ts : int }
+  (* Origin-scoped repair pull: backfill exactly the window
+     (vec_from, upto] of [origin]'s stream from whoever holds it (the
+     origin itself or any sibling — GC floors guarantee retention, see
+     Replica.prune_committed). [sq] tags the attempt so replies from an
+     abandoned target are discarded after deadline failover. *)
+  | Repair_request of {
+      from : addr;
+      origin : int;
+      vec_from : int;
+      upto : int;
+      sq : int;
+    }
+  (* Repair reply chunk: [from_ts] chains chunks ([covered] on the final
+     chunk is how far the server's own frontier vouches for the window —
+     the requester may jump its frontier to [covered] even if the window
+     was empty of transactions). *)
+  | Repair_log of {
+      origin : int;
+      txs : Types.tx_rec list;
+      from_ts : int;
+      covered : int;
+      last : bool;
+      sq : int;
+    }
   (* ---- metadata exchange (Algorithm A5) ---------------------------- *)
   (* In-DC dissemination tree for stableVec: minima flow up to partition
      0, the computed stableVec flows back down. *)
@@ -190,11 +222,19 @@ type t =
      [syncing = true] comes from a peer that is itself rejoining and
      cannot serve the round. *)
   | Sync_pull of { from : addr; vec : Vc.t; sq : int }
-  | Sync_log of { origin : int; txs : Types.tx_rec list; sq : int }
+  | Sync_log of {
+      origin : int;
+      txs : Types.tx_rec list;
+      from_ts : int;
+      sq : int;
+    }
   | Sync_tail of { from_dc : int; known : Vc.t; syncing : bool; sq : int }
   (* A Restoring certification member asks the group leader to re-send
-     the decided/prepared state ([New_state]). *)
-  | State_request of { from : addr }
+     the decided/prepared state ([New_state]). [ballot] is the
+     requester's durable ballot promise: the leader must answer at a
+     ballot at least this high (re-electing itself above it first if
+     need be), or the reply fails the requester's [b >= ballot] check. *)
+  | State_request of { from : addr; ballot : int }
   (* ---- Ω failure detector ------------------------------------------- *)
   | Fd_ping of { from_dc : int }
 
@@ -216,6 +256,8 @@ let cost (c : Config.costs) = function
   | Commit_abort _ -> c.c_commit
   | Replicate { txs; _ } -> c.c_base + (c.c_replicate_tx * List.length txs)
   | Heartbeat _ -> c.c_vec
+  | Repair_request _ -> c.c_base
+  | Repair_log { txs; _ } -> c.c_base + (c.c_replicate_tx * List.length txs)
   | Kv_up _ | Stable_down _ | Knownvec_global _ -> c.c_vec
   | Stablevec _ -> c.c_stablevec
   | Prepare_strong { wbuff; _ } ->
@@ -296,8 +338,11 @@ let size_bytes = function
   | Commit_query _ -> header_bytes + 24
   | Commit_abort _ -> header_bytes + 8
   | Replicate { txs; _ } ->
-      List.fold_left (fun acc tx -> acc + tx_bytes tx) (header_bytes + 8) txs
-  | Heartbeat _ -> header_bytes + 16
+      List.fold_left (fun acc tx -> acc + tx_bytes tx) (header_bytes + 16) txs
+  | Heartbeat _ -> header_bytes + 24
+  | Repair_request _ -> header_bytes + 40
+  | Repair_log { txs; _ } ->
+      List.fold_left (fun acc tx -> acc + tx_bytes tx) (header_bytes + 40) txs
   | Kv_up { vec; _ } | Stablevec { vec; _ } | Knownvec_global { vec; _ } ->
       header_bytes + 8 + vc_bytes vec
   | Stable_down { vec } -> header_bytes + vc_bytes vec
@@ -332,9 +377,9 @@ let size_bytes = function
         entries
   | Sync_pull { vec; _ } -> header_bytes + 8 + vc_bytes vec
   | Sync_log { txs; _ } ->
-      List.fold_left (fun acc tx -> acc + tx_bytes tx) (header_bytes + 16) txs
+      List.fold_left (fun acc tx -> acc + tx_bytes tx) (header_bytes + 24) txs
   | Sync_tail { known; _ } -> header_bytes + 16 + vc_bytes known
-  | State_request _ -> header_bytes + 8
+  | State_request _ -> header_bytes + 16
   | Fd_ping _ -> header_bytes + 8
 
 let kind = function
@@ -362,6 +407,8 @@ let kind = function
   | Commit_abort _ -> "commit_abort"
   | Replicate _ -> "replicate"
   | Heartbeat _ -> "heartbeat"
+  | Repair_request _ -> "repair_request"
+  | Repair_log _ -> "repair_log"
   | Kv_up _ -> "kv_up"
   | Stable_down _ -> "stable_down"
   | Stablevec _ -> "stablevec"

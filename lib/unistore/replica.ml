@@ -73,7 +73,9 @@ type wal_record =
          rebuild the state alone; restart falls back to the WAN rejoin. *)
   | W_prepare of prepared_causal
   | W_commit of Types.tx_rec  (* own-origin causal commit applied *)
-  | W_replicate of int * Types.tx_rec list  (* origin, applied remote txs *)
+  | W_replicate of int * Types.tx_rec list * int
+      (* origin, applied remote txs, stream-continuity [from_ts] of the
+         batch (wire metadata; replay re-checks continuity with it) *)
   | W_strong of Types.tx_rec list * int  (* delivered strong batch, ts *)
   | W_decide of Types.tid * Vclock.Vc.t * int * int
       (* commit decision of a 2PC this replica coordinates: vec, lc,
@@ -94,6 +96,10 @@ type node_snapshot = {
   ns_frontier_tids : Types.tid list array;
   ns_frontier_ts : int array;
   ns_decisions : (Types.tid * (Vclock.Vc.t * int * int)) list;
+  ns_provisional : int array;
+      (* per-origin provisional-adoption floor (see [t.provisional_from]):
+         frontier entries above it rest on third-party claims and must be
+         re-verified (repaired) after a restart, not trusted *)
   ns_cert : (int * int * Msg.prepared_strong list) option;
       (* ballot, cballot, accepted log — [Cert.persistent_state] *)
 }
@@ -104,8 +110,8 @@ let wal_record_bytes = function
   | W_genesis -> 8
   | W_prepare p -> 24 + Msg.writes_bytes p.pc_writes
   | W_commit tx -> 8 + Msg.tx_bytes tx
-  | W_replicate (_, txs) ->
-      List.fold_left (fun acc tx -> acc + Msg.tx_bytes tx) 16 txs
+  | W_replicate (_, txs, _) ->
+      List.fold_left (fun acc tx -> acc + Msg.tx_bytes tx) 24 txs
   | W_strong (txs, _) ->
       List.fold_left (fun acc tx -> acc + Msg.tx_bytes tx) 16 txs
   | W_decide (_, vec, _, _) -> 32 + Msg.vc_bytes vec
@@ -134,6 +140,7 @@ let node_snapshot_bytes ns =
   + List.fold_left
       (fun acc (_, (vec, _, _)) -> acc + 32 + Msg.vc_bytes vec)
       8 ns.ns_decisions
+  + (8 * Array.length ns.ns_provisional)
   + (match ns.ns_cert with
     | None -> 8
     | Some (_, _, ps) ->
@@ -167,6 +174,26 @@ type pending_cert = {
 
 type waiter = { w_pred : unit -> bool; w_action : unit -> unit }
 
+(* Per-origin repair pull (gap repair of the causal replication stream).
+   A detected continuity break records the claimed frontier in [r_upto]
+   and drives rounds of [Repair_request]s — origin first, then rotating
+   over live siblings — each armed with a deadline reusing the rejoin
+   pull-round machinery ([Config.repair_deadline_us]). [r_sq] tags the
+   current round so replies from an abandoned target are discarded;
+   [r_stalled] counts consecutive fruitless rounds, after which the
+   repair parks ([r_active = false], [r_upto] retained) until the next
+   gap detection re-arms it — an origin that crashed for good cannot be
+   repaired past what its survivors hold, and parking keeps the system
+   quiescent instead of polling a void. *)
+type repair_state = {
+  mutable r_active : bool;
+  mutable r_sq : int;  (* round tag echoed by [Repair_log] *)
+  mutable r_upto : int;  (* highest claimed frontier seen for the origin *)
+  mutable r_attempt : int;  (* rotates the source across rounds *)
+  mutable r_stalled : int;  (* consecutive rounds without progress *)
+  mutable r_mark : int;  (* our frontier when the current round started *)
+}
+
 (* DC rejoin state machine. A replica of a freshly recovered data center
    rebuilds from a live sibling of its partition: first a snapshot of the
    materialized store below the peer's knownVec (the cut), then rounds of
@@ -190,6 +217,10 @@ type sync_state = {
      rehabilitation or an answered poll removes the entry early. *)
   mutable s_dropped : (int * int) list;
   mutable s_round_started : int;  (* when the current pull round began *)
+  (* knownVec snapshot taken when the current pull round was issued: the
+     continuity boundary of the round's [Sync_log]/[Sync_tail] answers
+     (a peer ships everything it holds above this vector). *)
+  mutable s_round_vec : Vclock.Vc.t;
   (* Late-bound reactions into the running round (set by [begin_rejoin];
      they close over functions defined below the handlers that fire
      them): the Ω suspicion feed, and "finish the sync if complete,
@@ -263,6 +294,15 @@ type t = {
      transactions as soon as they are propagated). *)
   propagated_log : Types.tx_rec list ref;
   mutable last_prep_ts : int;
+  (* Stream position of our own replication stream as receivers see it:
+     the continuity boundary ([from_ts]) of the next outgoing batch. A
+     [Replicate] batch advances a receiver to its last transaction's
+     timestamp — not to our (clock-driven) frontier — and a heartbeat
+     advances it to the claimed frontier, so this trails [known_vec]'s
+     own entry accordingly. Always a timestamp we have shipped
+     everything up to (never understated: a too-low value would let a
+     receiver jump a window the batch does not cover). *)
+  mutable propagated_upto : int;
   (* --- coordination -------------------------------------------------- *)
   txns : (Types.tid, coord_tx) Hashtbl.t;
   (* "wait until" queues, keyed by the threshold waited for, flushed when
@@ -291,6 +331,16 @@ type t = {
      applied at the current frontier timestamp. *)
   frontier_tids : Types.tid list array;  (* per origin DC *)
   frontier_ts : int array;
+  (* Stream-continuity state (gap-detecting replication). For origin [o],
+     [provisional_from.(o) = f >= 0] means the frontier window (f,
+     knownVec[o]] rests on third-party claims adopted by [finish_sync]
+     (tail maxima for origins that could not answer the pulls) and has
+     not been verified first-hand: the replica never vouches for it to
+     others ([vouched]) and the first continuity check against [o]'s
+     stream repairs it instead of trusting it. -1 = fully verified. *)
+  provisional_from : int array;
+  repair : repair_state array;  (* per origin *)
+  mutable repair_ctr : int;  (* replica-level monotone round tag source *)
   (* --- Fig. 6 measurement --------------------------------------------- *)
   pending_vis : (int * int) list ref array;  (* per origin: (local ts, arrival) *)
   (* --- node-level persistence ----------------------------------------- *)
@@ -369,6 +419,7 @@ let create cfg eng net ~dc ~part ~uid ~skew ~history ~trace ~metrics =
     committed_causal = Array.init d (fun _ -> ref []);
     propagated_log = ref [];
     last_prep_ts = 0;
+    propagated_upto = 0;
     txns = Hashtbl.create 64;
     wait_known_local = Sim.Heap.create (fun () -> ());
     wait_known_strong = Sim.Heap.create (fun () -> ());
@@ -386,6 +437,18 @@ let create cfg eng net ~dc ~part ~uid ~skew ~history ~trace ~metrics =
     timer_gen = 0;
     frontier_tids = Array.make d [];
     frontier_ts = Array.make d (-1);
+    provisional_from = Array.make d (-1);
+    repair =
+      Array.init d (fun _ ->
+          {
+            r_active = false;
+            r_sq = 0;
+            r_upto = 0;
+            r_attempt = 0;
+            r_stalled = 0;
+            r_mark = 0;
+          });
+    repair_ctr = 0;
     pending_vis = Array.init d (fun _ -> ref []);
     disk = None;
     coord_decisions = Hashtbl.create 16;
@@ -835,9 +898,158 @@ let handle_commit_abort t ~tid =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Replication, heartbeats, forwarding (Algorithm A4).                  *)
+(* Replication, heartbeats, forwarding (Algorithm A4), and the
+   stream-continuity machinery that makes them gap-detecting: every
+   frontier-advancing message carries [from_ts], the boundary its sender
+   vouches contiguity from, and a receiver whose trusted floor sits
+   below the boundary refuses the jump and pulls the missing window
+   through [Repair_request]/[Repair_log] instead.                       *)
+
+let is_syncing t = match t.sync with Some _ -> true | None -> false
+
+let live_peers t =
+  let rec go i acc =
+    if i < 0 then acc
+    else if i <> t.dc && not (Network.dc_failed t.net i) then go (i - 1) (i :: acc)
+    else go (i - 1) acc
+  in
+  go (dcs t - 1) []
+
+(* The highest timestamp of [origin]'s stream this replica can vouch for
+   first-hand: its frontier, capped at the provisional floor while the
+   window above it rests on adopted third-party claims. Everything the
+   replica asserts to others about [origin]'s stream — GC gossip,
+   forwarded batches, sync answers — is capped here, so a provisional
+   adoption can never launder an unverified claim into a peer's trusted
+   frontier (and peers keep retaining the repair window). *)
+let vouched t origin =
+  let f = Vc.get t.known_vec origin in
+  let p = t.provisional_from.(origin) in
+  if p >= 0 && p < f then p else f
+
+(* [known_vec] with every provisional window capped away (strong entry
+   untouched) — the vector this replica may assert to others. *)
+let vouched_vec t =
+  let v = Vc.copy t.known_vec in
+  for o = 0 to dcs t - 1 do
+    let p = t.provisional_from.(o) in
+    if p >= 0 && p < Vc.get v o then Vc.set v o p
+  done;
+  v
+
+(* The floor a continuity claim is checked against. While syncing or
+   replaying the WAL the stream is either the replica's own durable past
+   or chained pull chunks — both first-hand — so the plain frontier
+   applies; in normal operation a provisional window must not count as
+   covered, so the trusted (vouched) floor applies instead — which is
+   what turns the first post-adoption message from the origin into a
+   verification repair. *)
+let continuity_floor t origin =
+  if is_syncing t || t.replaying then Vc.get t.known_vec origin
+  else vouched t origin
+
+(* A first-hand contiguous claim covering (f, last] with f at or below
+   the provisional floor verifies the provisional window up to [last]:
+   clear it if the whole window is covered, raise the floor otherwise.
+   Callers guarantee contiguity from at or below the floor. Runs during
+   WAL replay too — replay re-applies the same records that raised the
+   floor live, and the floor doubles as the backfill-dedup boundary
+   ([apply_replicate_txs]), so it must rise in lock-step with the data
+   both live and on replay. *)
+let confirm_provisional t ~origin ~last =
+  let p = t.provisional_from.(origin) in
+  if p >= 0 && not (is_syncing t) then
+    if last >= Vc.get t.known_vec origin then
+      t.provisional_from.(origin) <- -1
+    else if last > p then t.provisional_from.(origin) <- last
+
+(* Start (or rotate) a repair pull round for [origin]'s stream: ask the
+   origin itself first — it always holds its own history — then rotate
+   over live siblings (GC floors pin retention above our own gossiped
+   claim, so any sibling holds the window it vouches for). *)
+let rec start_repair_round t origin =
+  let r = t.repair.(origin) in
+  let eligible =
+    let live = live_peers t in
+    match List.filter (fun i -> not (List.mem i t.suspected)) live with
+    | [] -> live
+    | l -> l
+  in
+  let candidates =
+    if List.mem origin eligible then
+      origin :: List.filter (fun i -> i <> origin) eligible
+    else eligible
+  in
+  match candidates with
+  | [] -> r.r_active <- false  (* nobody to ask; re-armed on the next gap *)
+  | cs ->
+      r.r_active <- true;
+      t.repair_ctr <- t.repair_ctr + 1;
+      r.r_sq <- t.repair_ctr;
+      r.r_attempt <- r.r_attempt + 1;
+      r.r_mark <- Vc.get t.known_vec origin;
+      Sim.Metrics.incr
+        (Sim.Metrics.counter t.metrics "repair_pull_rounds_total");
+      let target = List.nth cs ((r.r_attempt - 1) mod List.length cs) in
+      let vec_from = vouched t origin in
+      Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"repair-round"
+        "pull dc%d's stream (%d, %d] from dc%d (round %d)" origin vec_from
+        r.r_upto target r.r_sq;
+      send t (sibling t target)
+        (Msg.Repair_request
+           { from = t.addr; origin; vec_from; upto = r.r_upto; sq = r.r_sq });
+      let sq = r.r_sq in
+      Engine.schedule t.eng ~delay:(Config.repair_deadline_us t.cfg)
+        (fun () ->
+          (* round still open at the deadline: the target is lossy,
+             partitioned or gone — count a stall and rotate, or park
+             after every candidate had a fair shot *)
+          if alive t && (not (is_syncing t)) && r.r_active && r.r_sq = sq
+          then begin
+            r.r_stalled <- r.r_stalled + 1;
+            if r.r_stalled > 2 * max 1 (List.length (live_peers t)) then begin
+              r.r_active <- false;
+              Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"repair-park"
+                "repair of dc%d's stream parked at %d (upto %d): no source \
+                 can serve the window"
+                origin
+                (Vc.get t.known_vec origin)
+                r.r_upto
+            end
+            else start_repair_round t origin
+          end)
+
+(* A continuity break in [origin]'s stream: refuse the jump, account it,
+   remember the claimed frontier and (outside sync/replay) start the
+   repair. Detections while a repair is already in flight only raise the
+   target. *)
+let note_gap t ~origin ~floor ~from_ts ~claimed =
+  Sim.Metrics.incr
+    (Sim.Metrics.counter t.metrics "replicate_gap_detected_total");
+  Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"replicate-gap"
+    "dc%d's stream jumps (%d, %d] but our floor is %d: repairing instead \
+     of trusting"
+    origin from_ts claimed floor;
+  let r = t.repair.(origin) in
+  if claimed > r.r_upto then r.r_upto <- claimed;
+  if (not r.r_active) && (not (is_syncing t)) && (not t.replaying) && alive t
+  then begin
+    r.r_attempt <- 0;
+    r.r_stalled <- 0;
+    start_repair_round t origin
+  end
 
 let propagate_local_txs t =
+  (* the batch below carries exactly our stream window
+     (propagated_upto, new]: every queued commit's timestamp exceeds the
+     position shipped last tick (prepare timestamps exceed the frontier
+     at prepare time and earlier propagations shipped everything at or
+     below it), so [propagated_upto] is an honest continuity boundary
+     for every destination — and it is also exactly the frontier a
+     receiver of the previous message holds (last batch timestamp after
+     a [Replicate], claimed frontier after a [Heartbeat]), so a
+     contiguous stream never trips the gap check *)
+  let prev = t.propagated_upto in
   (match t.prepared_causal with
   | [] -> Vc.bump t.known_vec t.dc (clock t)
   | ps ->
@@ -861,44 +1073,105 @@ let propagate_local_txs t =
   for i = 0 to dcs t - 1 do
     if i <> t.dc then
       if ready <> [] then
-        send t (sibling t i) (Msg.Replicate { origin = t.dc; txs = ready })
+        send t (sibling t i)
+          (Msg.Replicate { origin = t.dc; txs = ready; from_ts = prev })
       else
         send t (sibling t i)
-          (Msg.Heartbeat { origin = t.dc; ts = Vc.get t.known_vec t.dc })
+          (Msg.Heartbeat
+             { origin = t.dc; ts = Vc.get t.known_vec t.dc; from_ts = prev })
   done;
+  (* advance the stream position to what receivers will now hold — and
+     never move it back: WAL replay re-queues every tail commit, even
+     ones the previous incarnation already propagated (peers prune fully
+     covered entries from their relay buffers, so the rejoin pull cannot
+     redeliver and dequeue them), and re-shipping such a batch must not
+     regress the boundary below commits the receivers provably hold, or
+     the next heartbeat claims their window empty and receivers jump
+     clean over them *)
+  t.propagated_upto <-
+    max t.propagated_upto
+      (match List.rev ready with
+      | last :: _ -> Vc.get last.Types.tx_vec t.dc
+      | [] -> Vc.get t.known_vec t.dc);
   (* retain what was just shipped: rejoiners catch up on our history
      from this log (nobody else may hold our full frontier) *)
   if ready <> [] then
     t.propagated_log := List.rev_append ready !(t.propagated_log);
   flush_known_local t
 
-let handle_replicate t ~origin ~txs =
-  Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"replicate"
-    "from dc%d: %d txs" origin (List.length txs);
-  let txs =
-    List.sort
-      (fun a b ->
-        compare (Vc.get a.Types.tx_vec origin) (Vc.get b.Types.tx_vec origin))
-      txs
-  in
+(* Apply a sorted batch of [origin]'s stream: dedup against the
+   frontier, materialize the writes, queue for forwarding (or re-retain
+   own history), advance the frontier. Shared by the direct stream
+   ([handle_replicate]), the rejoin pulls ([handle_sync_log]) and the
+   repair path ([handle_repair_log]) — idempotence comes from the
+   tid-at-frontier dedup, so overlapping deliveries are safe. *)
+let apply_replicate_txs t ~origin txs =
   List.iter
     (fun tx ->
       let ts = Vc.get tx.Types.tx_vec origin in
-      let frontier = Vc.get t.known_vec origin in
-      let fresh =
-        ts > frontier
-        || (ts = frontier && t.frontier_ts.(origin) = ts
-           && not
-                (List.exists
-                   (Types.tid_equal tx.Types.tx_tid)
-                   t.frontier_tids.(origin)))
+      (* Dedup against the vouched floor, not the raw frontier: with no
+         provisional window the two coincide and this is the classic
+         "below the frontier = duplicate" check, but when the frontier
+         rests on an adopted claim the window (floor, frontier] is
+         data-free by construction (claims jump the frontier, only
+         applications fill it, and every apply is followed by a floor
+         update covering what it filled) — so a transaction inside it is
+         backfill to apply, not a duplicate to drop. Equal-timestamp
+         siblings of the last applied transaction dedup by tid. *)
+      let floor_v = vouched t origin in
+      (* An own-origin transaction still sitting in the pending
+         propagation queue was restored there by WAL replay
+         ([W_commit]) — already applied to the store, but below nothing
+         the frontier records, because replay cannot know how far the
+         previous incarnation propagated. A rejoin pull redelivering it
+         proves a peer holds it: move it to the propagated log (it must
+         be servable to repair pulls) instead of applying it twice. *)
+      let restored_own =
+        origin = t.dc
+        &&
+        let q = t.committed_causal.(t.dc) in
+        match
+          List.partition
+            (fun r -> Types.tid_equal r.Types.tx_tid tx.Types.tx_tid)
+            !q
+        with
+        | [], _ -> false
+        | _, rest ->
+            q := rest;
+            true
       in
-      if fresh then begin
-        if t.frontier_ts.(origin) <> ts then begin
+      let fresh =
+        (not restored_own)
+        && (ts > floor_v
+           || (ts = t.frontier_ts.(origin)
+              && not
+                   (List.exists
+                      (Types.tid_equal tx.Types.tx_tid)
+                      t.frontier_tids.(origin))))
+      in
+      if restored_own then begin
+        t.propagated_log := tx :: !(t.propagated_log);
+        t.last_prep_ts <- max t.last_prep_ts ts;
+        observe_clock t ts;
+        if ts > t.frontier_ts.(origin) then begin
           t.frontier_ts.(origin) <- ts;
           t.frontier_tids.(origin) <- []
         end;
-        t.frontier_tids.(origin) <- tx.Types.tx_tid :: t.frontier_tids.(origin);
+        if ts >= t.frontier_ts.(origin) then
+          t.frontier_tids.(origin) <-
+            tx.Types.tx_tid :: t.frontier_tids.(origin);
+        if ts > Vc.get t.known_vec origin then Vc.set t.known_vec origin ts
+      end;
+      if fresh then begin
+        (* [frontier_ts]/[frontier_tids] track the highest applied
+           timestamp; backfill below it must not clobber the tracking *)
+        if ts > t.frontier_ts.(origin) then begin
+          t.frontier_ts.(origin) <- ts;
+          t.frontier_tids.(origin) <- []
+        end;
+        if ts >= t.frontier_ts.(origin) then
+          t.frontier_tids.(origin) <-
+            tx.Types.tx_tid :: t.frontier_tids.(origin);
         let tag = Types.tx_tag tx in
         List.iter
           (fun w ->
@@ -918,7 +1191,8 @@ let handle_replicate t ~origin ~txs =
           let q = t.committed_causal.(origin) in
           q := tx :: !q
         end;
-        Vc.set t.known_vec origin ts;
+        (* backfill below the frontier must not regress it *)
+        if ts > Vc.get t.known_vec origin then Vc.set t.known_vec origin ts;
         if
           t.cfg.Config.measure_visibility && t.part = 0 && origin <> t.dc
           && not t.replaying
@@ -927,29 +1201,214 @@ let handle_replicate t ~origin ~txs =
           pv := (ts, now t) :: !pv
         end
       end)
-    txs;
-  if txs <> [] then log_async t (W_replicate (origin, txs))
+    txs
 
-let handle_heartbeat t ~origin ~ts =
-  if ts > Vc.get t.known_vec origin then Vc.set t.known_vec origin ts
+let handle_replicate t ~origin ~txs ~from_ts =
+  Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"replicate"
+    "from dc%d: %d txs" origin (List.length txs);
+  let txs =
+    List.sort
+      (fun a b ->
+        compare (Vc.get a.Types.tx_vec origin) (Vc.get b.Types.tx_vec origin))
+      txs
+  in
+  let last =
+    List.fold_left
+      (fun acc tx -> max acc (Vc.get tx.Types.tx_vec origin))
+      from_ts txs
+  in
+  let floor = continuity_floor t origin in
+  if from_ts > floor && not t.replaying then
+    (* the batch starts above what we trust: applying it would jump the
+       frontier over entries we never saw (or never verified). Refuse it
+       wholesale — the repair pull re-fetches the whole window including
+       this batch, and applying without advancing would double-apply on
+       the overlap. Replay is exempt: every record was gap-checked when
+       it was accepted live, and heartbeat frontier jumps between
+       records are deliberately not logged, so the replayed frontier
+       legitimately trails the logged [from_ts] chain across windows
+       that were verified empty at acceptance time. *)
+    note_gap t ~origin ~floor ~from_ts ~claimed:last
+  else begin
+    apply_replicate_txs t ~origin txs;
+    if txs <> [] then log_async t (W_replicate (origin, txs, from_ts));
+    confirm_provisional t ~origin ~last
+  end
+
+let handle_heartbeat t ~origin ~ts ~from_ts =
+  let floor = continuity_floor t origin in
+  if from_ts > floor then
+    (* heartbeats jump frontiers exactly like batches do (claiming the
+       window (from_ts, ts] holds no transactions): the same continuity
+       check applies, or a heartbeat racing ahead of a lost batch would
+       paper over the gap *)
+    note_gap t ~origin ~floor ~from_ts ~claimed:ts
+  else begin
+    if ts > Vc.get t.known_vec origin then Vc.set t.known_vec origin ts;
+    confirm_provisional t ~origin ~last:ts
+  end
+
+(* Serve an origin-scoped repair pull: the retained transactions of
+   [origin]'s stream in (vec_from, upto], chunked with chained [from_ts]
+   boundaries, then a final chunk whose [covered] says how far our own
+   first-hand frontier vouches the window (the requester may jump there
+   even if the window held no transactions). GC floors guarantee
+   completeness: nothing above the requester's own gossiped claim — and
+   [vec_from] never exceeds it — is ever pruned. A replica that is
+   itself syncing must not serve (its log is still partial); the
+   requester's deadline rotates past us. *)
+let handle_repair_request t ~from ~origin ~vec_from ~upto ~sq =
+  ignore upto;
+  if not (is_syncing t) then begin
+    let source =
+      if origin = t.dc then !(t.propagated_log) else !(t.committed_causal.(origin))
+    in
+    let vouch = vouched t origin in
+    (* Serve everything we can vouch for above [vec_from] — deliberately
+       NOT capped at the requester's [upto]. The claim behind [upto] is
+       stale by at least the request's flight time, and while the origin
+       keeps producing, a repair capped there lands [covered] behind the
+       [from_ts] of the next in-FIFO stream message: the requester
+       refuses it, detects a fresh gap and pulls again — a perpetual
+       chase one round-trip behind the live edge. Serving to our current
+       vouched position instead puts [covered] at or ahead of every
+       stream boundary the origin stamped before we served (its
+       [propagated_upto] never exceeds its frontier), so the next stream
+       message behind the reply on the same FIFO channel chains cleanly
+       and the stream re-links. [upto] still matters to the requester
+       (its done-check target); here it is only a hint. *)
+    let txs =
+      List.filter
+        (fun tx ->
+          let ts = Vc.get tx.Types.tx_vec origin in
+          ts > vec_from && ts <= vouch)
+        source
+    in
+    let txs =
+      List.sort
+        (fun a b ->
+          compare (Vc.get a.Types.tx_vec origin) (Vc.get b.Types.tx_vec origin))
+        txs
+    in
+    let covered = if vouch >= vec_from then vouch else vec_from in
+    let rec split n acc = function
+      | rest when n = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | tx :: rest -> split (n - 1) (tx :: acc) rest
+    in
+    let rec ship from_ts = function
+      | [] ->
+          send t from
+            (Msg.Repair_log
+               { origin; txs = []; from_ts; covered; last = true; sq })
+      | txs ->
+          let batch, rest = split t.cfg.Config.sync_chunk [] txs in
+          let batch_last =
+            List.fold_left
+              (fun acc tx -> max acc (Vc.get tx.Types.tx_vec origin))
+              from_ts batch
+          in
+          if rest = [] then
+            send t from
+              (Msg.Repair_log
+                 { origin; txs = batch; from_ts; covered; last = true; sq })
+          else begin
+            send t from
+              (Msg.Repair_log
+                 {
+                   origin;
+                   txs = batch;
+                   from_ts;
+                   covered = batch_last;
+                   last = false;
+                   sq;
+                 });
+            ship batch_last rest
+          end
+    in
+    ship vec_from txs
+  end
+
+(* Apply a repair reply chunk. This is the below-frontier entry point
+   [handle_replicate] deliberately refuses to be: chunks chain
+   contiguously from the [vec_from] we asked for (at or below our
+   frontier), so applying them can only fill, never jump — and the
+   tid-at-frontier dedup makes re-delivered overlap idempotent. The
+   final chunk's [covered] is a first-hand assertion by the server, so
+   the frontier may jump there and the provisional floor rises with
+   it. *)
+let handle_repair_log t ~origin ~txs ~from_ts ~covered ~last ~sq =
+  let r = t.repair.(origin) in
+  if r.r_active && r.r_sq = sq && not (is_syncing t) then begin
+    let before = Vc.get t.known_vec origin in
+    if from_ts <= before then begin
+      let txs =
+        List.sort
+          (fun a b ->
+            compare (Vc.get a.Types.tx_vec origin) (Vc.get b.Types.tx_vec origin))
+          txs
+      in
+      apply_replicate_txs t ~origin txs;
+      if txs <> [] then log_async t (W_replicate (origin, txs, from_ts));
+      (* the covered jump stays volatile (not WAL-logged): recovering
+         with a lower frontier is always safe — the stream or a fresh
+         repair re-covers it *)
+      if last && covered > Vc.get t.known_vec origin then
+        Vc.set t.known_vec origin covered;
+      (* every chunk raises the provisional floor over the window it
+         filled (non-final chunks' [covered] is their last transaction):
+         the floor is also the backfill-dedup boundary, so it must track
+         the fill chunk by chunk or an interleaved accepted stream batch
+         could re-apply what a chunk just wrote *)
+      confirm_provisional t ~origin ~last:covered
+    end;
+    if last then begin
+      let after = Vc.get t.known_vec origin in
+      if after >= r.r_upto && t.provisional_from.(origin) < 0 then begin
+        r.r_active <- false;
+        r.r_attempt <- 0;
+        r.r_stalled <- 0;
+        Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"repair-done"
+          "dc%d's stream repaired to %d" origin after
+      end
+      else if after > r.r_mark then begin
+        (* progress but not done (the server's own frontier stopped short
+           of the claim, or a provisional window remains): next round
+           immediately — rotation finds a source that can go further *)
+        r.r_stalled <- 0;
+        start_repair_round t origin
+      end
+      (* no progress: leave the armed deadline to rotate/park, so a
+         useless source is not re-polled in a hot loop *)
+    end
+  end
 
 (* FORWARD_REMOTE_TXS(i, j): forward transactions that originated at the
    (suspected) DC j to DC i, skipping what i already stores according to
    globalMatrix (Algorithm A4 lines 22–27). *)
 let forward_remote_txs t ~dst ~origin =
   (* include transactions at the threshold itself: distinct transactions
-     may share the frontier timestamp and the receiver dedups by tid *)
+     may share the frontier timestamp and the receiver dedups by tid.
+     [threshold] is an honest continuity boundary: it is [dst]'s own
+     gossiped claim (never above its frontier, so no false gap there)
+     and the GC floor pins our retention above it (so we hold — and ship
+     — everything in between). Both the shipped window and the claimed
+     frontier are capped at [vouched]: we never forward the part of our
+     own view that rests on unverified third-party adoption. *)
   let threshold = Vc.get t.global_matrix.(dst) origin in
+  let vouch = vouched t origin in
   let txs =
     List.filter
-      (fun tx -> Vc.get tx.Types.tx_vec origin >= threshold)
+      (fun tx ->
+        let ts = Vc.get tx.Types.tx_vec origin in
+        ts >= threshold && ts <= vouch)
       !(t.committed_causal.(origin))
   in
   if txs <> [] then
-    send t (sibling t dst) (Msg.Replicate { origin; txs })
-  else
+    send t (sibling t dst) (Msg.Replicate { origin; txs; from_ts = threshold })
+  else if vouch > threshold then
     send t (sibling t dst)
-      (Msg.Heartbeat { origin; ts = Vc.get t.known_vec origin })
+      (Msg.Heartbeat { origin; ts = vouch; from_ts = threshold })
 
 let run_forwarding t =
   List.iter
@@ -997,7 +1456,11 @@ let tree_children t part =
   List.filter (fun c -> c < partitions t) [ c1; c2 ]
 
 let subtree_agg t =
-  let agg = Vc.copy t.known_vec in
+  (* stability (and through it uniformity) must count only first-hand
+     storage: a provisional window is a claim about data this replica
+     does not hold, and letting it into stableVec would let an
+     under-replicated transaction pass the f+1 uniformity bar *)
+  let agg = vouched_vec t in
   List.iter
     (fun c ->
       let v = t.local_agg.(c) in
@@ -1039,11 +1502,19 @@ let broadcast_vecs t =
         send t (sibling t i)
           (Msg.Stablevec { dc = t.dc; vec = Vc.copy t.stable_vec });
       (* peers prune their catch-up logs below this claim: in
-         persistence mode only vouch for what a node-level crash
-         cannot lose *)
-      let gc_vec = if persistent t then t.durable_known else t.known_vec in
-      send t (sibling t i)
-        (Msg.Knownvec_global { dc = t.dc; vec = Vc.copy gc_vec })
+         persistence mode only vouch for what a node-level crash cannot
+         lose, and never for a provisional window — peers must retain
+         the repair window until we verified it first-hand *)
+      let gc_vec = vouched_vec t in
+      if persistent t then begin
+        for o = 0 to dcs t - 1 do
+          if Vc.get t.durable_known o < Vc.get gc_vec o then
+            Vc.set gc_vec o (Vc.get t.durable_known o)
+        done;
+        if Vc.strong t.durable_known < Vc.strong gc_vec then
+          Vc.set_strong gc_vec (Vc.strong t.durable_known)
+      end;
+      send t (sibling t i) (Msg.Knownvec_global { dc = t.dc; vec = gc_vec })
     end
   done;
   prune_committed t
@@ -1566,6 +2037,7 @@ let snapshot_of t =
       Hashtbl.fold
         (fun tid (_, vec, lc, origin) acc -> (tid, (vec, lc, origin)) :: acc)
         t.coord_decisions [];
+    ns_provisional = Array.copy t.provisional_from;
     ns_cert =
       (match t.cert with Some c -> Some (Cert.persistent_state c) | None -> None);
   }
@@ -1766,14 +2238,16 @@ let handle_resubmit_strong t ~client ~client_id ~req ~tid ~wbuff ~ops ~snap
 (* DC rejoin: snapshot transfer and causal-log catch-up (tentpole of
    the crash-recovery subsystem; see DESIGN.md "DC recovery & rejoin"). *)
 
-let is_syncing t = match t.sync with Some _ -> true | None -> false
-
 (* Causal-log backlog retained for [origin] (GC grace-window tests):
    the forwarded buffer for remote origins, the propagated log for our
    own. *)
 let committed_backlog t ~origin =
   if origin = t.dc then List.length !(t.propagated_log)
   else List.length !(t.committed_causal.(origin))
+
+let provisional_floor t ~origin = t.provisional_from.(origin)
+let repair_active t ~origin = t.repair.(origin).r_active
+let propagated_upto t = t.propagated_upto
 
 (* A peer DC rejoined with empty state: forget everything its pre-crash
    gossip claimed it stored, so the causal buffers and decided logs are
@@ -1789,14 +2263,6 @@ let reset_peer_view t ~dc =
     zero t.global_matrix.(dc);
     zero t.stable_matrix.(dc)
   end
-
-let live_peers t =
-  let rec go i acc =
-    if i < 0 then acc
-    else if i <> t.dc && not (Network.dc_failed t.net i) then go (i - 1) (i :: acc)
-    else go (i - 1) acc
-  in
-  go (dcs t - 1) []
 
 (* Everything a crash destroys. The clocks, rid/heartbeat counters and
    the lifetime metrics survive (restarted processes keep their identity);
@@ -1819,11 +2285,19 @@ let wipe_state t =
   t.prepared_causal <- [];
   t.propagated_log := [];
   t.last_prep_ts <- 0;
+  t.propagated_upto <- 0;
   for i = 0 to dcs t - 1 do
     t.committed_causal.(i) := [];
     t.frontier_tids.(i) <- [];
     t.frontier_ts.(i) <- -1;
-    t.pending_vis.(i) := []
+    t.pending_vis.(i) := [];
+    t.provisional_from.(i) <- -1;
+    (let r = t.repair.(i) in
+     r.r_active <- false;
+     r.r_upto <- 0;
+     r.r_attempt <- 0;
+     r.r_stalled <- 0;
+     r.r_mark <- 0)
   done;
   Hashtbl.reset t.txns;
   Hashtbl.reset t.pending_cert;
@@ -1893,12 +2367,16 @@ let request_snapshot t s =
 let request_cert_state t =
   match t.cert with
   | None -> ()
-  | Some _ ->
+  | Some c ->
       (* broadcast: only the group leader answers, and a stale trust view
-         cannot say who that is right now *)
+         cannot say who that is right now. Carry our durable ballot so a
+         leader still working below it (we crashed mid-election and our
+         WAL kept the higher promise) knows to re-elect above it rather
+         than answer with a [New_state] we are bound to refuse. *)
+      let ballot = Cert.ballot c in
       List.iter
         (fun i ->
-          send t (sibling t i) (Msg.State_request { from = t.addr }))
+          send t (sibling t i) (Msg.State_request { from = t.addr; ballot }))
         (live_peers t)
 
 (* Start a catch-up pull round over the eligible peers, and arm its
@@ -1915,12 +2393,17 @@ let start_pull_round t s =
   s.s_polled <- [];
   s.s_weak <- [];
   s.s_round_started <- now t;
+  (* freeze the round's continuity boundary: peers answer with
+     everything above this vector, so their [Sync_log] chunks chain from
+     its entries and their tails' own-entry claims are contiguous from
+     it *)
+  let round_vec = Vc.copy t.known_vec in
+  s.s_round_vec <- round_vec;
   List.iter
     (fun i ->
       s.s_polled <- i :: s.s_polled;
       send t (sibling t i)
-        (Msg.Sync_pull
-           { from = t.addr; vec = Vc.copy t.known_vec; sq = s.s_sq }))
+        (Msg.Sync_pull { from = t.addr; vec = round_vec; sq = s.s_sq }))
     (sync_peers t s);
   let sq = s.s_sq in
   Engine.schedule t.eng ~delay:t.cfg.Config.sync_pull_deadline_us (fun () ->
@@ -1961,30 +2444,31 @@ let sync_exempt t s o =
   || List.mem_assoc o s.s_dropped
 
 (* Caught up once every polled sibling sent its tail and our knownVec
-   covers the tails' entries for every origin that can still speak for
-   itself — its own entry arrived as a tail heartbeat, the others lag
-   it by a propagation period. Entries for [sync_exempt] origins are
-   exempt here. The strong entry is driven by the certification
-   member's deliveries, which the rejoiner receives like everyone else
-   once its member re-entered. *)
+   covers each answering origin's OWN tail claim — it arrived as a tail
+   heartbeat, so this holds as soon as the round's chunks drained.
+   Deliberately NOT required: covering what tail senders claim about
+   *third parties*. Those claims ride the 5 ms heartbeat exchange, so
+   in every round some peer's view of origin [o] is one heartbeat
+   fresher than [o]'s own directly-received tail — and with frontiers
+   advancing on heartbeats even at quiescence, waiting for cross-peer
+   coverage livelocks the sync forever (seen as a stuck [dcs_syncing]
+   under 5-DC explorer schedules). The window between [o]'s tail claim
+   and fresher third-party views is exactly what the stream-continuity
+   scheme (§4j) guards: the deferred live stream replays with
+   [from_ts] chaining from the tail claim, and any real gap trips the
+   continuity check and is backfilled by the repair pull instead of
+   being prevented by conservative waiting. The strong entry is driven
+   by the certification member's deliveries, which the rejoiner
+   receives like everyone else once its member re-entered. *)
 let sync_complete t s =
   let exempt o = sync_exempt t s o in
   s.s_phase = Sync_pull
   && s.s_polled <> []
   && List.for_all (fun i -> List.mem_assoc i s.s_tails) s.s_polled
   && List.for_all
-       (fun (_, known) ->
+       (fun (j, known) ->
          Vc.strong known <= Vc.strong t.known_vec
-         &&
-         let ok = ref true in
-         for o = 0 to dcs t - 1 do
-           if
-             o <> t.dc
-             && (not (exempt o))
-             && Vc.get known o > Vc.get t.known_vec o
-           then ok := false
-         done;
-         !ok)
+         && (exempt j || Vc.get known j <= Vc.get t.known_vec j))
        s.s_tails
   && cert_caught_up t
 
@@ -1994,22 +2478,37 @@ let sync_complete t s =
 let finish_sync t s =
   t.sync <- None;
   (* Adopt the tails' entries for origins that could not answer the
-     pulls themselves — crashed, co-syncing, suspected or dropped. A
-     peer never holds data of another origin above its own entry for
-     it, and every answering peer shipped all it held above our vector,
-     so the maximum of the tails is a completeness assertion over
-     transactions the pulls already delivered. A dropped origin's own
-     history is not lost: whatever sits between the adopted claim and
-     its true frontier was already shipped to the answering peers (the
-     claim is backed by data they hold), and anything newer arrives on
-     the retransmitted direct stream after the partition heals. *)
-  List.iter
-    (fun (_, known) ->
-      for o = 0 to dcs t - 1 do
-        if o <> t.dc && sync_exempt t s o then
-          handle_heartbeat t ~origin:o ~ts:(Vc.get known o)
-      done)
-    s.s_tails;
+     pulls themselves — crashed, co-syncing, suspected or dropped — but
+     only PROVISIONALLY. The maximum of the tails is a third-party
+     claim: the answering peers shipped all they held above our vector,
+     but a tail can lag the dropped origin's true frontier (the claimant
+     itself missed batches behind the same adversity), and trusting it
+     outright lets the origin's next direct batch jump clean over the
+     window between the lagging claim and its true boundary — acked
+     writes silently gone. Marking the adoption provisional (floor = the
+     pre-adoption frontier) makes the first post-sync continuity check
+     for the origin repair the window first-hand instead of trusting
+     it. *)
+  for o = 0 to dcs t - 1 do
+    if o <> t.dc && sync_exempt t s o then begin
+      let claim =
+        List.fold_left
+          (fun acc (_, known) -> max acc (Vc.get known o))
+          (-1) s.s_tails
+      in
+      let before = Vc.get t.known_vec o in
+      if claim > before then begin
+        Vc.set t.known_vec o claim;
+        t.provisional_from.(o) <-
+          (if t.provisional_from.(o) >= 0 then min t.provisional_from.(o) before
+           else before);
+        Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"sync-adopt"
+          "adopted dc%d's frontier %d from tail claims, provisional from %d"
+          o claim
+          t.provisional_from.(o)
+      end
+    end
+  done;
   let took = now t - s.s_started in
   Sim.Metrics.observe (Sim.Metrics.histogram t.metrics "dc_catchup_us") took;
   Sim.Trace.emitf t.trace ~source:t.trace_src ~kind:"sync-done"
@@ -2023,6 +2522,14 @@ let finish_sync t s =
     take_snapshot t;
     Vc.merge_into t.durable_known t.known_vec
   end;
+  (* Re-seed the outgoing stream position at the recovered frontier:
+     everything at or below it is held first-hand (snapshot, WAL replay
+     or pulled into [propagated_log]), and every commit above it is
+     still queued, so the first post-recovery batch honestly covers
+     (frontier, batch-last]. Receivers ahead of the boundary dedup;
+     receivers behind it trip the gap check and repair — exactly the
+     post-restart verification the continuity scheme wants. *)
+  t.propagated_upto <- Vc.get t.known_vec t.dc;
   (* resume normal operation: fresh periodic tasks, immediate metadata
      broadcast so siblings unpin the GC floors, and trust recomputed from
      the suspicions recorded while syncing (possibly reclaiming
@@ -2110,9 +2617,16 @@ let handle_sync_pull t ~from ~vec ~sq =
        let source =
          if o = t.dc then !(t.propagated_log) else !(t.committed_causal.(o))
        in
+       (* ship only what we vouch for first-hand: above a provisional
+          floor our own view of [o]'s stream may have the very hole the
+          requester is trying to close, and chained chunks must never
+          claim contiguity across it *)
+       let vouch = vouched t o in
        let txs =
          List.filter
-           (fun tx -> Vc.get tx.Types.tx_vec o > Vc.get vec o)
+           (fun tx ->
+             let ts = Vc.get tx.Types.tx_vec o in
+             ts > Vc.get vec o && ts <= vouch)
            source
        in
        let txs =
@@ -2121,7 +2635,7 @@ let handle_sync_pull t ~from ~vec ~sq =
              compare (Vc.get a.Types.tx_vec o) (Vc.get b.Types.tx_vec o))
            txs
        in
-       let rec ship = function
+       let rec ship from_ts = function
          | [] -> ()
          | txs ->
              let rec split n acc = function
@@ -2130,24 +2644,26 @@ let handle_sync_pull t ~from ~vec ~sq =
                | tx :: rest -> split (n - 1) (tx :: acc) rest
              in
              let batch, rest = split t.cfg.Config.sync_chunk [] txs in
-             send t from (Msg.Sync_log { origin = o; txs = batch; sq });
-             ship rest
+             let batch_last =
+               List.fold_left
+                 (fun acc tx -> max acc (Vc.get tx.Types.tx_vec o))
+                 from_ts batch
+             in
+             send t from (Msg.Sync_log { origin = o; txs = batch; from_ts; sq });
+             ship batch_last rest
        in
-       ship txs
+       ship (Vc.get vec o) txs
      done);
+  (* the tail, too, asserts only the vouched view: sync_complete and the
+     finish-time adoption both read these claims *)
   send t from
     (Msg.Sync_tail
-       {
-         from_dc = t.dc;
-         known = Vc.copy t.known_vec;
-         syncing = is_syncing t;
-         sq;
-       })
+       { from_dc = t.dc; known = vouched_vec t; syncing = is_syncing t; sq })
 
-let handle_sync_log t ~origin ~txs ~sq =
+let handle_sync_log t ~origin ~txs ~from_ts ~sq =
   match t.sync with
   | Some s when s.s_phase = Sync_pull && s.s_sq = sq ->
-      handle_replicate t ~origin ~txs
+      handle_replicate t ~origin ~txs ~from_ts
   | _ -> ()  (* stale batch from an earlier round *)
 
 let handle_sync_tail t ~from_dc ~known ~syncing ~sq =
@@ -2163,10 +2679,12 @@ let handle_sync_tail t ~from_dc ~known ~syncing ~sq =
       end
       else begin
         (* FIFO channels order every [Sync_log] batch of the response
-           before its tail, so the tail's own entry is a heartbeat: the
-           peer holds nothing of its own stream below [known] that it
-           has not already shipped to us *)
-        handle_heartbeat t ~origin:from_dc ~ts:(Vc.get known from_dc);
+           before its tail, so the tail's own entry is a heartbeat
+           contiguous from the round's pull vector: the peer holds
+           nothing of its own stream below [known] that it has not
+           already shipped to us in this round *)
+        handle_heartbeat t ~origin:from_dc ~ts:(Vc.get known from_dc)
+          ~from_ts:(Vc.get s.s_round_vec from_dc);
         s.s_tails <- (from_dc, known) :: List.remove_assoc from_dc s.s_tails;
         (* an answer — even a late one — proves the link works again *)
         s.s_dropped <- List.remove_assoc from_dc s.s_dropped
@@ -2190,7 +2708,10 @@ let sync_admits s msg =
       | Msg.C_commit_strong _ | Msg.C_uniform_barrier _ | Msg.C_attach _
       | Msg.C_failover _ | Msg.C_resubmit_strong _ | Msg.Sync_request _
       | Msg.Sync_store _ | Msg.Get_version _ | Msg.Version _ | Msg.Prepare _
-      | Msg.Prepare_ack _ | Msg.Commit _ ) ) ->
+      | Msg.Prepare_ack _ | Msg.Commit _ | Msg.Repair_request _ ) ) ->
+      (* Repair_request included: a syncing replica's log is partial and
+         must not serve repair windows (the handler re-checks, but
+         refusing here keeps the accounting honest) *)
       false
   | Sync_pull, _ -> true
 
@@ -2218,7 +2739,8 @@ let dispatch t msg =
   | Msg.Sync_store { sq; entries; last; cut } ->
       handle_sync_store t ~sq ~entries ~last ~cut
   | Msg.Sync_pull { from; vec; sq } -> handle_sync_pull t ~from ~vec ~sq
-  | Msg.Sync_log { origin; txs; sq } -> handle_sync_log t ~origin ~txs ~sq
+  | Msg.Sync_log { origin; txs; from_ts; sq } ->
+      handle_sync_log t ~origin ~txs ~from_ts ~sq
   | Msg.Sync_tail { from_dc; known; syncing; sq } ->
       handle_sync_tail t ~from_dc ~known ~syncing ~sq
   | Msg.Get_version { from; tid; key; snap } ->
@@ -2230,8 +2752,17 @@ let dispatch t msg =
   | Msg.Commit { tid; vec; lc; origin } -> handle_commit t ~tid ~vec ~lc ~origin
   | Msg.Commit_query { from; tid; part = _ } -> handle_commit_query t ~from ~tid
   | Msg.Commit_abort { tid } -> handle_commit_abort t ~tid
-  | Msg.Replicate { origin; txs } -> handle_replicate t ~origin ~txs
-  | Msg.Heartbeat { origin; ts } -> handle_heartbeat t ~origin ~ts
+  | Msg.Replicate { origin; txs; from_ts } ->
+      handle_replicate t ~origin ~txs ~from_ts
+  | Msg.Heartbeat { origin; ts; from_ts } ->
+      handle_heartbeat t ~origin ~ts ~from_ts
+  | Msg.Repair_request { from; origin; vec_from; upto; sq } ->
+      handle_repair_request t ~from ~origin ~vec_from ~upto ~sq
+  | Msg.Repair_log { origin; txs; from_ts; covered; last; sq } as m ->
+      Sim.Metrics.incr
+        ~by:(Msg.size_bytes m)
+        (Sim.Metrics.counter t.metrics "repair_log_bytes_total");
+      handle_repair_log t ~origin ~txs ~from_ts ~covered ~last ~sq
   | Msg.Kv_up { part; vec } -> handle_kv_up t ~part ~vec
   | Msg.Stable_down { vec } -> handle_stable_down t ~vec
   | Msg.Stablevec { dc; vec } -> handle_stablevec t ~dc ~vec
@@ -2278,6 +2809,7 @@ let make_sync t ~on_done =
       s_weak = [];
       s_dropped = [];
       s_round_started = now t;
+      s_round_vec = Vc.create ~dcs:(dcs t);
       s_on_suspect = (fun _ -> ());
       s_try_complete = (fun () -> ());
       s_deferred = [];
@@ -2387,6 +2919,9 @@ let install_snapshot t ns =
   t.last_prep_ts <- ns.ns_last_prep;
   Array.iteri (fun i l -> t.frontier_tids.(i) <- l) ns.ns_frontier_tids;
   Array.iteri (fun i v -> t.frontier_ts.(i) <- v) ns.ns_frontier_ts;
+  (* a provisional window survives the crash: the restart must repair
+     it, not rediscover it the hard way *)
+  Array.iteri (fun i v -> t.provisional_from.(i) <- v) ns.ns_provisional;
   List.iter
     (fun (tid, (vec, lc, origin)) ->
       Hashtbl.replace t.coord_decisions tid (now t, vec, lc, origin))
@@ -2416,7 +2951,7 @@ let replay_record t cert_acc = function
         tx.Types.tx_writes;
       let q = t.committed_causal.(t.dc) in
       q := tx :: !q
-  | W_replicate (origin, txs) -> handle_replicate t ~origin ~txs
+  | W_replicate (origin, txs, from_ts) -> handle_replicate t ~origin ~txs ~from_ts
   | W_strong (txs, strong_ts) -> deliver_strong t txs ~strong_ts
   | W_decide (tid, vec, lc, origin) ->
       Hashtbl.replace t.coord_decisions tid (now t, vec, lc, origin)

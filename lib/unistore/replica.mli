@@ -104,6 +104,22 @@ val reset_peer_view : t -> dc:int -> unit
 (** Retained causal-log backlog for [origin] (grace-window tests). *)
 val committed_backlog : t -> origin:int -> int
 
+(** {2 Replication-continuity inspection (tests and debugging)} *)
+
+(** The provisional floor of [origin]'s stream: [-1] when the whole
+    frontier is first-hand, otherwise the highest timestamp verified
+    first-hand — everything above it up to the frontier rests on adopted
+    third-party claims awaiting repair. *)
+val provisional_floor : t -> origin:int -> int
+
+(** Whether an origin-scoped repair pull for [origin]'s stream is in
+    flight. *)
+val repair_active : t -> origin:int -> bool
+
+(** The continuity boundary ([from_ts]) the next outgoing replication
+    batch or heartbeat will carry. *)
+val propagated_upto : t -> int
+
 (** {2 Node-level persistence ([Config.persistence])}
 
     Each replica process owns a simulated disk ({!Store.Wal}): a

@@ -82,10 +82,13 @@ let phases_json reg =
          | j -> j)
        (phases_of reg))
 
-(* DC-recovery section, present only when a recovery ran (the rejoin
-   metrics are interned lazily, so crash-free runs — and their golden
-   artifacts — are untouched): catch-up duration, snapshot and
-   log-replay transfer volume, client failovers, peak syncing DCs. *)
+(* DC-recovery section, present only when a recovery ran or a
+   replication-stream gap was detected (every metric below is interned
+   lazily, so crash-free runs — and their golden artifacts — are
+   untouched): catch-up duration, snapshot and log-replay transfer
+   volume, client failovers, peak syncing DCs, and the
+   stream-continuity repair counters (gaps refused, repair pull rounds,
+   repair backfill volume). *)
 let recovery_json reg =
   let counter_total name =
     List.fold_left
@@ -93,23 +96,32 @@ let recovery_json reg =
       0
       (Metrics.counters_matching reg name)
   in
-  match Metrics.histograms_matching reg "dc_catchup_us" with
-  | [] -> None
-  | (_, h) :: _ ->
+  let gaps = counter_total "replicate_gap_detected_total" in
+  match (Metrics.histograms_matching reg "dc_catchup_us", gaps) with
+  | [], 0 -> None
+  | catchup, _ ->
       let peak_syncing =
         match Metrics.gauges_matching reg "dcs_syncing" with
         | (_, g) :: _ -> Metrics.gauge_max g
         | [] -> 0.0
       in
+      let catchup_field =
+        match catchup with
+        | (_, h) :: _ -> [ ("dc_catchup", histogram_json h) ]
+        | [] -> []
+      in
       Some
         (Json.Obj
-           [
-             ("dc_catchup", histogram_json h);
-             ("snapshot_bytes", Json.Int (counter_total "sync_snapshot_bytes_total"));
-             ("log_replay_bytes", Json.Int (counter_total "sync_log_bytes_total"));
-             ("client_failovers", Json.Int (counter_total "client_failovers_total"));
-             ("dcs_syncing_peak", Json.Float peak_syncing);
-           ])
+           (catchup_field
+           @ [
+               ("snapshot_bytes", Json.Int (counter_total "sync_snapshot_bytes_total"));
+               ("log_replay_bytes", Json.Int (counter_total "sync_log_bytes_total"));
+               ("client_failovers", Json.Int (counter_total "client_failovers_total"));
+               ("dcs_syncing_peak", Json.Float peak_syncing);
+               ("replicate_gaps", Json.Int gaps);
+               ("repair_pull_rounds", Json.Int (counter_total "repair_pull_rounds_total"));
+               ("repair_log_bytes", Json.Int (counter_total "repair_log_bytes_total"));
+             ]))
 
 (* Persistence section, present only when per-node disks ran
    ([Config.persistence]; every metric below is interned lazily so

@@ -238,6 +238,130 @@ let test_interleaved_sessions_share_coordinators () =
   Alcotest.(check int) "every session reads its own write" 20 !ok;
   Util.assert_por sys
 
+(* {1 Replication-stream continuity (gap detection and repair)} *)
+
+let counter_total reg name =
+  List.fold_left
+    (fun acc (_, c) -> acc + Sim.Metrics.counter_value c)
+    0
+    (Sim.Metrics.counters_matching reg name)
+
+(* A committed transaction of [origin]'s stream as replication carries
+   it: one register write with the origin's stream timestamp. *)
+let stream_tx ~origin ~ts ~key ~v =
+  let vec = Vclock.Vc.create ~dcs:3 in
+  Vclock.Vc.set vec origin ts;
+  {
+    U.Types.tx_tid = { cl = 7_000 + origin; sq = ts };
+    tx_writes =
+      [ { U.Types.wkey = key; wop = Crdt.Reg_write v; wcls = U.Types.cls_default } ];
+    tx_vec = vec;
+    tx_lc = ts;
+    tx_origin = 7_000 + origin;
+  }
+
+(* Heartbeats jump frontiers exactly like batches do: a heartbeat whose
+   continuity boundary ([from_ts]) exceeds the receiver's floor claims a
+   window the receiver never saw, and must be refused — or a heartbeat
+   racing ahead of a lost batch would paper over the gap. *)
+let test_heartbeat_continuity () =
+  let sys = Util.make_system () in
+  let r = U.System.replica sys ~dc:0 ~part:0 in
+  let reg = U.System.metrics sys in
+  let origin = 1 in
+  let frontier () = Vclock.Vc.get (U.Replica.known_vec r) origin in
+  U.Replica.handle r (U.Msg.Heartbeat { origin; ts = 500; from_ts = 0 });
+  Alcotest.(check int) "contiguous heartbeat adopts the frontier" 500
+    (frontier ());
+  U.Replica.handle r (U.Msg.Heartbeat { origin; ts = 2_000; from_ts = 1_000 });
+  Alcotest.(check int) "gapped heartbeat does not jump the frontier" 500
+    (frontier ());
+  Alcotest.(check int) "the gap is detected and counted" 1
+    (counter_total reg "replicate_gap_detected_total");
+  Alcotest.(check bool) "a repair pull is in flight" true
+    (U.Replica.repair_active r ~origin);
+  (* further gapped claims while the repair runs raise its target but do
+     not stack rounds *)
+  U.Replica.handle r (U.Msg.Heartbeat { origin; ts = 2_500; from_ts = 2_000 });
+  Alcotest.(check int) "the repeat offender is counted" 2
+    (counter_total reg "replicate_gap_detected_total");
+  Alcotest.(check int) "but starts no second round" 1
+    (counter_total reg "repair_pull_rounds_total");
+  Alcotest.(check int) "the frontier stays pinned" 500 (frontier ())
+
+(* The full continuity discipline in order: a contiguous batch applies;
+   a batch above a lost window is refused wholesale (gap detect); the
+   frontier jumps only when the repair backfill covers the window; the
+   stream then chains cleanly off the repaired frontier. *)
+let test_gap_repair_frontier_order () =
+  let sys = Util.make_system () in
+  let r = U.System.replica sys ~dc:0 ~part:0 in
+  let reg = U.System.metrics sys in
+  let origin = 1 in
+  let key = 0 (* partition 0 under the 4-partition test deployment *) in
+  let frontier () = Vclock.Vc.get (U.Replica.known_vec r) origin in
+  let replicate ~ts ~v ~from_ts =
+    U.Replica.handle r
+      (U.Msg.Replicate
+         { origin; txs = [ stream_tx ~origin ~ts ~key ~v ]; from_ts })
+  in
+  replicate ~ts:100 ~v:1 ~from_ts:0;
+  Alcotest.(check int) "contiguous batch applies" 100 (frontier ());
+  (* the batch covering (100, 200] was lost in transit: the next one
+     must not apply, or the window's writes would be silently skipped *)
+  replicate ~ts:300 ~v:3 ~from_ts:200;
+  Alcotest.(check int) "gapped batch refused wholesale" 100 (frontier ());
+  Alcotest.(check int) "gap detected" 1
+    (counter_total reg "replicate_gap_detected_total");
+  Alcotest.(check bool) "repair pull in flight" true
+    (U.Replica.repair_active r ~origin);
+  (* the stream keeps moving while the repair runs: still refused *)
+  replicate ~ts:400 ~v:4 ~from_ts:300;
+  Alcotest.(check int) "refused until repaired" 100 (frontier ());
+  Alcotest.(check int) "one round serves both detections" 1
+    (counter_total reg "repair_pull_rounds_total");
+  (* the repair reply backfills (100, 400] and vouches for 400 ([sq] is
+     deterministic: the first round this deployment starts) *)
+  U.Replica.handle r
+    (U.Msg.Repair_log
+       {
+         origin;
+         txs =
+           [
+             stream_tx ~origin ~ts:150 ~key ~v:2;
+             stream_tx ~origin ~ts:300 ~key ~v:3;
+             stream_tx ~origin ~ts:400 ~key ~v:4;
+           ];
+         from_ts = 100;
+         covered = 400;
+         last = true;
+         sq = 1;
+       });
+  Alcotest.(check int) "the frontier jumps only with the repair" 400
+    (frontier ());
+  Alcotest.(check bool) "repair completed" false
+    (U.Replica.repair_active r ~origin);
+  Alcotest.(check int) "no provisional residue" (-1)
+    (U.Replica.provisional_floor r ~origin);
+  (* a duplicate of the reply is discarded by its stale round tag *)
+  U.Replica.handle r
+    (U.Msg.Repair_log
+       {
+         origin;
+         txs = [ stream_tx ~origin ~ts:150 ~key ~v:2 ];
+         from_ts = 100;
+         covered = 400;
+         last = true;
+         sq = 1;
+       });
+  Alcotest.(check int) "duplicate reply ignored" 400 (frontier ());
+  (* the stream resumes from the repaired boundary *)
+  replicate ~ts:500 ~v:5 ~from_ts:400;
+  Alcotest.(check int) "stream chains off the repaired frontier" 500
+    (frontier ());
+  Alcotest.(check int) "no further gaps" 2
+    (counter_total reg "replicate_gap_detected_total")
+
 let suite =
   [
     Alcotest.test_case "strong multi-partition atomicity" `Slow
@@ -255,4 +379,8 @@ let suite =
     Alcotest.test_case "empty transactions" `Quick test_empty_transaction;
     Alcotest.test_case "interleaved sessions stay isolated" `Quick
       test_interleaved_sessions_share_coordinators;
+    Alcotest.test_case "heartbeat frontier jumps obey stream continuity"
+      `Quick test_heartbeat_continuity;
+    Alcotest.test_case "gap detect, then repair, then frontier jump" `Quick
+      test_gap_repair_frontier_order;
   ]

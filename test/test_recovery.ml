@@ -257,6 +257,159 @@ let test_random_schedule_recovery () =
   Alcotest.(check bool) "recoveries only append to the base schedule" true
     (List.sort compare strip = List.sort compare without)
 
+(* {1 Replication continuity after node restart} *)
+
+(* Provisional tail adoption: a node that restarts while its partition's
+   origin DC is unreachable must adopt the surviving tails' claim for
+   that origin only provisionally — the claim can lag strictly below a
+   write the origin already acked (the claimant missed batches behind
+   the same partition), and trusting it outright would let the origin's
+   next direct batch jump clean over the window, silently dropping the
+   acked write. With the provisional floor, the first post-restart
+   continuity check detects the jump and repairs the window first-hand:
+   every acked increment reads back exactly once everywhere. *)
+let test_provisional_adoption_repairs_lagging_claim () =
+  let sys =
+    Util.make_system ~partitions:1 ~seed:17 ~persistence:true
+      ~disk_fsync_us:500 ~snapshot_interval_us:1_500_000
+      ~client_failover_us:300_000
+      ~link_faults:Net.Faults.default_spec ()
+  in
+  let keys = [| 100; 101; 102 |] in
+  Array.iter (fun k -> U.System.preload sys k (Crdt.Ctr_add 0)) keys;
+  U.Nemesis.inject sys
+    [
+      (* cut dc1 off from dc0, then crash dc0's node: when it restarts,
+         dc1 is exempt from its pull round and its frontier for dc1 is a
+         third-party claim via dc2's tail *)
+      { U.Nemesis.at_us = 2_000_000; ev = U.Nemesis.Partition (1, 0) };
+      { at_us = 2_000_000; ev = Crash_node { dc = 0; part = 0 } };
+      { at_us = 3_000_000; ev = Restart_node { dc = 0; part = 0 } };
+      { at_us = 3_500_000; ev = Heal (1, 0) };
+      { at_us = 4_000_000; ev = Heal_all };
+    ];
+  (* [maybe] counts commits interrupted by a failover: the client saw an
+     abort, but the transaction may still have applied server-side (the
+     history records it as an unacked writer) *)
+  let commits = Array.make 3 0 and maybe = Array.make 3 0 in
+  for dc = 0 to 2 do
+    ignore
+      (U.System.spawn_client sys ~dc (fun c ->
+           while U.System.now sys < 4_500_000 do
+             (try
+                Client.start c;
+                Client.update c keys.(dc) (Crdt.Ctr_add 1);
+                match Client.commit c with
+                | `Committed _ -> commits.(dc) <- commits.(dc) + 1
+                | `Aborted -> ()
+              with Client.Aborted -> maybe.(dc) <- maybe.(dc) + 1);
+             Fiber.sleep 70_000
+           done))
+  done;
+  Util.run sys ~until:9_000_000;
+  Alcotest.(check bool) "node is back" false
+    (U.System.node_down sys ~dc:0 ~part:0);
+  Util.assert_por sys;
+  Util.assert_convergence sys;
+  (* nothing may rest on an unverified claim once quiescent *)
+  for dc = 0 to 2 do
+    let r = U.System.replica sys ~dc ~part:0 in
+    for origin = 0 to 2 do
+      Alcotest.(check int)
+        (Printf.sprintf "no provisional residue at dc%d for dc%d" dc origin)
+        (-1)
+        (U.Replica.provisional_floor r ~origin);
+      Alcotest.(check bool)
+        (Printf.sprintf "no repair in flight at dc%d for dc%d" dc origin)
+        false
+        (U.Replica.repair_active r ~origin)
+    done
+  done;
+  (* acked increments survive the adoption window and apply exactly
+     once; an interrupted commit may legitimately have landed too *)
+  for dc = 0 to 2 do
+    let final = Array.make 3 (-1) in
+    ignore
+      (U.System.spawn_client sys ~dc (fun c ->
+           Client.start c;
+           Array.iteri (fun i k -> final.(i) <- Client.read_int c k) keys;
+           ignore (Client.commit c)));
+    Util.run sys ~until:(9_200_000 + (100_000 * dc));
+    Array.iteri
+      (fun i _ ->
+        Alcotest.(check bool)
+          (Printf.sprintf "dc%d's acked increments read back at dc%d" i dc)
+          true
+          (final.(i) >= commits.(i)
+          && final.(i) <= commits.(i) + maybe.(i)))
+      keys
+  done
+
+(* Seeded lossy-link x node-restart durability sweep: under lossy
+   inter-DC links, a DC partition and a node crash/restart, every acked
+   increment is present exactly once at every DC after the dust
+   settles, across several seeds. This is the schedule family the
+   explorer minimized REPRO_4ce8396d6d636cc3 from. *)
+let test_lossy_restart_durability_sweep () =
+  List.iter
+    (fun seed ->
+      let sys =
+        Util.make_system ~partitions:2 ~seed ~persistence:true
+          ~disk_fsync_us:500 ~snapshot_interval_us:1_500_000
+          ~client_failover_us:300_000
+          ~link_faults:Net.Faults.default_spec ()
+      in
+      let keys = [| 100; 101; 102 |] in
+      Array.iter (fun k -> U.System.preload sys k (Crdt.Ctr_add 0)) keys;
+      let part = seed mod 2 in
+      U.Nemesis.inject sys
+        [
+          { U.Nemesis.at_us = 2_000_000; ev = U.Nemesis.Partition (1, 0) };
+          { at_us = 2_000_000; ev = Crash_node { dc = 1; part } };
+          { at_us = 3_000_000; ev = Restart_node { dc = 1; part } };
+          { at_us = 3_200_000; ev = Heal (1, 0) };
+          { at_us = 4_000_000; ev = Heal_all };
+        ];
+      let commits = Array.make 3 0 and maybe = Array.make 3 0 in
+      for dc = 0 to 2 do
+        ignore
+          (U.System.spawn_client sys ~dc (fun c ->
+               while U.System.now sys < 4_500_000 do
+                 (try
+                    Client.start c;
+                    Client.update c keys.(dc) (Crdt.Ctr_add 1);
+                    match Client.commit c with
+                    | `Committed _ -> commits.(dc) <- commits.(dc) + 1
+                    | `Aborted -> ()
+                  with Client.Aborted -> maybe.(dc) <- maybe.(dc) + 1);
+                 Fiber.sleep 90_000
+               done))
+      done;
+      Util.run sys ~until:9_000_000;
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: node is back" seed)
+        false
+        (U.System.node_down sys ~dc:1 ~part);
+      Util.assert_por sys;
+      Util.assert_convergence sys;
+      let final = Array.make 3 (-1) in
+      ignore
+        (U.System.spawn_client sys ~dc:0 (fun c ->
+             Client.start c;
+             Array.iteri (fun i k -> final.(i) <- Client.read_int c k) keys;
+             ignore (Client.commit c)));
+      Util.run sys ~until:9_300_000;
+      Array.iteri
+        (fun i _ ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: dc%d's increments durable exactly once"
+               seed i)
+            true
+            (final.(i) >= commits.(i)
+            && final.(i) <= commits.(i) + maybe.(i)))
+        keys)
+    [ 1; 2; 3 ]
+
 let suite =
   [
     Alcotest.test_case
@@ -270,4 +423,9 @@ let suite =
       `Slow test_gc_grace_floors;
     Alcotest.test_case "seeded schedules pair recoveries with crashes"
       `Quick test_random_schedule_recovery;
+    Alcotest.test_case
+      "provisional adoption repairs a claim lagging an acked write" `Slow
+      test_provisional_adoption_repairs_lagging_claim;
+    Alcotest.test_case "lossy-link x node-restart durability sweep" `Slow
+      test_lossy_restart_durability_sweep;
   ]
